@@ -1,0 +1,98 @@
+// Extension ablation: opportunistic execution (§6.1).
+//
+// When idle resources cannot fit the queue's head (a big job), Crius pends it
+// and opportunistically launches later small jobs, suspending them once the
+// pending job's requirement is satisfiable. Disabling the mechanism makes the
+// scheduler hold capacity idle behind the blocked head. The workload is a
+// repeating pattern of one capacity-sized job followed by a burst of small
+// ones -- the worst case for head-of-line blocking.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace crius;
+  // Single GPU type: heterogeneity scaling cannot sidestep the blocked head,
+  // so the opportunistic mechanism itself carries the load.
+  Cluster cluster = ParseClusterSpec("A40:16x2");
+  PerformanceOracle oracle(cluster, 42);
+
+  // Hand-built adversarial trace, repeated waves of:
+  //   t+0     4 medium jobs fill most of the pool,
+  //   t+2min  a whole-pool job arrives (pends until the mediums drain),
+  //   t+4min+ a burst of small jobs that only opportunistic execution can run.
+  std::vector<TrainingJob> trace;
+  int64_t id = 0;
+  std::vector<bool> is_big;
+  for (int wave = 0; wave < 3; ++wave) {
+    const double t0 = wave * 100.0 * kMinute;
+    for (int i = 0; i < 4; ++i) {
+      TrainingJob medium;
+      medium.id = id++;
+      medium.spec = ModelSpec{ModelFamily::kBert, 1.3, 128};
+      medium.requested_gpus = 4;
+      medium.requested_type = GpuType::kA40;
+      medium.submit_time = t0;
+      medium.iterations = 700;
+      trace.push_back(medium);
+      is_big.push_back(false);
+    }
+    TrainingJob big;
+    big.id = id++;
+    big.spec = ModelSpec{ModelFamily::kBert, 6.7, 128};
+    big.requested_gpus = 32;
+    big.requested_type = GpuType::kA40;
+    big.submit_time = t0 + 2.0 * kMinute;
+    big.iterations = 150;
+    trace.push_back(big);
+    is_big.push_back(true);
+    for (int i = 0; i < 10; ++i) {
+      TrainingJob small;
+      small.id = id++;
+      small.spec = ModelSpec{ModelFamily::kBert, 0.76, 128};
+      small.requested_gpus = 2;
+      small.requested_type = GpuType::kA40;
+      small.submit_time = t0 + (4.0 + i) * kMinute;
+      small.iterations = 300;
+      trace.push_back(small);
+      is_big.push_back(false);
+    }
+  }
+  std::printf("Adversarial head-of-line workload: %zu jobs\n", trace.size());
+
+  Table table("Ablation: opportunistic execution (§6.1)");
+  table.SetHeader({"variant", "avg JCT", "big-job avg JCT", "small-job avg JCT",
+                   "gpu util", "avg thr"});
+  for (bool opportunistic : {true, false}) {
+    CriusConfig config;
+    config.opportunistic = opportunistic;
+    CriusScheduler sched(&oracle, config);
+    Simulator sim(cluster, SimConfig{});
+    const SimResult r = sim.Run(sched, oracle, trace);
+    double big_jct = 0.0;
+    int big_n = 0;
+    double small_jct = 0.0;
+    int small_n = 0;
+    for (const JobRecord& rec : r.jobs) {
+      if (!rec.finished) {
+        continue;
+      }
+      const bool big_one = is_big[static_cast<size_t>(rec.id)];
+      (big_one ? big_jct : small_jct) += rec.jct();
+      (big_one ? big_n : small_n) += 1;
+    }
+    table.AddRow({opportunistic ? "opportunistic (default)" : "strict FIFO head",
+                  Minutes(r.avg_jct), big_n ? Minutes(big_jct / big_n) : "-",
+                  small_n ? Minutes(small_jct / small_n) : "-",
+                  Table::FmtPercent(r.avg_gpu_utilization),
+                  Table::Fmt(r.avg_throughput, 2)});
+  }
+  table.Print();
+  std::printf("\nExpected shape: the pending whole-pool job finishes markedly sooner with\n"
+              "opportunistic execution -- later jobs launched opportunistically are\n"
+              "evictable the moment the pending job's requirement is satisfiable, whereas\n"
+              "the strict head leaves it waiting on whatever normal completions happen to\n"
+              "free (§6.1's starvation-avoidance guarantee).\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Shared helpers for the figure-reproduction benchmark binaries.
+
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <memory>
+#include <vector>
+
+#include "src/sched/baselines.h"
+#include "src/sched/crius_sched.h"
+#include "src/sim/simulator.h"
+#include "src/sim/trace.h"
+#include "src/util/table.h"
+
+namespace crius {
+
+// The five schedulers of §8.1, in the paper's presentation order.
+inline std::vector<std::unique_ptr<Scheduler>> MakeAllSchedulers(PerformanceOracle* oracle) {
+  std::vector<std::unique_ptr<Scheduler>> out;
+  out.push_back(std::make_unique<FcfsScheduler>(oracle));
+  out.push_back(std::make_unique<GandivaScheduler>(oracle));
+  out.push_back(std::make_unique<GavelScheduler>(oracle));
+  out.push_back(std::make_unique<ElasticFlowScheduler>(oracle, ElasticFlowConfig{}));
+  out.push_back(std::make_unique<CriusScheduler>(oracle, CriusConfig{}));
+  return out;
+}
+
+// Wraps a scheduler and accumulates wall-clock time of Schedule() calls
+// (the §8.7 scheduling-overhead measurement).
+class TimedScheduler : public Scheduler {
+ public:
+  explicit TimedScheduler(Scheduler* inner) : Scheduler(nullptr), inner_(inner) {}
+
+  std::string name() const override { return inner_->name(); }
+
+  ScheduleDecision Schedule(double now, const std::vector<const JobState*>& jobs,
+                            const Cluster& cluster) override {
+    const auto start = std::chrono::steady_clock::now();
+    ScheduleDecision d = inner_->Schedule(now, jobs, cluster);
+    const auto end = std::chrono::steady_clock::now();
+    total_seconds_ += std::chrono::duration<double>(end - start).count();
+    ++calls_;
+    return d;
+  }
+
+  double ProfilingDelay(const TrainingJob& job, const Cluster& cluster) override {
+    return inner_->ProfilingDelay(job, cluster);
+  }
+
+  double total_seconds() const { return total_seconds_; }
+  int calls() const { return calls_; }
+
+ private:
+  Scheduler* inner_;
+  double total_seconds_ = 0.0;
+  int calls_ = 0;
+};
+
+// Normalizes `value` against the row printed for a baseline.
+inline std::string Ratio(double value, double baseline) {
+  if (baseline <= 0.0) {
+    return "-";
+  }
+  return Table::FmtFactor(value / baseline);
+}
+
+inline std::string Hours(double seconds) {
+  return Table::Fmt(seconds / kHour, 2) + "h";
+}
+
+inline std::string Minutes(double seconds) {
+  return Table::Fmt(seconds / kMinute, 1) + "m";
+}
+
+}  // namespace crius
+
+#endif  // BENCH_BENCH_UTIL_H_

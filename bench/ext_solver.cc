@@ -1,0 +1,58 @@
+// Extension: solver-style placement ordering (§6's "techniques based on
+// solvers could also be applied to enhance Crius; orthogonal to its focus").
+//
+// Algorithm 1 offers queued jobs placement in FIFO order. This study compares
+// alternative orders -- estimated-throughput-density first, smallest-request
+// first -- and the best-of-all meta policy that virtually evaluates every
+// order each round and keeps the highest-scoring outcome. All variants use
+// the identical Cell estimates; only the choice enumeration widens.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace crius;
+  Cluster cluster = MakePhysicalTestbed();
+  PerformanceOracle oracle(cluster, 42);
+  TraceConfig config = PhillySixHourConfig();
+  config.load = 2.0;  // ordering only matters under contention
+  config.num_jobs = 300;
+  config.name = "philly-6h-solver";
+  config.seed = 7401;
+  const auto trace = GenerateTrace(cluster, oracle, config);
+  std::printf("Placement-order study: %zu jobs, offered load %.1fx\n", trace.size(),
+              config.load);
+
+  Table table("Extension: Crius placement orders");
+  table.SetHeader({"order", "avg JCT", "median JCT", "avg queue", "avg thr", "restarts",
+                   "sched calls note"});
+  const struct {
+    const char* label;
+    CriusPlacementOrder order;
+  } variants[] = {
+      {"FIFO (Algorithm 1)", CriusPlacementOrder::kFifo},
+      {"score density first", CriusPlacementOrder::kScoreDensity},
+      {"smallest first", CriusPlacementOrder::kSmallestFirst},
+      {"best-of-all (solver-lite)", CriusPlacementOrder::kBestOfAll},
+  };
+  for (const auto& variant : variants) {
+    CriusConfig cc;
+    cc.placement_order = variant.order;
+    CriusScheduler crius(&oracle, cc);
+    TimedScheduler timed(&crius);
+    Simulator sim(cluster, SimConfig{});
+    const SimResult r = sim.Run(timed, oracle, trace);
+    table.AddRow({variant.label, Minutes(r.avg_jct), Minutes(r.median_jct),
+                  Minutes(r.avg_queue_time), Table::Fmt(r.avg_throughput, 2),
+                  Table::Fmt(r.avg_restarts, 2),
+                  Table::Fmt(timed.total_seconds() / std::max(1, timed.calls()) * 1e3, 3) +
+                      " ms/call"});
+  }
+  table.Print();
+  std::printf("\nExpected shape: non-FIFO orders trade queuing fairness for throughput;\n"
+              "best-of-all never scores below FIFO on estimated throughput and costs ~3x\n"
+              "the (sub-millisecond) scheduling time -- consistent with the paper's view\n"
+              "that solver-style choice enumeration is an orthogonal enhancement.\n");
+  return 0;
+}

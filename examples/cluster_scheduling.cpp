@@ -1,0 +1,80 @@
+// Cluster-scale scenario: a bursty afternoon on the 64-GPU testbed.
+//
+// Generates an 80-job trace against the paper's physical-testbed shape and
+// runs it under FCFS, ElasticFlow-LS and Crius, printing the per-scheduler
+// metrics plus a throughput timeline -- a miniature of Figs. 14 and 16.
+//
+// Build & run:  ./build/examples/cluster_scheduling
+
+#include <cstdio>
+
+#include "src/sched/baselines.h"
+#include "src/sched/crius_sched.h"
+#include "src/sim/simulator.h"
+#include "src/sim/trace.h"
+#include "src/util/table.h"
+
+int main() {
+  using namespace crius;
+
+  Cluster cluster = MakePhysicalTestbed();
+  PerformanceOracle oracle(cluster, 11);
+
+  TraceConfig config = PhillySixHourConfig();
+  config.num_jobs = 80;
+  config.duration = 3.0 * kHour;
+  const auto trace = GenerateTrace(cluster, oracle, config);
+  std::printf("Workload: %zu jobs over 3 hours on %d GPUs (A40 + A10)\n", trace.size(),
+              cluster.TotalGpus());
+
+  FcfsScheduler fcfs(&oracle);
+  ElasticFlowScheduler ef(&oracle, ElasticFlowConfig{});
+  CriusScheduler crius(&oracle, CriusConfig{});
+  Scheduler* schedulers[] = {&fcfs, &ef, &crius};
+
+  std::vector<SimResult> results;
+  for (Scheduler* sched : schedulers) {
+    Simulator sim(cluster, SimConfig{});
+    results.push_back(sim.Run(*sched, oracle, trace));
+  }
+
+  Table table("Scheduler comparison (miniature Fig. 14)");
+  table.SetHeader({"scheduler", "avg JCT (min)", "avg queue (min)", "avg thr", "peak thr",
+                   "restarts"});
+  for (const SimResult& r : results) {
+    table.AddRow({r.scheduler, Table::Fmt(r.avg_jct / 60.0, 1),
+                  Table::Fmt(r.avg_queue_time / 60.0, 1), Table::Fmt(r.avg_throughput, 1),
+                  Table::Fmt(r.peak_throughput, 1), Table::Fmt(r.avg_restarts, 2)});
+  }
+  table.Print();
+
+  // Hourly throughput timeline (miniature Fig. 16).
+  Table timeline("Normalized cluster throughput by hour");
+  timeline.SetHeader({"hour", results[0].scheduler, results[1].scheduler,
+                      results[2].scheduler});
+  for (int hour = 0; hour < 8; ++hour) {
+    std::vector<std::string> row = {Table::FmtInt(hour)};
+    bool any = false;
+    for (const SimResult& r : results) {
+      double sum = 0.0;
+      int n = 0;
+      for (const ThroughputSample& s : r.timeline) {
+        if (s.time >= hour * kHour && s.time < (hour + 1) * kHour) {
+          sum += s.normalized_throughput;
+          ++n;
+        }
+      }
+      row.push_back(n > 0 ? Table::Fmt(sum / n, 1) : "-");
+      any |= n > 0;
+    }
+    if (any) {
+      timeline.AddRow(row);
+    }
+  }
+  timeline.Print();
+
+  std::printf("\nCrius vs FCFS: JCT %.1f%% lower, queuing %.1f%% lower.\n",
+              (1.0 - results[2].avg_jct / results[0].avg_jct) * 100.0,
+              (1.0 - results[2].avg_queue_time / results[0].avg_queue_time) * 100.0);
+  return 0;
+}

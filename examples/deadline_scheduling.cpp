@@ -1,0 +1,59 @@
+// Deadline-aware scheduling (§8.5): submit jobs with deadlines and watch
+// Crius-DDL admit, place and early-drop them against its Cell estimates.
+//
+// Build & run:  ./build/examples/deadline_scheduling
+
+#include <cstdio>
+
+#include "src/sched/baselines.h"
+#include "src/sched/crius_sched.h"
+#include "src/sim/simulator.h"
+#include "src/sim/trace.h"
+#include "src/util/table.h"
+
+int main() {
+  using namespace crius;
+
+  Cluster cluster = MakePhysicalTestbed();
+  PerformanceOracle oracle(cluster, 23);
+
+  TraceConfig config = PhillySixHourConfig();
+  config.name = "deadline-demo";
+  config.num_jobs = 60;
+  config.duration = 2.0 * kHour;
+  config.load = 1.6;
+  config.deadline_fraction = 1.0;
+  config.deadline_slack_min = 1.2;
+  config.deadline_slack_max = 4.0;
+  const auto trace = GenerateTrace(cluster, oracle, config);
+  std::printf("Workload: %zu jobs, all with deadlines (1.2-4x slack), load %.1fx\n",
+              trace.size(), config.load);
+
+  CriusScheduler crius_ddl(&oracle, CriusConfig{.deadline_aware = true});
+  ElasticFlowScheduler ef(&oracle, ElasticFlowConfig{.loose_deadlines = false});
+  Scheduler* schedulers[] = {&ef, &crius_ddl};
+
+  Table table("Deadline-aware comparison");
+  table.SetHeader({"scheduler", "deadline ratio", "met", "missed", "dropped", "avg JCT (min)"});
+  for (Scheduler* sched : schedulers) {
+    Simulator sim(cluster, SimConfig{});
+    const SimResult r = sim.Run(*sched, oracle, trace);
+    int met = 0;
+    int missed = 0;
+    for (const JobRecord& rec : r.jobs) {
+      if (!rec.had_deadline || rec.dropped) {
+        continue;
+      }
+      (rec.deadline_met ? met : missed)++;
+    }
+    table.AddRow({r.scheduler, Table::FmtPercent(r.deadline_ratio), Table::FmtInt(met),
+                  Table::FmtInt(missed), Table::FmtInt(r.dropped_jobs),
+                  Table::Fmt(r.avg_jct / 60.0, 1)});
+  }
+  table.Print();
+
+  std::printf("\nCrius-DDL certifies deadlines against accurate Cell estimates and\n"
+              "early-drops only jobs no Cell can save; ElasticFlow can only certify\n"
+              "what its data-parallel profile models.\n");
+  return 0;
+}

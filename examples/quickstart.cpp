@@ -1,0 +1,70 @@
+// Quickstart: submit one training job to a heterogeneous cluster and let
+// Crius pick its Cell and parallelism plan.
+//
+//   1. describe the cluster,
+//   2. describe the job (model + batch + requested GPUs),
+//   3. generate the job's Cells (scheduling candidates),
+//   4. estimate every Cell with the agile estimator,
+//   5. pick the best Cell and tune the final parallelism plan inside it.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "src/core/oracle.h"
+#include "src/util/table.h"
+
+int main() {
+  using namespace crius;
+
+  // 1. A small heterogeneous cluster: 2 NVLink A100 nodes + 4 PCIe A40 nodes.
+  Cluster cluster;
+  cluster.AddNodes(GpuType::kA100, /*num_nodes=*/2, /*gpus_per_node=*/4);
+  cluster.AddNodes(GpuType::kA40, /*num_nodes=*/4, /*gpus_per_node=*/2);
+
+  // The oracle bundles the performance model, offline communication profiles,
+  // the estimator and the tuner (all seeded for reproducibility).
+  PerformanceOracle oracle(cluster, /*seed=*/1);
+
+  // 2. The job: BERT-2.6B, global batch 128, user asks for 4 GPUs.
+  TrainingJob job;
+  job.id = 0;
+  job.spec = ModelSpec{ModelFamily::kBert, 2.6, 128};
+  job.requested_gpus = 4;
+  job.requested_type = GpuType::kA100;
+
+  // 3 + 4. Generate and estimate Cells.
+  Table table("Cell candidates for " + job.spec.Name());
+  table.SetHeader({"cell", "feasible", "est. iter (s)", "est. thr (samples/s)",
+                   "assembled plan", "profiling cost (GPU-s)"});
+  Cell best_cell;
+  double best_thr = 0.0;
+  for (const Cell& cell : GenerateCells(job, cluster)) {
+    const CellEstimate& est = oracle.EstimateCell(job.spec, cell);
+    if (!est.feasible) {
+      table.AddRow({cell.ToString(), "no (OOM)", "-", "-", "-",
+                    Table::Fmt(est.profile_gpu_seconds, 1)});
+      continue;
+    }
+    const double thr = job.spec.global_batch / est.iter_time;
+    table.AddRow({cell.ToString(), "yes", Table::Fmt(est.iter_time, 3), Table::Fmt(thr, 1),
+                  est.plan.ToString(), Table::Fmt(est.profile_gpu_seconds, 1)});
+    if (thr > best_thr) {
+      best_thr = thr;
+      best_cell = cell;
+    }
+  }
+  table.Print();
+
+  // 5. Schedule the best Cell and tune the plan inside it.
+  const TuneResult& tuned = oracle.TuneCell(job.spec, best_cell);
+  std::printf("\nScheduled Cell: %s\n", best_cell.ToString().c_str());
+  if (tuned.best.has_value()) {
+    std::printf("Tuned plan:     %s\n", tuned.best->plan.ToString().c_str());
+    std::printf("Iteration time: %.3f s  (%.1f samples/s)\n", tuned.best->iter_time,
+                job.spec.global_batch / tuned.best->iter_time);
+    std::printf("Tuning cost:    %.0f GPU-seconds over %d candidate plans\n",
+                tuned.tune_gpu_seconds, tuned.plans_evaluated);
+  }
+  return 0;
+}

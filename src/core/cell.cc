@@ -1,0 +1,63 @@
+#include "src/core/cell.h"
+
+#include <algorithm>
+
+#include "src/model/models.h"
+#include "src/parallel/stage_partition.h"
+#include "src/util/check.h"
+#include "src/util/mathutil.h"
+#include "src/util/rng.h"
+
+namespace crius {
+
+std::string Cell::ToString() const {
+  return GpuName(gpu_type) + "x" + std::to_string(ngpus) + "/P" + std::to_string(nstages);
+}
+
+uint64_t Cell::Key() const {
+  uint64_t k = static_cast<uint64_t>(gpu_type);
+  k = HashCombine(k, static_cast<uint64_t>(ngpus));
+  k = HashCombine(k, static_cast<uint64_t>(nstages));
+  return k;
+}
+
+std::vector<Cell> GenerateCellsUpTo(const TrainingJob& job, const Cluster& cluster,
+                                    int max_gpus) {
+  CRIUS_CHECK(IsPowerOfTwo(job.requested_gpus));
+  const OpGraph& graph = GetOpGraph(job.spec);
+
+  std::vector<Cell> cells;
+  for (GpuType type : AllGpuTypes()) {
+    if (!cluster.HasType(type)) {
+      continue;
+    }
+    const int capacity = FloorPowerOfTwo(cluster.TotalGpus(type));
+    // §6.1: three candidate sizes around the user-requested N_G.
+    for (int ngpus : {job.requested_gpus / 2, job.requested_gpus, job.requested_gpus * 2}) {
+      if (ngpus < 1 || ngpus > capacity || ngpus > max_gpus) {
+        continue;
+      }
+      for (int nstages : CandidateStageCounts(graph, ngpus)) {
+        cells.push_back(Cell{type, ngpus, nstages});
+      }
+    }
+  }
+  // De-duplicate (N_G/2 and N_G coincide when N_G == 1).
+  std::sort(cells.begin(), cells.end(), [](const Cell& a, const Cell& b) {
+    if (a.gpu_type != b.gpu_type) {
+      return static_cast<int>(a.gpu_type) < static_cast<int>(b.gpu_type);
+    }
+    if (a.ngpus != b.ngpus) {
+      return a.ngpus < b.ngpus;
+    }
+    return a.nstages < b.nstages;
+  });
+  cells.erase(std::unique(cells.begin(), cells.end()), cells.end());
+  return cells;
+}
+
+std::vector<Cell> GenerateCells(const TrainingJob& job, const Cluster& cluster) {
+  return GenerateCellsUpTo(job, cluster, 1 << 30);
+}
+
+}  // namespace crius

@@ -1,0 +1,49 @@
+// Cell: Crius's core scheduling abstraction (§4).
+//
+// A Cell represents a job with a *determined* resource allocation (GPU type
+// and count) and *determined* pipeline-stage count; only the per-stage
+// data x tensor split remains to be explored. Sharding the scheduling space
+// into Cells is what lets Crius estimate candidates accurately at low cost
+// (§5.1) and prune post-scheduling tuning (§5.2).
+
+#ifndef SRC_CORE_CELL_H_
+#define SRC_CORE_CELL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/hw/cluster.h"
+#include "src/model/job.h"
+
+namespace crius {
+
+struct Cell {
+  GpuType gpu_type = GpuType::kA100;
+  int ngpus = 1;    // power of two
+  int nstages = 1;  // power of two, <= ngpus
+
+  bool operator==(const Cell& other) const {
+    return gpu_type == other.gpu_type && ngpus == other.ngpus && nstages == other.nstages;
+  }
+
+  // e.g. "A100x8/P4".
+  std::string ToString() const;
+
+  // Stable hash key (combined with a model key for cache lookups).
+  uint64_t Key() const;
+};
+
+// Generates the scheduling candidates for `job` in `cluster` (§6.1): GPU
+// counts {N_G/2, N_G, 2N_G} clamped to the cluster's per-type capacity, every
+// GPU type present, and the log(N) candidate stage counts per size.
+std::vector<Cell> GenerateCells(const TrainingJob& job, const Cluster& cluster);
+
+// As above, but GPU counts restricted to at most `max_gpus` (used when
+// downscaling under resource pressure).
+std::vector<Cell> GenerateCellsUpTo(const TrainingJob& job, const Cluster& cluster,
+                                    int max_gpus);
+
+}  // namespace crius
+
+#endif  // SRC_CORE_CELL_H_

@@ -1,0 +1,116 @@
+#include "src/core/comm_profile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+#include "src/util/mathutil.h"
+#include "src/util/rng.h"
+
+namespace crius {
+
+namespace {
+
+// Sampled group sizes: powers of two up to the cluster's per-type capacity
+// (capped -- rings beyond this are outside any Cell Crius generates).
+constexpr int kMaxGroup = 512;
+
+// Per-point measurement cost: warmup + kReps timed repetitions on all ranks.
+constexpr int kReps = 5;
+constexpr double kSetupPerPoint = 0.05;  // seconds
+
+uint64_t PointKey(GpuType type, CollectiveKind kind, int n, int size_index) {
+  uint64_t k = static_cast<uint64_t>(type);
+  k = HashCombine(k, static_cast<uint64_t>(kind));
+  k = HashCombine(k, static_cast<uint64_t>(n));
+  k = HashCombine(k, static_cast<uint64_t>(size_index));
+  return k;
+}
+
+}  // namespace
+
+CommProfile::CommProfile(const Cluster& cluster, uint64_t seed, double jitter) {
+  CRIUS_CHECK(jitter >= 0.0 && jitter < 1.0);
+  const uint64_t stream = HashCombine(seed, HashString("comm_profile"));
+  for (GpuType type : AllGpuTypes()) {
+    if (!cluster.HasType(type)) {
+      continue;
+    }
+    const GroupTopology topo = cluster.TopologyFor(type);
+    const int type_cap = std::min(kMaxGroup, static_cast<int>(FloorPowerOfTwo(
+                                                 std::max(1, cluster.TotalGpus(type)))));
+    const int ti = static_cast<int>(type);
+
+    for (int ki = 0; ki < kNumCollectiveKinds; ++ki) {
+      const auto kind = static_cast<CollectiveKind>(ki);
+      std::vector<int> groups;
+      if (kind == CollectiveKind::kSendRecv) {
+        // n == 1 encodes the intra-node path, n == 2 the cross-node path.
+        groups = {1, 2};
+      } else {
+        for (int n = 2; n <= type_cap; n *= 2) {
+          groups.push_back(n);
+        }
+      }
+      for (int n : groups) {
+        Curve curve;
+        int size_index = 0;
+        for (double bytes = kMinBytes; bytes <= kMaxBytes; bytes *= kGridStep) {
+          double t = 0.0;
+          if (kind == CollectiveKind::kSendRecv) {
+            t = SendRecvTime(topo, bytes, /*cross_node=*/n == 2);
+          } else {
+            t = CollectiveTime(kind, topo, bytes, n);
+          }
+          CRIUS_CHECK(t > 0.0);
+          t *= HashJitter(stream, PointKey(type, kind, n, size_index), jitter);
+          curve.log_bytes.push_back(std::log(bytes));
+          curve.log_time.push_back(std::log(t));
+          const int ranks = (kind == CollectiveKind::kSendRecv) ? 2 : n;
+          offline_gpu_seconds_ +=
+              (kSetupPerPoint + static_cast<double>(kReps) * t) * static_cast<double>(ranks);
+          ++size_index;
+        }
+        curves_[ti][ki][n] = std::move(curve);
+      }
+    }
+  }
+}
+
+double CommProfile::Estimate(CollectiveKind kind, GpuType type, double bytes, int n) const {
+  CRIUS_CHECK(kind != CollectiveKind::kSendRecv);
+  CRIUS_CHECK(bytes >= 0.0);
+  if (n <= 1 || bytes == 0.0) {
+    return 0.0;
+  }
+  const auto& by_group = curves_[static_cast<int>(type)][static_cast<int>(kind)];
+  CRIUS_CHECK_MSG(!by_group.empty(), "no offline profile for " << GpuName(type));
+  auto it = by_group.find(n);
+  if (it == by_group.end()) {
+    // Clamp to the largest profiled group (only reachable for degenerate
+    // configurations larger than any generated Cell).
+    it = std::prev(by_group.end());
+  }
+  const Curve& c = it->second;
+  const double clamped = std::clamp(bytes, kMinBytes, kMaxBytes);
+  return std::exp(InterpolateLinear(c.log_bytes, c.log_time, std::log(clamped))) *
+         (bytes > kMaxBytes ? bytes / kMaxBytes : 1.0);
+}
+
+double CommProfile::EstimateSendRecv(GpuType type, double bytes, bool cross_node) const {
+  CRIUS_CHECK(bytes >= 0.0);
+  if (bytes == 0.0) {
+    return 0.0;
+  }
+  const auto& by_group =
+      curves_[static_cast<int>(type)][static_cast<int>(CollectiveKind::kSendRecv)];
+  CRIUS_CHECK_MSG(!by_group.empty(), "no offline profile for " << GpuName(type));
+  const auto it = by_group.find(cross_node ? 2 : 1);
+  CRIUS_CHECK(it != by_group.end());
+  const Curve& c = it->second;
+  const double clamped = std::clamp(bytes, kMinBytes, kMaxBytes);
+  return std::exp(InterpolateLinear(c.log_bytes, c.log_time, std::log(clamped))) *
+         (bytes > kMaxBytes ? bytes / kMaxBytes : 1.0);
+}
+
+}  // namespace crius

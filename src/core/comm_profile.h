@@ -1,0 +1,64 @@
+// Offline communication profiles (§5.1, "profile all communication operators
+// offline").
+//
+// Since the interconnect "hardly changes after hardware setup", the latency of
+// a communication operator depends only on the collective kind, the group, and
+// the traffic volume. Crius therefore measures every collective once per GPU
+// type at power-of-two payload sizes and group sizes, and answers runtime
+// queries by interpolation ("traffic-based interpolation", Fig. 10).
+//
+// In this reproduction "measuring" means sampling the exact interconnect model
+// with a small deterministic measurement jitter; interpolating between the
+// sampled sizes is a second, structural source of estimator error -- the same
+// two error sources the real system has.
+
+#ifndef SRC_CORE_COMM_PROFILE_H_
+#define SRC_CORE_COMM_PROFILE_H_
+
+#include <array>
+#include <map>
+#include <vector>
+
+#include "src/hw/cluster.h"
+#include "src/hw/interconnect.h"
+
+namespace crius {
+
+class CommProfile {
+ public:
+  // Measurement scatter applied to each sampled point.
+  static constexpr double kMeasureJitter = 0.04;
+  // Payload grid: kMinBytes * kGridStep^i up to kMaxBytes.
+  static constexpr double kMinBytes = 4.0e3;
+  static constexpr double kMaxBytes = 6.4e10;
+  static constexpr double kGridStep = 4.0;
+
+  // Profiles every (collective, group size, payload) point for every GPU type
+  // present in `cluster`. `seed` drives the deterministic measurement jitter;
+  // `jitter` overrides the default amplitude (noise-ablation experiments).
+  CommProfile(const Cluster& cluster, uint64_t seed, double jitter = kMeasureJitter);
+
+  // Interpolated estimate of a collective over `n` GPUs of `type` moving
+  // `bytes`. `n` must be a power of two within the profiled range.
+  double Estimate(CollectiveKind kind, GpuType type, double bytes, int n) const;
+
+  // Interpolated point-to-point estimate.
+  double EstimateSendRecv(GpuType type, double bytes, bool cross_node) const;
+
+  // GPU-seconds the offline profiling sweep would cost on real hardware
+  // (reported once; amortized over the cluster lifetime, §5.1).
+  double offline_gpu_seconds() const { return offline_gpu_seconds_; }
+
+ private:
+  struct Curve {
+    std::vector<double> log_bytes;
+    std::vector<double> log_time;
+  };
+  // curves_[type][kind][n] -> sampled latency curve.
+  std::array<std::array<std::map<int, Curve>, kNumCollectiveKinds>, kNumGpuTypes> curves_;
+  double offline_gpu_seconds_ = 0.0;
+};
+
+}  // namespace crius
+
+#endif  // SRC_CORE_COMM_PROFILE_H_

@@ -1,0 +1,36 @@
+#include "src/core/compute_profile.h"
+
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace crius {
+
+SingleDeviceProfiler::SingleDeviceProfiler(const PerfModel* model, uint64_t seed, double jitter)
+    : model_(model), seed_(HashCombine(seed, HashString("compute_profile"))), jitter_(jitter) {
+  CRIUS_CHECK(model != nullptr);
+  CRIUS_CHECK(jitter >= 0.0 && jitter < 1.0);
+}
+
+StageProfile SingleDeviceProfiler::ProfileStage(const JobContext& ctx, const StageRange& range,
+                                                int dp, int tp, int nstages) const {
+  const StageEval exact = model_->EvalStage(ctx, range, dp, tp, nstages);
+
+  uint64_t key = ctx.model_key;
+  key = HashCombine(key, static_cast<uint64_t>(ctx.gpu_type));
+  key = HashCombine(key, static_cast<uint64_t>(range.op_begin));
+  key = HashCombine(key, static_cast<uint64_t>(range.op_end));
+  key = HashCombine(key, static_cast<uint64_t>(dp));
+  key = HashCombine(key, static_cast<uint64_t>(tp));
+  key = HashCombine(key, static_cast<uint64_t>(nstages));
+
+  StageProfile profile;
+  profile.t_compute = exact.t_compute_single * HashJitter(seed_, key, jitter_);
+  profile.mem_bytes = exact.mem_bytes;
+  profile.fits = exact.fits;
+  const double num_ops = static_cast<double>(range.op_end - range.op_begin);
+  profile.gpu_seconds = kCompileSecondsPerOp * num_ops +
+                        static_cast<double>(kProfileReps) * exact.t_compute_single;
+  return profile;
+}
+
+}  // namespace crius

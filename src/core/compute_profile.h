@@ -1,0 +1,56 @@
+// Single-device distributed profiling (§5.1, Fig. 10).
+//
+// For the computation side of a parallelism plan, Crius performs a
+// "distributed-equivalent compilation" of one pipeline stage's operators under
+// the chosen (dp, tp) and times them on a single GPU: one tensor shard of one
+// microbatch is all that must run, because every replica executes the same
+// partitions. The compiled executable also reports the stage's exact memory
+// footprint, which Crius uses to drop OOM plans.
+//
+// The measured latency carries deterministic per-(stage, split, device)
+// jitter, modeling CUPTI measurement scatter; memory is exact (it comes from
+// compilation, not measurement). Profiling cost is charged in single-GPU
+// seconds: compilation per operator plus a few timed repetitions.
+
+#ifndef SRC_CORE_COMPUTE_PROFILE_H_
+#define SRC_CORE_COMPUTE_PROFILE_H_
+
+#include "src/parallel/perf_model.h"
+
+namespace crius {
+
+struct StageProfile {
+  // Measured per-microbatch compute latency of one tensor shard.
+  double t_compute = 0.0;
+  // Exact per-GPU memory footprint from compilation.
+  double mem_bytes = 0.0;
+  bool fits = false;
+  // Single-GPU seconds spent obtaining this profile.
+  double gpu_seconds = 0.0;
+};
+
+class SingleDeviceProfiler {
+ public:
+  static constexpr double kCompileSecondsPerOp = 0.15;
+  static constexpr int kProfileReps = 3;
+  static constexpr double kMeasureJitter = 0.05;
+
+  // `jitter` overrides the default measurement scatter; the noise-ablation
+  // experiment sweeps it to show how estimate quality drives scheduling
+  // quality (DESIGN.md §5).
+  SingleDeviceProfiler(const PerfModel* model, uint64_t seed, double jitter = kMeasureJitter);
+
+  // Profiles stage `range` of ctx's model under (dp, tp) within an
+  // nstages-deep pipeline. Requires dp * tp == range.gpus.
+  StageProfile ProfileStage(const JobContext& ctx, const StageRange& range, int dp, int tp,
+                            int nstages) const;
+
+ private:
+  const PerfModel* model_;
+  uint64_t seed_;
+  double jitter_;
+};
+
+}  // namespace crius
+
+#endif  // SRC_CORE_COMPUTE_PROFILE_H_

@@ -1,0 +1,105 @@
+#include "src/core/oracle.h"
+
+#include "src/util/check.h"
+#include "src/util/mathutil.h"
+#include "src/util/rng.h"
+
+namespace crius {
+
+PerformanceOracle::PerformanceOracle(const Cluster& cluster, uint64_t seed, OracleConfig config)
+    : model_(cluster),
+      comm_(cluster, seed, config.comm_jitter),
+      explorer_(&model_),
+      estimator_(&model_, &comm_, seed, config.compute_jitter),
+      tuner_(&explorer_) {}
+
+JobContext PerformanceOracle::ContextFor(const ModelSpec& spec, GpuType type) const {
+  return model_.MakeContext(spec, type);
+}
+
+const std::optional<PlanChoice>& PerformanceOracle::BestAdaptive(const ModelSpec& spec,
+                                                                 GpuType type, int ngpus) {
+  const JobContext ctx = ContextFor(spec, type);
+  const ModelPointKey key{ctx.model_key, static_cast<int>(type), ngpus};
+  auto it = adaptive_cache_.find(key);
+  if (it == adaptive_cache_.end()) {
+    std::optional<PlanChoice> best;
+    if (ngpus >= 1 && IsPowerOfTwo(ngpus)) {
+      ExploreResult r = explorer_.FullExplore(ctx, ngpus);
+      best = std::move(r.best);
+    }
+    // Non-power-of-two shapes are not schedulable plans; cached as infeasible.
+    it = adaptive_cache_.emplace(key, std::move(best)).first;
+  }
+  return it->second;
+}
+
+std::optional<double> PerformanceOracle::DpOnlyIterTime(const ModelSpec& spec, GpuType type,
+                                                        int ngpus) {
+  const JobContext ctx = ContextFor(spec, type);
+  const ModelPointKey key{ctx.model_key, static_cast<int>(type), ngpus};
+  auto it = dp_only_cache_.find(key);
+  if (it == dp_only_cache_.end()) {
+    if (ngpus < 1 || !IsPowerOfTwo(ngpus)) {
+      it = dp_only_cache_.emplace(key, std::nullopt).first;
+      return it->second;
+    }
+    ParallelPlan plan;
+    plan.gpu_type = type;
+    StagePlan sp;
+    sp.op_begin = 0;
+    sp.op_end = ctx.graph->size();
+    sp.gpus = ngpus;
+    sp.dp = ngpus;
+    sp.tp = 1;
+    plan.stages.push_back(sp);
+    const PlanEval eval = model_.Evaluate(ctx, plan);
+    std::optional<double> value;
+    if (eval.feasible) {
+      value = eval.iter_time;
+    }
+    it = dp_only_cache_.emplace(key, value).first;
+  }
+  return it->second;
+}
+
+const CellEstimate& PerformanceOracle::EstimateCell(const ModelSpec& spec, const Cell& cell) {
+  const JobContext ctx = ContextFor(spec, cell.gpu_type);
+  const CellPointKey key{ctx.model_key, static_cast<int>(cell.gpu_type), cell.ngpus,
+                         cell.nstages};
+  auto it = estimate_cache_.find(key);
+  if (it == estimate_cache_.end()) {
+    it = estimate_cache_.emplace(key, estimator_.Estimate(ctx, cell)).first;
+  }
+  return it->second;
+}
+
+const TuneResult& PerformanceOracle::TuneCell(const ModelSpec& spec, const Cell& cell) {
+  const JobContext ctx = ContextFor(spec, cell.gpu_type);
+  const CellPointKey key{ctx.model_key, static_cast<int>(cell.gpu_type), cell.ngpus,
+                         cell.nstages};
+  auto it = tune_cache_.find(key);
+  if (it == tune_cache_.end()) {
+    const CellEstimate& estimate = EstimateCell(spec, cell);
+    it = tune_cache_.emplace(key, tuner_.Tune(ctx, cell, estimate)).first;
+  }
+  return it->second;
+}
+
+double PerformanceOracle::AdaptiveThroughput(const ModelSpec& spec, GpuType type, int ngpus) {
+  const std::optional<PlanChoice>& best = BestAdaptive(spec, type, ngpus);
+  if (!best.has_value()) {
+    return 0.0;
+  }
+  return static_cast<double>(spec.global_batch) / best->iter_time;
+}
+
+double PerformanceOracle::EstimatedThroughput(const ModelSpec& spec, const Cell& cell) {
+  const CellEstimate& est = EstimateCell(spec, cell);
+  if (!est.feasible) {
+    return 0.0;
+  }
+  return static_cast<double>(spec.global_batch) / est.iter_time;
+}
+
+}  // namespace crius

@@ -1,0 +1,87 @@
+// PerformanceOracle: one-stop, memoized access to every performance quantity
+// the schedulers and the simulator need.
+//
+//   * BestAdaptive   -- ground-truth optimal plan from full adaptive-
+//                       parallelism exploration (what a scheduled job actually
+//                       runs with; §8.1 enables Alpa-style adaptive parallelism
+//                       for every scheduler's jobs).
+//   * DpOnlyIterTime -- the data-parallel-only iteration time baselines profile
+//                       and schedule by (§8.1: baselines "schedule jobs with
+//                       data profiled from data parallelism").
+//   * EstimateCell   -- Crius's agile Cell estimate (§5.1).
+//   * TuneCell       -- Crius's Cell-guided tuned plan (§5.2).
+//
+// Trace-scale simulations query the same (model, GPU type, count) points
+// millions of times; everything is cached.
+
+#ifndef SRC_CORE_ORACLE_H_
+#define SRC_CORE_ORACLE_H_
+
+#include <map>
+#include <optional>
+#include <tuple>
+
+#include "src/core/cell.h"
+#include "src/core/comm_profile.h"
+#include "src/core/estimator.h"
+#include "src/core/tuner.h"
+#include "src/parallel/explorer.h"
+
+namespace crius {
+
+// Knobs for the noise-ablation experiments (DESIGN.md §5): how much
+// measurement scatter the estimator's inputs carry.
+struct OracleConfig {
+  double compute_jitter = SingleDeviceProfiler::kMeasureJitter;
+  double comm_jitter = CommProfile::kMeasureJitter;
+};
+
+class PerformanceOracle {
+ public:
+  PerformanceOracle(const Cluster& cluster, uint64_t seed, OracleConfig config = {});
+
+  const PerfModel& perf_model() const { return model_; }
+  const Explorer& explorer() const { return explorer_; }
+  const CommProfile& comm_profile() const { return comm_; }
+
+  // Ground-truth best adaptive-parallelism plan; nullopt if the job cannot fit
+  // on `ngpus` GPUs of `type` under any plan.
+  const std::optional<PlanChoice>& BestAdaptive(const ModelSpec& spec, GpuType type, int ngpus);
+
+  // Data-parallel-only iteration time (1 stage, dp = ngpus); nullopt on OOM.
+  std::optional<double> DpOnlyIterTime(const ModelSpec& spec, GpuType type, int ngpus);
+
+  // Crius Cell estimate (cached per model/cell).
+  const CellEstimate& EstimateCell(const ModelSpec& spec, const Cell& cell);
+
+  // Crius tuned plan for a scheduled Cell (cached).
+  const TuneResult& TuneCell(const ModelSpec& spec, const Cell& cell);
+
+  // Throughput (samples/s) of the ground-truth best plan; 0 if infeasible.
+  double AdaptiveThroughput(const ModelSpec& spec, GpuType type, int ngpus);
+
+  // Throughput (samples/s) of the Crius-estimated best assembled plan for a
+  // cell; 0 if infeasible. This is the number Crius's scheduler ranks by.
+  double EstimatedThroughput(const ModelSpec& spec, const Cell& cell);
+
+ private:
+  using ModelPointKey = std::tuple<uint64_t, int, int>;        // (model, type, ngpus)
+  using CellPointKey = std::tuple<uint64_t, int, int, int>;    // (model, type, ngpus, nstages)
+
+  JobContext ContextFor(const ModelSpec& spec, GpuType type) const;
+
+  PerfModel model_;
+  CommProfile comm_;
+  Explorer explorer_;
+  CellEstimator estimator_;
+  CellTuner tuner_;
+
+  std::map<ModelPointKey, std::optional<PlanChoice>> adaptive_cache_;
+  std::map<ModelPointKey, std::optional<double>> dp_only_cache_;
+  std::map<CellPointKey, CellEstimate> estimate_cache_;
+  std::map<CellPointKey, TuneResult> tune_cache_;
+};
+
+}  // namespace crius
+
+#endif  // SRC_CORE_ORACLE_H_

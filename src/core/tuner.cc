@@ -1,0 +1,56 @@
+#include "src/core/tuner.h"
+
+#include "src/util/check.h"
+#include "src/util/mathutil.h"
+
+namespace crius {
+
+CellTuner::CellTuner(const Explorer* explorer) : explorer_(explorer) {
+  CRIUS_CHECK(explorer != nullptr);
+}
+
+int CellTuner::HalfHybridTpFloor(int gpus) {
+  return HalfHybridFloor(gpus);
+}
+
+int CellTuner::HalfHybridTpCeil(int gpus) {
+  return HalfHybridCeil(gpus);
+}
+
+TuneResult CellTuner::Tune(const JobContext& ctx, const Cell& cell,
+                           const CellEstimate& estimate) const {
+  TuneResult out;
+  if (!estimate.feasible) {
+    return out;
+  }
+  CRIUS_CHECK(estimate.stage_prefers_tp.size() == estimate.plan.stages.size());
+
+  // Each stage keeps only the tp range the estimate favored (Fig. 11); the
+  // assembled winner itself is always kept so tuning can never regress below
+  // the estimate's plan.
+  const std::vector<std::pair<int, int>>& ranges = estimate.stage_tp_range;
+  const std::vector<StagePlan>& stages = estimate.plan.stages;
+  CRIUS_CHECK(ranges.size() == stages.size());
+  StageOptionFilter filter = [&ranges, &stages](int stage_index, int dp, int tp) {
+    (void)dp;
+    const auto s = static_cast<size_t>(stage_index);
+    return (tp >= ranges[s].first && tp <= ranges[s].second) || tp == stages[s].tp;
+  };
+
+  ExploreResult r = explorer_->ExploreWithinStages(ctx, cell.ngpus, cell.nstages, filter);
+  out.best = std::move(r.best);
+  out.plans_evaluated = r.plans_evaluated;
+  out.tune_gpu_seconds = r.profile_gpu_seconds;
+  return out;
+}
+
+TuneResult CellTuner::TuneUnpruned(const JobContext& ctx, const Cell& cell) const {
+  ExploreResult r = explorer_->ExploreWithinStages(ctx, cell.ngpus, cell.nstages);
+  TuneResult out;
+  out.best = std::move(r.best);
+  out.plans_evaluated = r.plans_evaluated;
+  out.tune_gpu_seconds = r.profile_gpu_seconds;
+  return out;
+}
+
+}  // namespace crius

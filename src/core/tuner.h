@@ -1,0 +1,50 @@
+// Cell-guided parallelism tuning (§5.2, Fig. 11).
+//
+// After a Cell is scheduled, the job still needs the best plan in the Cell's
+// full (dp x tp)^stages space. Exploring it from scratch is what adaptive
+// parallelism pays 40 minutes for; Crius instead treats the estimate's
+// per-stage winner as that stage's "parallelism favor" and prunes the other
+// half of the stage's range: a stage favoring data parallelism is only tuned
+// between dp-only and half-hybrid (dp = tp = sqrt(N)), and symmetrically for
+// tensor parallelism.
+
+#ifndef SRC_CORE_TUNER_H_
+#define SRC_CORE_TUNER_H_
+
+#include "src/core/estimator.h"
+#include "src/parallel/explorer.h"
+
+namespace crius {
+
+struct TuneResult {
+  // Best plan found (evaluated on real hardware, i.e. the exact model).
+  std::optional<PlanChoice> best;
+  // Candidate plans physically evaluated during tuning.
+  int plans_evaluated = 0;
+  // GPU-seconds those evaluations cost.
+  double tune_gpu_seconds = 0.0;
+};
+
+class CellTuner {
+ public:
+  explicit CellTuner(const Explorer* explorer);
+
+  // Tunes `cell` within the half-spaces selected by `estimate`'s favors.
+  TuneResult Tune(const JobContext& ctx, const Cell& cell, const CellEstimate& estimate) const;
+
+  // Unpruned full in-Cell exploration (the Fig. 13 baseline).
+  TuneResult TuneUnpruned(const JobContext& ctx, const Cell& cell) const;
+
+  // Half-hybrid tensor degrees for a stage of `gpus` GPUs (Fig. 11): the
+  // dp-favoring range is tp <= 2^floor(log2(N)/2), the tp-favoring range is
+  // tp >= 2^ceil(log2(N)/2); for even log2(N) both include the half-hybrid.
+  static int HalfHybridTpFloor(int gpus);
+  static int HalfHybridTpCeil(int gpus);
+
+ private:
+  const Explorer* explorer_;
+};
+
+}  // namespace crius
+
+#endif  // SRC_CORE_TUNER_H_

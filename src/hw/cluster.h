@@ -1,0 +1,101 @@
+// Heterogeneous GPU cluster: nodes, capacity tracking, and allocation.
+//
+// A cluster is a set of nodes, each holding `gpus_per_node` GPUs of a single
+// type (Table 1). Schedulers reason in (GpuType, gpu count) units -- the same
+// granularity the paper's Cells use -- and the cluster maps a grant onto
+// concrete nodes, preferring fully free nodes so allocations stay contiguous.
+
+#ifndef SRC_HW_CLUSTER_H_
+#define SRC_HW_CLUSTER_H_
+
+#include <array>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/hw/gpu.h"
+#include "src/hw/interconnect.h"
+
+namespace crius {
+
+struct NodeInfo {
+  int id = 0;
+  GpuType type = GpuType::kA100;
+  int total_gpus = 0;
+  int free_gpus = 0;
+};
+
+// A concrete grant of GPUs on specific nodes; all of one GPU type.
+struct Allocation {
+  GpuType type = GpuType::kA100;
+  // (node id, gpus taken on that node).
+  std::vector<std::pair<int, int>> node_gpus;
+
+  int total_gpus() const;
+  bool empty() const { return node_gpus.empty(); }
+  // Number of distinct nodes used.
+  int num_nodes() const { return static_cast<int>(node_gpus.size()); }
+};
+
+class Cluster {
+ public:
+  Cluster() = default;
+
+  // Adds `num_nodes` nodes, each with `gpus_per_node` GPUs of `type`. All
+  // nodes of one type must share one gpus_per_node (Table-1 topology).
+  void AddNodes(GpuType type, int num_nodes, int gpus_per_node);
+
+  int TotalGpus(GpuType type) const;
+  int FreeGpus(GpuType type) const;
+  int TotalGpus() const;
+  int FreeGpus() const;
+
+  // GPUs per node for `type`; 0 if the cluster has no such nodes.
+  int GpusPerNode(GpuType type) const;
+
+  // True if the cluster contains at least one node of `type`.
+  bool HasType(GpuType type) const;
+
+  // Communication topology for groups of `type` GPUs in this cluster.
+  GroupTopology TopologyFor(GpuType type) const;
+
+  // Allocates `n` GPUs of `type`, preferring fully free nodes. Returns
+  // std::nullopt (cluster unchanged) if fewer than n GPUs are free.
+  std::optional<Allocation> Allocate(GpuType type, int n);
+
+  // Returns a previously granted allocation. Aborts on double release.
+  void Release(const Allocation& alloc);
+
+  // Free GPU counts per type, indexed by static_cast<int>(GpuType).
+  std::array<int, kNumGpuTypes> FreeByType() const;
+
+  const std::vector<NodeInfo>& nodes() const { return nodes_; }
+
+ private:
+  std::vector<NodeInfo> nodes_;
+  std::array<int, kNumGpuTypes> total_{};
+  std::array<int, kNumGpuTypes> free_{};
+  std::array<int, kNumGpuTypes> gpus_per_node_{};
+};
+
+// The 64-GPU physical testbed of §8.1/§8.3: 16 nodes x 2 A40 + 16 nodes x 2 A10.
+Cluster MakePhysicalTestbed();
+
+// The 1,280-GPU simulated cluster of Table 1:
+// 80 x 4 A100, 160 x 2 A40, 160 x 2 A10, 20 x 16 V100.
+Cluster MakeSimulatedCluster();
+
+// The small motivation setup of §2.2 (Figs. 1 and 3): one 4-GPU A100 NVLink
+// node and one 4-GPU V100 NVLink node.
+Cluster MakeMotivationCluster();
+
+// Parses a cluster description of the form "A100:80x4,A40:160x2" (type :
+// node-count x gpus-per-node, comma separated). Aborts on malformed specs.
+Cluster ParseClusterSpec(const std::string& spec);
+
+// Renders a cluster back into the ParseClusterSpec format.
+std::string ClusterSpecString(const Cluster& cluster);
+
+}  // namespace crius
+
+#endif  // SRC_HW_CLUSTER_H_

@@ -1,0 +1,154 @@
+#include "src/hw/interconnect.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace crius {
+
+namespace {
+
+// Splits a group of n GPUs into (k GPUs per node) x (m nodes).
+struct GroupShape {
+  int k;  // GPUs per node participating
+  int m;  // nodes participating
+};
+
+GroupShape ShapeOf(const GroupTopology& topo, int n) {
+  CRIUS_CHECK(n >= 1);
+  if (n <= topo.gpus_per_node) {
+    return {n, 1};
+  }
+  CRIUS_CHECK_MSG(n % topo.gpus_per_node == 0,
+                  "group of " << n << " GPUs does not pack nodes of " << topo.gpus_per_node);
+  return {topo.gpus_per_node, n / topo.gpus_per_node};
+}
+
+double RingFactor(int n) {
+  return static_cast<double>(n - 1) / static_cast<double>(n);
+}
+
+}  // namespace
+
+GroupTopology GroupTopology::For(GpuType type, int gpus_per_node) {
+  const GpuSpec& spec = GpuSpecOf(type);
+  GroupTopology topo;
+  topo.intra_bw = spec.intra_bw;
+  topo.inter_bw = spec.inter_bw;
+  topo.gpus_per_node = gpus_per_node;
+  return topo;
+}
+
+const char* CollectiveName(CollectiveKind kind) {
+  switch (kind) {
+    case CollectiveKind::kAllReduce:
+      return "all_reduce";
+    case CollectiveKind::kAllGather:
+      return "all_gather";
+    case CollectiveKind::kReduceScatter:
+      return "reduce_scatter";
+    case CollectiveKind::kSendRecv:
+      return "send_recv";
+    case CollectiveKind::kAllToAll:
+      return "all_to_all";
+  }
+  return "?";
+}
+
+double AllReduceTime(const GroupTopology& topo, double bytes, int n) {
+  CRIUS_CHECK(bytes >= 0.0);
+  if (n <= 1 || bytes == 0.0) {
+    return 0.0;
+  }
+  const GroupShape s = ShapeOf(topo, n);
+  double t = 0.0;
+  if (s.k > 1) {
+    // Intra-node ring phase (reduce-scatter + all-gather when m == 1; the
+    // same volume moves in the hierarchical scheme).
+    t += 2.0 * RingFactor(s.k) * bytes / topo.intra_bw;
+    t += 2.0 * static_cast<double>(s.k - 1) * topo.intra_latency;
+  }
+  if (s.m > 1) {
+    // Inter-node ring across node leaders; each NIC carries the full payload
+    // reduced within its node.
+    t += 2.0 * RingFactor(s.m) * bytes / topo.inter_bw;
+    t += 2.0 * static_cast<double>(s.m - 1) * topo.inter_latency;
+  }
+  return t;
+}
+
+double AllGatherTime(const GroupTopology& topo, double bytes, int n) {
+  CRIUS_CHECK(bytes >= 0.0);
+  if (n <= 1 || bytes == 0.0) {
+    return 0.0;
+  }
+  const GroupShape s = ShapeOf(topo, n);
+  double t = 0.0;
+  if (s.k > 1) {
+    t += RingFactor(s.k) * bytes / topo.intra_bw;
+    t += static_cast<double>(s.k - 1) * topo.intra_latency;
+  }
+  if (s.m > 1) {
+    t += RingFactor(s.m) * bytes / topo.inter_bw;
+    t += static_cast<double>(s.m - 1) * topo.inter_latency;
+  }
+  return t;
+}
+
+double ReduceScatterTime(const GroupTopology& topo, double bytes, int n) {
+  // Symmetric to all-gather in the ring model.
+  return AllGatherTime(topo, bytes, n);
+}
+
+double SendRecvTime(const GroupTopology& topo, double bytes, bool cross_node) {
+  CRIUS_CHECK(bytes >= 0.0);
+  if (bytes == 0.0) {
+    return 0.0;
+  }
+  if (cross_node) {
+    return bytes / topo.inter_bw + topo.inter_latency;
+  }
+  return bytes / topo.intra_bw + topo.intra_latency;
+}
+
+double AllToAllTime(const GroupTopology& topo, double bytes, int n) {
+  CRIUS_CHECK(bytes >= 0.0);
+  if (n <= 1 || bytes == 0.0) {
+    return 0.0;
+  }
+  const GroupShape s = ShapeOf(topo, n);
+  // Each GPU sends bytes * (n-1)/n in total; traffic crossing the NIC is the
+  // fraction destined for other nodes.
+  double t = 0.0;
+  if (s.k > 1) {
+    const double intra_fraction =
+        static_cast<double>(s.k - 1) / static_cast<double>(n);
+    t += bytes * intra_fraction / topo.intra_bw + static_cast<double>(s.k - 1) * topo.intra_latency;
+  }
+  if (s.m > 1) {
+    const double inter_fraction =
+        static_cast<double>(n - s.k) / static_cast<double>(n);
+    // All k GPUs of a node share the NIC for cross-node traffic.
+    t += bytes * inter_fraction * static_cast<double>(s.k) / topo.inter_bw +
+         static_cast<double>(s.m - 1) * topo.inter_latency;
+  }
+  return t;
+}
+
+double CollectiveTime(CollectiveKind kind, const GroupTopology& topo, double bytes, int n) {
+  switch (kind) {
+    case CollectiveKind::kAllReduce:
+      return AllReduceTime(topo, bytes, n);
+    case CollectiveKind::kAllGather:
+      return AllGatherTime(topo, bytes, n);
+    case CollectiveKind::kReduceScatter:
+      return ReduceScatterTime(topo, bytes, n);
+    case CollectiveKind::kSendRecv:
+      return SendRecvTime(topo, bytes, /*cross_node=*/n > topo.gpus_per_node);
+    case CollectiveKind::kAllToAll:
+      return AllToAllTime(topo, bytes, n);
+  }
+  CRIUS_UNREACHABLE("bad collective kind");
+}
+
+}  // namespace crius

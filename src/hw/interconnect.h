@@ -1,0 +1,68 @@
+// Communication cost model.
+//
+// Crius's estimator decouples computation from communication (§5.1): the
+// latency of a communication operator depends only on the interconnect and the
+// traffic volume. This module is the ground-truth communication model of the
+// simulated hardware. The offline "profiled" interpolation tables that the
+// estimator uses at runtime (src/core/comm_profile.h) are sampled from these
+// functions, mirroring how the paper profiles NCCL collectives offline.
+//
+// Collectives use the standard ring/hierarchical cost forms. A group of n GPUs
+// on nodes with g GPUs each is modeled as a two-level topology: a ring inside
+// each node over the intra-node link (NVLink or PCIe) and a ring across node
+// NICs over InfiniBand.
+
+#ifndef SRC_HW_INTERCONNECT_H_
+#define SRC_HW_INTERCONNECT_H_
+
+#include "src/hw/gpu.h"
+
+namespace crius {
+
+// Communication-relevant topology of one GPU group.
+struct GroupTopology {
+  double intra_bw = 0.0;       // bytes/s, per-GPU intra-node bus
+  double inter_bw = 0.0;       // bytes/s, per-node NIC
+  int gpus_per_node = 1;       // GPUs of this type per node
+  double intra_latency = 5e-6;   // seconds per hop
+  double inter_latency = 20e-6;  // seconds per hop
+
+  // Topology for `gpus_per_node` GPUs of `type` per node.
+  static GroupTopology For(GpuType type, int gpus_per_node);
+};
+
+// Kinds of communication operators appearing in training pipelines (Fig. 8).
+enum class CollectiveKind : uint8_t {
+  kAllReduce = 0,
+  kAllGather = 1,
+  kReduceScatter = 2,
+  kSendRecv = 3,
+  kAllToAll = 4,
+};
+
+inline constexpr int kNumCollectiveKinds = 5;
+
+const char* CollectiveName(CollectiveKind kind);
+
+// Time for a ring all-reduce of `bytes` per GPU across a group of `n` GPUs.
+double AllReduceTime(const GroupTopology& topo, double bytes, int n);
+
+// Time for an all-gather where each GPU ends with `bytes` total.
+double AllGatherTime(const GroupTopology& topo, double bytes, int n);
+
+// Time for a reduce-scatter of `bytes` total input per GPU.
+double ReduceScatterTime(const GroupTopology& topo, double bytes, int n);
+
+// Point-to-point transfer of `bytes`. `cross_node` selects the NIC path.
+double SendRecvTime(const GroupTopology& topo, double bytes, bool cross_node);
+
+// All-to-all of `bytes` per GPU across `n` GPUs (MoE expert dispatch).
+double AllToAllTime(const GroupTopology& topo, double bytes, int n);
+
+// Dispatches on `kind`. For kSendRecv, n > gpus_per_node selects the
+// cross-node path (the two endpoints live on different nodes).
+double CollectiveTime(CollectiveKind kind, const GroupTopology& topo, double bytes, int n);
+
+}  // namespace crius
+
+#endif  // SRC_HW_INTERCONNECT_H_

@@ -1,0 +1,107 @@
+// BERT operator-graph builder.
+//
+// Transformer encoder with the standard parameter formula ~12*L*H^2 plus a
+// vocab embedding. Per layer the graph holds two operators (attention, MLP),
+// which is the granularity Megatron/Alpa shard at:
+//
+//   attention: params 4H^2, fwd FLOPs 8*s*H^2 + 4*s^2*H
+//   mlp:       params 8H^2, fwd FLOPs 16*s*H^2
+//
+// Tensor parallelism all-reduces one s*H activation per sharded operator in
+// the forward pass and one in the backward pass (Megatron's f/g operators).
+
+#include <cmath>
+
+#include "src/model/models.h"
+#include "src/util/check.h"
+
+namespace crius {
+
+namespace {
+
+constexpr double kSeqLen = 512.0;
+constexpr double kVocab = 30592.0;
+constexpr double kBytesPerParam = 2.0;  // fp16 weights
+constexpr double kBytesPerAct = 2.0;    // fp16 activations
+
+struct BertConfig {
+  int layers;
+  double hidden;
+};
+
+BertConfig ConfigFor(double params_billion) {
+  // (layers, hidden) tuned so 12*L*H^2 + vocab*H lands on the nominal size.
+  if (std::abs(params_billion - 0.76) < 1e-9) {
+    return {24, 1536.0};
+  }
+  if (std::abs(params_billion - 1.3) < 1e-9) {
+    return {24, 2048.0};
+  }
+  if (std::abs(params_billion - 2.6) < 1e-9) {
+    return {32, 2560.0};
+  }
+  if (std::abs(params_billion - 6.7) < 1e-9) {
+    return {32, 4096.0};
+  }
+  CRIUS_UNREACHABLE("unsupported BERT size");
+}
+
+}  // namespace
+
+OpGraph BuildBert(double params_billion) {
+  const BertConfig cfg = ConfigFor(params_billion);
+  const double h = cfg.hidden;
+  const double s = kSeqLen;
+  const double act_bytes = s * h * kBytesPerAct;
+  // One all-reduce of an s*H activation forward + one backward per sharded op.
+  const double tp_bytes = 2.0 * act_bytes;
+
+  OpGraph g;
+
+  Operator embed;
+  embed.name = "embedding";
+  embed.kind = OpKind::kEmbedding;
+  embed.param_bytes = kVocab * h * kBytesPerParam;
+  embed.fwd_flops_per_sample = 2.0 * s * h;  // gather + scale
+  embed.act_bytes_per_sample = act_bytes;
+  embed.tp_comm_bytes_per_sample = tp_bytes;
+  g.Add(embed);
+
+  for (int layer = 0; layer < cfg.layers; ++layer) {
+    Operator attn;
+    attn.name = "layer" + std::to_string(layer) + ".attn";
+    attn.kind = OpKind::kAttention;
+    attn.param_bytes = 4.0 * h * h * kBytesPerParam;
+    attn.fwd_flops_per_sample = 8.0 * s * h * h + 4.0 * s * s * h;
+    attn.act_bytes_per_sample = act_bytes;
+    // Q/K/V projections and (softmax-checkpointed) score tensors.
+    attn.act_mem_bytes_per_sample = 1.6 * act_bytes;
+    attn.tp_comm_bytes_per_sample = tp_bytes;
+    g.Add(attn);
+
+    Operator mlp;
+    mlp.name = "layer" + std::to_string(layer) + ".mlp";
+    mlp.kind = OpKind::kMlp;
+    mlp.param_bytes = 8.0 * h * h * kBytesPerParam;
+    mlp.fwd_flops_per_sample = 16.0 * s * h * h;
+    mlp.act_bytes_per_sample = act_bytes;
+    // The 4H intermediate is partially re-materialized; ~2.5 activations kept.
+    mlp.act_mem_bytes_per_sample = 2.5 * act_bytes;
+    mlp.tp_comm_bytes_per_sample = tp_bytes;
+    g.Add(mlp);
+  }
+
+  Operator head;
+  head.name = "lm_head";
+  head.kind = OpKind::kHead;
+  head.param_bytes = 0.0;  // tied with the embedding
+  head.fwd_flops_per_sample = 2.0 * s * h * kVocab;
+  head.act_bytes_per_sample = s * kBytesPerAct;  // per-token loss
+  head.tp_comm_bytes_per_sample = tp_bytes;
+  g.Add(head);
+
+  g.Finalize();
+  return g;
+}
+
+}  // namespace crius

@@ -1,0 +1,36 @@
+// Training job descriptor: what a user submits to the cluster.
+//
+// Per §3, Crius "requires model developers to specify an initial number of
+// GPUs" for each job; traces also carry submission time, iteration count and
+// (for deadline-aware scheduling, §8.5) an optional deadline.
+
+#ifndef SRC_MODEL_JOB_H_
+#define SRC_MODEL_JOB_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "src/hw/gpu.h"
+#include "src/model/models.h"
+
+namespace crius {
+
+struct TrainingJob {
+  int64_t id = 0;
+  ModelSpec spec;
+  // Total iterations to train.
+  int64_t iterations = 1;
+  // Submission time, seconds since simulation start.
+  double submit_time = 0.0;
+  // User-specified initial GPU count N_G (power of two).
+  int requested_gpus = 1;
+  // GPU type the user asked for (baselines without heterogeneity scaling keep
+  // the job on this type).
+  GpuType requested_type = GpuType::kA100;
+  // Absolute deadline in seconds since simulation start, if any (§8.5).
+  std::optional<double> deadline;
+};
+
+}  // namespace crius
+
+#endif  // SRC_MODEL_JOB_H_

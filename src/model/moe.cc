@@ -1,0 +1,118 @@
+// GShard Mixture-of-Experts operator-graph builder.
+//
+// Transformer in which every second MLP is a top-2-routed expert layer with E
+// experts. Experts multiply the parameter count by ~E while the per-token
+// compute only doubles (two active experts), giving MoE the high
+// parameters-to-FLOPs ratio that makes it memory-bound -- the reason MoE jobs
+// change parallelism plans aggressively across GPU types in Fig. 4.
+//
+// Expert dispatch adds all-to-all traffic (tokens to experts and back, forward
+// and backward), captured per-operator in a2a_bytes_per_sample.
+
+#include <cmath>
+
+#include "src/model/models.h"
+#include "src/util/check.h"
+
+namespace crius {
+
+namespace {
+
+constexpr double kSeqLen = 512.0;
+constexpr double kVocab = 30592.0;
+constexpr double kBytesPerParam = 2.0;
+constexpr double kBytesPerAct = 2.0;
+constexpr double kTopK = 2.0;
+
+struct MoeConfig {
+  int layers;
+  double hidden;
+  double experts;
+};
+
+MoeConfig ConfigFor(double params_billion) {
+  if (std::abs(params_billion - 0.69) < 1e-9) {
+    return {16, 768.0, 16.0};
+  }
+  if (std::abs(params_billion - 1.3) < 1e-9) {
+    return {16, 1024.0, 16.0};
+  }
+  if (std::abs(params_billion - 2.4) < 1e-9) {
+    return {16, 1024.0, 32.0};
+  }
+  if (std::abs(params_billion - 10.0) < 1e-9) {
+    return {24, 2048.0, 24.0};
+  }
+  if (std::abs(params_billion - 27.0) < 1e-9) {
+    return {32, 2560.0, 32.0};
+  }
+  CRIUS_UNREACHABLE("unsupported MoE size");
+}
+
+}  // namespace
+
+OpGraph BuildMoe(double params_billion) {
+  const MoeConfig cfg = ConfigFor(params_billion);
+  const double h = cfg.hidden;
+  const double s = kSeqLen;
+  const double act_bytes = s * h * kBytesPerAct;
+  const double tp_bytes = 2.0 * act_bytes;
+
+  OpGraph g;
+
+  Operator embed;
+  embed.name = "embedding";
+  embed.kind = OpKind::kEmbedding;
+  embed.param_bytes = kVocab * h * kBytesPerParam;
+  embed.fwd_flops_per_sample = 2.0 * s * h;
+  embed.act_bytes_per_sample = act_bytes;
+  embed.tp_comm_bytes_per_sample = tp_bytes;
+  g.Add(embed);
+
+  for (int layer = 0; layer < cfg.layers; ++layer) {
+    Operator attn;
+    attn.name = "layer" + std::to_string(layer) + ".attn";
+    attn.kind = OpKind::kAttention;
+    attn.param_bytes = 4.0 * h * h * kBytesPerParam;
+    attn.fwd_flops_per_sample = 8.0 * s * h * h + 4.0 * s * s * h;
+    attn.act_bytes_per_sample = act_bytes;
+    attn.act_mem_bytes_per_sample = 1.6 * act_bytes;
+    attn.tp_comm_bytes_per_sample = tp_bytes;
+    g.Add(attn);
+
+    const bool is_moe = (layer % 2) == 1;
+    Operator mlp;
+    mlp.kind = is_moe ? OpKind::kMoeLayer : OpKind::kMlp;
+    mlp.name = "layer" + std::to_string(layer) + (is_moe ? ".moe" : ".mlp");
+    if (is_moe) {
+      mlp.param_bytes = cfg.experts * 8.0 * h * h * kBytesPerParam;
+      // Top-2 routing: each token runs two experts.
+      mlp.fwd_flops_per_sample = kTopK * 16.0 * s * h * h;
+      // Dispatch + combine, forward and backward: 4 transfers of top-k-
+      // replicated token activations.
+      mlp.a2a_bytes_per_sample = 4.0 * kTopK * act_bytes;
+    } else {
+      mlp.param_bytes = 8.0 * h * h * kBytesPerParam;
+      mlp.fwd_flops_per_sample = 16.0 * s * h * h;
+    }
+    mlp.act_bytes_per_sample = act_bytes;
+    // Expert layers keep dispatched (top-k replicated) token buffers alive.
+    mlp.act_mem_bytes_per_sample = (is_moe ? 3.0 : 2.5) * act_bytes;
+    mlp.tp_comm_bytes_per_sample = tp_bytes;
+    g.Add(mlp);
+  }
+
+  Operator head;
+  head.name = "lm_head";
+  head.kind = OpKind::kHead;
+  head.param_bytes = 0.0;  // tied
+  head.fwd_flops_per_sample = 2.0 * s * h * kVocab;
+  head.act_bytes_per_sample = s * kBytesPerAct;
+  head.tp_comm_bytes_per_sample = tp_bytes;
+  g.Add(head);
+
+  g.Finalize();
+  return g;
+}
+
+}  // namespace crius

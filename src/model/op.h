@@ -1,0 +1,56 @@
+// Operator: the unit of the model IR.
+//
+// A training job's model is a linear graph of operators (Fig. 7 treats the
+// model exactly this way for stage determination). Each operator carries the
+// analytical quantities the performance model needs:
+//   * forward FLOPs per sample      -- compute cost (backward ~ 2x forward)
+//   * parameter bytes               -- memory + data-parallel gradient traffic
+//   * output activation bytes       -- pipeline-boundary traffic to the next op
+//   * tensor-parallel traffic       -- bytes all-reduced per sample when the
+//                                      operator is tensor-sharded (fwd+bwd)
+//   * all-to-all traffic            -- MoE expert dispatch bytes per sample
+
+#ifndef SRC_MODEL_OP_H_
+#define SRC_MODEL_OP_H_
+
+#include <cstdint>
+#include <string>
+
+namespace crius {
+
+enum class OpKind : uint8_t {
+  kEmbedding,
+  kAttention,
+  kMlp,
+  kMoeLayer,
+  kConvBlock,
+  kHead,
+};
+
+const char* OpKindName(OpKind kind);
+
+struct Operator {
+  int id = 0;
+  std::string name;
+  OpKind kind = OpKind::kMlp;
+
+  // Forward-pass FLOPs per input sample.
+  double fwd_flops_per_sample = 0.0;
+  // Weight bytes (fp16 storage, 2 bytes / parameter).
+  double param_bytes = 0.0;
+  // Output activation bytes per sample; this is also the traffic crossing a
+  // pipeline-stage boundary placed right after this operator.
+  double act_bytes_per_sample = 0.0;
+  // Total activation bytes this operator keeps alive for its backward pass per
+  // sample (output plus internal intermediates); >= act_bytes_per_sample.
+  double act_mem_bytes_per_sample = 0.0;
+  // Bytes all-reduced across the tensor-parallel group per sample for one full
+  // forward+backward pass when this operator is tensor-sharded.
+  double tp_comm_bytes_per_sample = 0.0;
+  // Bytes exchanged all-to-all per sample (MoE dispatch + combine, fwd+bwd).
+  double a2a_bytes_per_sample = 0.0;
+};
+
+}  // namespace crius
+
+#endif  // SRC_MODEL_OP_H_

@@ -1,0 +1,109 @@
+// Wide-ResNet operator-graph builder.
+//
+// ResNet-50 bottleneck layout ([3,4,6,3] blocks, stage spatial sizes
+// 56/28/14/7 at 224x224 input) widened until the parameter count reaches the
+// nominal size, following how Alpa / the paper scale WideResNet into the
+// billions. One operator = one bottleneck block:
+//
+//   inner width w (outer 4w): params 17*w^2 (1x1: 4w*w, 3x3: 9w^2, 1x1: w*4w)
+//   fwd FLOPs = 2 * params * spatial(stage)
+//
+// Convolutions are activation-heavy: the output of an early block is ~4w*56^2
+// elements per sample, which is what makes tensor parallelism (which must
+// exchange those activations) unattractive for WRes -- matching Fig. 4, where
+// WRes prefers data/pipeline parallelism.
+
+#include <cmath>
+
+#include "src/model/models.h"
+#include "src/util/check.h"
+
+namespace crius {
+
+namespace {
+
+constexpr double kBytesPerParam = 2.0;
+constexpr double kBytesPerAct = 2.0;
+constexpr int kBlocksPerGroup[4] = {3, 4, 6, 3};
+constexpr double kSpatial[4] = {56.0 * 56.0, 28.0 * 28.0, 14.0 * 14.0, 7.0 * 7.0};
+
+double BaseWidthFor(double params_billion) {
+  // Sum over groups of n_g * 17 * (w1 * 2^(g-1))^2 = 5219 * w1^2; solve for w1
+  // and round to a multiple of 8.
+  if (std::abs(params_billion - 0.5) < 1e-9) {
+    return 312.0;
+  }
+  if (std::abs(params_billion - 1.0) < 1e-9) {
+    return 440.0;
+  }
+  if (std::abs(params_billion - 2.0) < 1e-9) {
+    return 624.0;
+  }
+  if (std::abs(params_billion - 4.0) < 1e-9) {
+    return 880.0;
+  }
+  if (std::abs(params_billion - 6.8) < 1e-9) {
+    return 1144.0;
+  }
+  CRIUS_UNREACHABLE("unsupported WideResNet size");
+}
+
+}  // namespace
+
+OpGraph BuildWideResNet(double params_billion) {
+  const double w1 = BaseWidthFor(params_billion);
+
+  OpGraph g;
+
+  Operator stem;
+  stem.name = "stem";
+  stem.kind = OpKind::kConvBlock;
+  // 7x7 conv, 3 -> w1 channels at 112^2.
+  stem.param_bytes = 49.0 * 3.0 * w1 * kBytesPerParam;
+  stem.fwd_flops_per_sample = 2.0 * 49.0 * 3.0 * w1 * 112.0 * 112.0;
+  stem.act_bytes_per_sample = w1 * 56.0 * 56.0 * kBytesPerAct;  // after max-pool
+  stem.tp_comm_bytes_per_sample = 3.0 * stem.act_bytes_per_sample;
+  g.Add(stem);
+
+  double prev_outer = w1;  // channels entering the next block
+  for (int group = 0; group < 4; ++group) {
+    const double w = w1 * std::pow(2.0, group);
+    const double outer = 4.0 * w;
+    const double spatial = kSpatial[group];
+    for (int block = 0; block < kBlocksPerGroup[group]; ++block) {
+      Operator op;
+      op.name = "g" + std::to_string(group + 1) + ".b" + std::to_string(block);
+      op.kind = OpKind::kConvBlock;
+      double param_elems = 17.0 * w * w;
+      if (block == 0) {
+        // Projection shortcut from the previous group's channel count.
+        param_elems += prev_outer * outer;
+      }
+      op.param_bytes = param_elems * kBytesPerParam;
+      op.fwd_flops_per_sample = 2.0 * param_elems * spatial;
+      op.act_bytes_per_sample = outer * spatial * kBytesPerAct;
+      // Bottleneck internals (two inner-width maps) add ~0.8 boundary volumes.
+      op.act_mem_bytes_per_sample = 1.8 * op.act_bytes_per_sample;
+      // Channel-sharded convolutions all-gather their activations forward and
+      // scatter gradients backward; ~1.5 activation volumes each way.
+      op.tp_comm_bytes_per_sample = 3.0 * op.act_bytes_per_sample;
+      g.Add(op);
+      prev_outer = outer;
+    }
+  }
+
+  Operator head;
+  head.name = "fc_head";
+  head.kind = OpKind::kHead;
+  const double classes = 1000.0;
+  head.param_bytes = prev_outer * classes * kBytesPerParam;
+  head.fwd_flops_per_sample = 2.0 * prev_outer * classes;
+  head.act_bytes_per_sample = classes * kBytesPerAct;
+  head.tp_comm_bytes_per_sample = 2.0 * head.act_bytes_per_sample;
+  g.Add(head);
+
+  g.Finalize();
+  return g;
+}
+
+}  // namespace crius

@@ -1,0 +1,69 @@
+// Adaptive-parallelism exploration (the paper's §2.1 baseline behaviour).
+//
+// Given a job context and a GPU grant, the explorer enumerates parallelism
+// plans -- stage counts x per-stage (dp, tp) splits -- and returns the best
+// one under the exact performance model. This is what Alpa-style systems do
+// by physically running candidate plans; `profile_gpu_seconds` accounts for
+// that hardware cost (setup + measured iterations on every allocated GPU per
+// candidate), which is what Crius's Cell estimation avoids.
+//
+// The tuner's pruning (§5.2) plugs in through StageOptionFilter: a predicate
+// that restricts each stage's (dp, tp) candidates.
+
+#ifndef SRC_PARALLEL_EXPLORER_H_
+#define SRC_PARALLEL_EXPLORER_H_
+
+#include <functional>
+#include <optional>
+
+#include "src/parallel/perf_model.h"
+
+namespace crius {
+
+struct PlanChoice {
+  ParallelPlan plan;
+  double iter_time = 0.0;
+};
+
+struct ExploreResult {
+  // Best feasible plan, or nullopt if every candidate runs out of memory.
+  std::optional<PlanChoice> best;
+  // Complete candidate plans evaluated ("physically profiled").
+  int plans_evaluated = 0;
+  // GPU-seconds the evaluation would cost on real hardware.
+  double profile_gpu_seconds = 0.0;
+};
+
+// Restricts the (dp, tp) candidates of stage `stage_index`; return false to
+// drop the candidate.
+using StageOptionFilter = std::function<bool(int stage_index, int dp, int tp)>;
+
+class Explorer {
+ public:
+  // Exhaustive chain enumeration is used while the combination count stays
+  // under this limit; larger spaces fall back to deterministic beam search.
+  static constexpr int kExhaustiveLimit = 4096;
+  static constexpr int kBeamWidth = 256;
+  // Hardware-cost accounting: exploration analytically screens candidates and
+  // physically measures at most this many end-to-end (Alpa-style top-k
+  // validation); profile_gpu_seconds charges min(plans_evaluated, cap).
+  static constexpr int kPhysicalProfileCap = 32;
+
+  explicit Explorer(const PerfModel* model);
+
+  // Best plan with the §4.2 stage partition for exactly `nstages` stages.
+  ExploreResult ExploreWithinStages(const JobContext& ctx, int ngpus, int nstages,
+                                    const StageOptionFilter& filter = nullptr) const;
+
+  // Full adaptive parallelism: best plan over all candidate stage counts.
+  ExploreResult FullExplore(const JobContext& ctx, int ngpus) const;
+
+  const PerfModel& model() const { return *model_; }
+
+ private:
+  const PerfModel* model_;
+};
+
+}  // namespace crius
+
+#endif  // SRC_PARALLEL_EXPLORER_H_

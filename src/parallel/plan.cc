@@ -1,0 +1,74 @@
+#include "src/parallel/plan.h"
+
+#include <sstream>
+
+#include "src/util/check.h"
+#include "src/util/mathutil.h"
+
+namespace crius {
+
+int ParallelPlan::total_gpus() const {
+  int n = 0;
+  for (const StagePlan& s : stages) {
+    n += s.gpus;
+  }
+  return n;
+}
+
+std::string ParallelPlan::ToString() const {
+  std::ostringstream oss;
+  oss << GpuName(gpu_type) << " P" << stages.size() << "[";
+  for (size_t i = 0; i < stages.size(); ++i) {
+    if (i > 0) {
+      oss << "|";
+    }
+    oss << "D" << stages[i].dp << "T" << stages[i].tp;
+  }
+  oss << "]";
+  return oss.str();
+}
+
+std::string ParallelPlan::ShortForm() const {
+  // Uniform-stage plans print like the paper's annotations ("4D", "2D2T",
+  // "2P4D"); mixed-stage plans fall back to the full form.
+  bool uniform = true;
+  for (const StagePlan& s : stages) {
+    if (s.dp != stages[0].dp || s.tp != stages[0].tp) {
+      uniform = false;
+      break;
+    }
+  }
+  if (!uniform) {
+    return ToString();
+  }
+  std::ostringstream oss;
+  if (stages.size() > 1) {
+    oss << stages.size() << "P";
+  }
+  if (stages[0].dp > 1) {
+    oss << stages[0].dp << "D";
+  }
+  if (stages[0].tp > 1) {
+    oss << stages[0].tp << "T";
+  }
+  if (oss.str().empty()) {
+    oss << "1D";
+  }
+  return oss.str();
+}
+
+void ValidatePlan(const ParallelPlan& plan, const OpGraph& graph) {
+  CRIUS_CHECK_MSG(!plan.stages.empty(), "plan has no stages");
+  size_t expect = 0;
+  for (const StagePlan& s : plan.stages) {
+    CRIUS_CHECK_MSG(s.op_begin == expect, "stages must tile the graph contiguously");
+    CRIUS_CHECK_MSG(s.op_end > s.op_begin, "empty stage");
+    CRIUS_CHECK_MSG(IsPowerOfTwo(s.gpus), "stage GPU count must be a power of two");
+    CRIUS_CHECK_MSG(s.dp >= 1 && s.tp >= 1 && s.dp * s.tp == s.gpus,
+                    "dp*tp must equal the stage GPU count");
+    expect = s.op_end;
+  }
+  CRIUS_CHECK_MSG(expect == graph.size(), "stages must cover all operators");
+}
+
+}  // namespace crius

@@ -1,0 +1,59 @@
+// Parallelism plan IR.
+//
+// A plan fixes, for one GPU type, the pipeline decomposition of the model into
+// stages (each a contiguous operator range with a GPU count) and the internal
+// data x tensor split of every stage. This mirrors the paper's implicit
+// priority (§4.1): pipeline first, then per-stage (dp, tp).
+
+#ifndef SRC_PARALLEL_PLAN_H_
+#define SRC_PARALLEL_PLAN_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/hw/gpu.h"
+#include "src/model/opgraph.h"
+
+namespace crius {
+
+struct StagePlan {
+  // Operator range [op_begin, op_end).
+  size_t op_begin = 0;
+  size_t op_end = 0;
+  // GPUs assigned to this stage; a power of two, = dp * tp.
+  int gpus = 1;
+  int dp = 1;
+  int tp = 1;
+};
+
+struct ParallelPlan {
+  GpuType gpu_type = GpuType::kA100;
+  std::vector<StagePlan> stages;
+  // Microbatches per stage count; the paper follows GPipe and fixes this to 4
+  // (Fig. 10). Exposed as a knob for the microbatch-sensitivity extension
+  // study -- more microbatches shrink the pipeline bubble but reduce
+  // per-kernel batch efficiency.
+  int microbatch_factor = 4;
+
+  int num_stages() const { return static_cast<int>(stages.size()); }
+  int total_gpus() const;
+
+  // Number of pipeline microbatches (factor x stage count).
+  int num_microbatches() const { return microbatch_factor * num_stages(); }
+
+  // e.g. "A100 P2[D2T1|D1T2]".
+  std::string ToString() const;
+
+  // Compact parallelism descriptor like the paper's figures, e.g. "4D" for
+  // pure data parallel, "2P2T", "2D2T", "2P2D2T".
+  std::string ShortForm() const;
+};
+
+// Validates structural invariants (contiguous full coverage of `graph`,
+// power-of-two GPU counts, dp*tp == gpus). Aborts on violation.
+void ValidatePlan(const ParallelPlan& plan, const OpGraph& graph);
+
+}  // namespace crius
+
+#endif  // SRC_PARALLEL_PLAN_H_

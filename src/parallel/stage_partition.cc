@@ -1,0 +1,144 @@
+#include "src/parallel/stage_partition.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/util/check.h"
+#include "src/util/mathutil.h"
+
+namespace crius {
+
+namespace {
+
+struct SplitCost {
+  double max_flops = std::numeric_limits<double>::infinity();
+  double boundary_bytes = std::numeric_limits<double>::infinity();
+
+  bool BetterThan(const SplitCost& other) const {
+    if (max_flops != other.max_flops) {
+      return max_flops < other.max_flops;
+    }
+    return boundary_bytes < other.boundary_bytes;
+  }
+};
+
+}  // namespace
+
+std::vector<StageRange> PartitionStages(const OpGraph& graph, int ngpus, int nstages) {
+  CRIUS_CHECK(graph.finalized());
+  CRIUS_CHECK_MSG(IsPowerOfTwo(ngpus), "GPU count must be a power of two, got " << ngpus);
+  const int n = static_cast<int>(graph.size());
+  CRIUS_CHECK_MSG(nstages >= 1 && nstages <= std::min(ngpus, n),
+                  "invalid stage count " << nstages << " for " << ngpus << " GPUs / " << n
+                                         << " ops");
+
+  // --- Boundary selection -------------------------------------------------
+  // dp[i][s] = best cost of splitting ops [0, i) into s stages; lexicographic
+  // (max stage FLOPs, total boundary traffic), i.e. the §4.2 principle of
+  // similar per-stage latency with minimized inter-stage communication.
+  std::vector<std::vector<SplitCost>> dp(n + 1, std::vector<SplitCost>(nstages + 1));
+  std::vector<std::vector<int>> parent(n + 1, std::vector<int>(nstages + 1, -1));
+  dp[0][0] = SplitCost{0.0, 0.0};
+
+  for (int s = 1; s <= nstages; ++s) {
+    for (int i = s; i <= n; ++i) {
+      // Last stage covers ops [j, i).
+      for (int j = s - 1; j < i; ++j) {
+        if (parent[j][s - 1] == -1 && !(j == 0 && s == 1)) {
+          continue;
+        }
+        const SplitCost& prev = dp[j][s - 1];
+        if (prev.max_flops == std::numeric_limits<double>::infinity()) {
+          continue;
+        }
+        SplitCost cand;
+        cand.max_flops = std::max(prev.max_flops, graph.FwdFlops(j, i));
+        cand.boundary_bytes = prev.boundary_bytes + (j > 0 ? graph.BoundaryBytes(j) : 0.0);
+        if (cand.BetterThan(dp[i][s])) {
+          dp[i][s] = cand;
+          parent[i][s] = j;
+        }
+      }
+    }
+  }
+  CRIUS_CHECK(parent[n][nstages] != -1 || nstages == 1);
+
+  std::vector<StageRange> stages(nstages);
+  {
+    int i = n;
+    for (int s = nstages; s >= 1; --s) {
+      const int j = (s == 1) ? 0 : parent[i][s];
+      CRIUS_CHECK(j >= 0);
+      stages[s - 1].op_begin = static_cast<size_t>(j);
+      stages[s - 1].op_end = static_cast<size_t>(i);
+      i = j;
+    }
+    CRIUS_CHECK(i == 0);
+  }
+
+  // --- GPU assignment -----------------------------------------------------
+  // Start every stage at one GPU and repeatedly double the most FLOPs-loaded
+  // stage (highest FLOPs per GPU). The smallest stage count always divides the
+  // remaining budget, so the greedy loop lands exactly on ngpus.
+  std::vector<double> flops(nstages);
+  for (int s = 0; s < nstages; ++s) {
+    flops[s] = graph.FwdFlops(stages[s].op_begin, stages[s].op_end);
+    stages[s].gpus = 1;
+  }
+  int total = nstages;
+  while (total < ngpus) {
+    int best = -1;
+    double best_load = -1.0;
+    const int budget = ngpus - total;
+    for (int s = 0; s < nstages; ++s) {
+      if (stages[s].gpus > budget) {
+        continue;  // doubling would overshoot
+      }
+      const double load = flops[s] / static_cast<double>(stages[s].gpus);
+      if (load > best_load) {
+        best_load = load;
+        best = s;
+      }
+    }
+    CRIUS_CHECK_MSG(best >= 0, "GPU assignment cannot reach " << ngpus);
+    total += stages[best].gpus;
+    stages[best].gpus *= 2;
+  }
+  CRIUS_CHECK(total == ngpus);
+  return stages;
+}
+
+std::vector<StageRange> PartitionStagesUniform(const OpGraph& graph, int ngpus, int nstages) {
+  CRIUS_CHECK(graph.finalized());
+  CRIUS_CHECK_MSG(IsPowerOfTwo(ngpus), "GPU count must be a power of two, got " << ngpus);
+  const int n = static_cast<int>(graph.size());
+  CRIUS_CHECK_MSG(nstages >= 1 && nstages <= std::min(ngpus, n),
+                  "invalid stage count " << nstages << " for " << ngpus << " GPUs / " << n
+                                         << " ops");
+  std::vector<StageRange> stages(nstages);
+  // Equal operator counts (remainder to the front), equal GPU counts. The GPU
+  // split is exact because nstages and ngpus are both powers of two.
+  size_t begin = 0;
+  for (int s = 0; s < nstages; ++s) {
+    const size_t count = static_cast<size_t>(n / nstages + (s < n % nstages ? 1 : 0));
+    stages[s].op_begin = begin;
+    stages[s].op_end = begin + count;
+    stages[s].gpus = ngpus / nstages;
+    begin += count;
+  }
+  CRIUS_CHECK(begin == graph.size());
+  return stages;
+}
+
+std::vector<int> CandidateStageCounts(const OpGraph& graph, int ngpus, int max_stages) {
+  CRIUS_CHECK(IsPowerOfTwo(ngpus));
+  const int limit =
+      std::min({ngpus, static_cast<int>(graph.size()), std::max(1, max_stages)});
+  std::vector<int> out;
+  for (int s = 1; s <= limit; s *= 2) {
+    out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace crius

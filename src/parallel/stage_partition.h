@@ -1,0 +1,47 @@
+// Pipeline-stage determination (§4.2, Fig. 7).
+//
+// Given an operator graph and an allocation of N GPUs, Crius determines the
+// stage boundaries at the *scheduler* level: it maps GPUs to operators in
+// proportion to their FLOPs (so a theoretically full pipeline forms), then
+// clusters operators into the requested number of stages, preferring
+// boundaries with little inter-operator traffic, and finally rounds each
+// stage's accumulated GPU share to a power of two (the common cluster
+// topology) such that the total is exactly N.
+
+#ifndef SRC_PARALLEL_STAGE_PARTITION_H_
+#define SRC_PARALLEL_STAGE_PARTITION_H_
+
+#include <vector>
+
+#include "src/model/opgraph.h"
+#include "src/parallel/plan.h"
+
+namespace crius {
+
+struct StageRange {
+  size_t op_begin = 0;
+  size_t op_end = 0;
+  int gpus = 1;
+};
+
+// Partitions `graph` into `nstages` contiguous stages over `ngpus` GPUs.
+// Requirements: ngpus a power of two, 1 <= nstages <= min(ngpus, graph.size()).
+// Guarantees: stages tile the graph; every stage GPU count is a power of two
+// >= 1; counts sum to ngpus.
+//
+// The split minimizes the maximum per-stage FLOPs (balanced pipeline), using
+// total boundary traffic as the tie breaker (minimized communication).
+std::vector<StageRange> PartitionStages(const OpGraph& graph, int ngpus, int nstages);
+
+// Stage counts Crius considers for a job on `ngpus` GPUs: powers of two from 1
+// to min(ngpus, max_stages, graph.size()) -- the "log N_G choices" of §6.1.
+std::vector<int> CandidateStageCounts(const OpGraph& graph, int ngpus, int max_stages = 16);
+
+// Naive baseline partitioner for the §4.2 ablation: equal *operator counts*
+// per stage and equal GPU counts, ignoring FLOPs balance and boundary
+// traffic. Same pre/post-conditions as PartitionStages.
+std::vector<StageRange> PartitionStagesUniform(const OpGraph& graph, int ngpus, int nstages);
+
+}  // namespace crius
+
+#endif  // SRC_PARALLEL_STAGE_PARTITION_H_

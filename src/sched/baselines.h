@@ -1,0 +1,139 @@
+// Baseline schedulers (§8.1).
+//
+// Per the paper's fair-comparison setup, every baseline's *jobs* run with
+// adaptive parallelism once scheduled (the simulator picks the ground-truth
+// optimal plan for whatever grant the scheduler makes), but the baselines'
+// *scheduling decisions* only see throughput profiled from data parallelism.
+// Jobs whose data-parallel-only plan fits on no profiled configuration are
+// scheduling blind spots: the baseline falls back to treating them as
+// inelastic, unknown-throughput jobs at their requested shape -- the exact
+// mis-estimation (e.g. ElasticFlow-LS overestimating large jobs' minimum
+// share) the paper analyzes in §8.3.
+//
+//   FCFS        -- strict arrival order, requested shape, head-of-line blocking.
+//   Gandiva     -- heterogeneity-blind placement with introspective
+//                  trial-and-error migration between GPU types.
+//   Gavel       -- heterogeneity-aware type assignment from a dp-only
+//                  throughput matrix; no GPU-count scaling.
+//   ElasticFlow -- per-type elastic GPU-count scaling from a dp-only
+//                  throughput function, with deadline admission; the -LS
+//                  variant loosens deadlines into a throughput-oriented policy.
+
+#ifndef SRC_SCHED_BASELINES_H_
+#define SRC_SCHED_BASELINES_H_
+
+#include <optional>
+
+#include "src/sched/scheduler.h"
+
+namespace crius {
+
+// --- Shared data-parallel-only scheduling view ------------------------------
+class DpView {
+ public:
+  explicit DpView(PerformanceOracle* oracle) : oracle_(oracle) {}
+
+  // Throughput (samples/s) of the dp-only plan; nullopt if it does not fit.
+  std::optional<double> Throughput(const ModelSpec& spec, GpuType type, int ngpus) const;
+
+  // Smallest power-of-two GPU count (<= cap) whose dp-only plan fits; nullopt
+  // if none -- the baseline's (over)estimated minimum share.
+  std::optional<int> MinShare(const ModelSpec& spec, GpuType type, int cap) const;
+
+  // True if the job can actually run on the shape (ground truth adaptive
+  // feasibility) -- what a baseline discovers by launching the job.
+  bool Launchable(const ModelSpec& spec, GpuType type, int ngpus) const;
+
+ private:
+  PerformanceOracle* oracle_;
+};
+
+// --- FCFS --------------------------------------------------------------------
+class FcfsScheduler : public Scheduler {
+ public:
+  explicit FcfsScheduler(PerformanceOracle* oracle) : Scheduler(oracle), view_(oracle) {}
+  std::string name() const override { return "FCFS"; }
+  ScheduleDecision Schedule(double now, const std::vector<const JobState*>& jobs,
+                            const Cluster& cluster) override;
+
+ private:
+  DpView view_;
+};
+
+// --- Gandiva ------------------------------------------------------------------
+class GandivaScheduler : public Scheduler {
+ public:
+  explicit GandivaScheduler(PerformanceOracle* oracle) : Scheduler(oracle), view_(oracle) {}
+  std::string name() const override { return "Gandiva"; }
+  ScheduleDecision Schedule(double now, const std::vector<const JobState*>& jobs,
+                            const Cluster& cluster) override;
+
+  // Trial-and-error migration is conservative: Gandiva only migrates on a
+  // clear observed win, one job per round (migration costs are opaque to it).
+  static constexpr double kMigrationGain = 0.30;
+  static constexpr int kMigrationsPerRound = 1;
+
+ private:
+  DpView view_;
+};
+
+// --- Gavel ---------------------------------------------------------------------
+class GavelScheduler : public Scheduler {
+ public:
+  explicit GavelScheduler(PerformanceOracle* oracle) : Scheduler(oracle), view_(oracle) {}
+  std::string name() const override { return "Gavel"; }
+  ScheduleDecision Schedule(double now, const std::vector<const JobState*>& jobs,
+                            const Cluster& cluster) override;
+
+ private:
+  static constexpr double kReassignGain = 0.10;
+  DpView view_;
+};
+
+// --- Tiresias -------------------------------------------------------------------
+// Least-attained-service scheduling (Tiresias's discretized 2D-LAS): jobs are
+// prioritized by how little GPU-service they have consumed so far, bucketed
+// into queue levels so long-running jobs are not starved pairwise, FIFO within
+// a level. Preemptive gang scheduling at the requested shape; no scaling, no
+// heterogeneity awareness (jobs stay on their requested type).
+class TiresiasScheduler : public Scheduler {
+ public:
+  explicit TiresiasScheduler(PerformanceOracle* oracle) : Scheduler(oracle), view_(oracle) {}
+  std::string name() const override { return "Tiresias"; }
+  ScheduleDecision Schedule(double now, const std::vector<const JobState*>& jobs,
+                            const Cluster& cluster) override;
+
+  // Attained-service thresholds (GPU-hours) separating the queue levels.
+  static constexpr double kLevelThresholdsGpuHours[2] = {1.0, 8.0};
+
+ private:
+  DpView view_;
+};
+
+// --- ElasticFlow -----------------------------------------------------------------
+struct ElasticFlowConfig {
+  // Loosened deadlines (ElasticFlow-LS): admission never rejects and the
+  // policy degenerates to throughput-oriented elastic sharing.
+  bool loose_deadlines = true;
+  // Minimum relative dp-view gain to grow/shrink a running job.
+  double scale_gain_threshold = 0.02;
+};
+
+class ElasticFlowScheduler : public Scheduler {
+ public:
+  ElasticFlowScheduler(PerformanceOracle* oracle, ElasticFlowConfig config)
+      : Scheduler(oracle), view_(oracle), config_(config) {}
+  std::string name() const override {
+    return config_.loose_deadlines ? "ElasticFlow-LS" : "ElasticFlow";
+  }
+  ScheduleDecision Schedule(double now, const std::vector<const JobState*>& jobs,
+                            const Cluster& cluster) override;
+
+ private:
+  DpView view_;
+  ElasticFlowConfig config_;
+};
+
+}  // namespace crius
+
+#endif  // SRC_SCHED_BASELINES_H_

@@ -1,0 +1,507 @@
+#include "src/sched/crius_sched.h"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+
+#include "src/util/check.h"
+
+namespace crius {
+
+namespace {
+
+// Virtual placement of one job during a scheduling round.
+struct VirtualJob {
+  const JobState* state = nullptr;
+  std::optional<Cell> cell;
+  double score = 0.0;
+  bool opportunistic = false;
+};
+
+using FreeMap = std::array<int, kNumGpuTypes>;
+
+bool Fits(const Cell& cell, const FreeMap& free) {
+  return free[static_cast<int>(cell.gpu_type)] >= cell.ngpus;
+}
+
+void Take(const Cell& cell, FreeMap& free) {
+  free[static_cast<int>(cell.gpu_type)] -= cell.ngpus;
+  CRIUS_CHECK(free[static_cast<int>(cell.gpu_type)] >= 0);
+}
+
+void Give(const Cell& cell, FreeMap& free) {
+  free[static_cast<int>(cell.gpu_type)] += cell.ngpus;
+}
+
+}  // namespace
+
+CriusScheduler::CriusScheduler(PerformanceOracle* oracle, CriusConfig config)
+    : Scheduler(oracle), config_(config) {
+  CRIUS_CHECK(config_.search_depth >= 0);
+}
+
+std::string CriusScheduler::name() const {
+  if (config_.deadline_aware) {
+    return "Crius-DDL";
+  }
+  if (config_.objective == CriusObjective::kMaxMinFairness) {
+    return "Crius-Fair";
+  }
+  if (!config_.adaptivity_scaling && config_.heterogeneity_scaling) {
+    return "Crius-NA";
+  }
+  if (config_.adaptivity_scaling && !config_.heterogeneity_scaling) {
+    return "Crius-NH";
+  }
+  if (!config_.adaptivity_scaling && !config_.heterogeneity_scaling) {
+    return "Crius-static";
+  }
+  return "Crius";
+}
+
+const CriusScheduler::JobCells& CriusScheduler::CellsFor(const TrainingJob& job,
+                                                         const Cluster& cluster) {
+  auto it = cells_cache_.find(job.id);
+  if (it != cells_cache_.end()) {
+    return it->second;
+  }
+
+  JobCells jc;
+  for (const Cell& cell : GenerateCells(job, cluster)) {
+    if (!config_.heterogeneity_scaling && cell.gpu_type != job.requested_type) {
+      continue;
+    }
+    if (!config_.adaptivity_scaling && cell.ngpus != job.requested_gpus) {
+      continue;
+    }
+    const double thr = oracle_->EstimatedThroughput(job.spec, cell);
+    if (thr <= 0.0) {
+      continue;  // infeasible Cell
+    }
+    jc.choices.push_back(CellChoice{cell, thr});
+    if (cell.ngpus == job.requested_gpus) {
+      jc.ref_throughput = std::max(jc.ref_throughput, thr);
+    }
+  }
+  if (jc.ref_throughput <= 0.0 && !jc.choices.empty()) {
+    for (const CellChoice& c : jc.choices) {
+      jc.ref_throughput = std::max(jc.ref_throughput, c.score);
+    }
+  }
+  // Normalize scores so cluster throughput sums job fractions of their
+  // requested-shape performance.
+  for (CellChoice& c : jc.choices) {
+    c.score = jc.ref_throughput > 0.0 ? c.score / jc.ref_throughput : 0.0;
+  }
+  std::stable_sort(jc.choices.begin(), jc.choices.end(),
+                   [](const CellChoice& a, const CellChoice& b) { return a.score > b.score; });
+  return cells_cache_.emplace(job.id, std::move(jc)).first->second;
+}
+
+double CriusScheduler::ProfilingDelay(const TrainingJob& job, const Cluster& cluster) {
+  std::array<double, kNumGpuTypes> per_type{};
+  for (const Cell& cell : GenerateCells(job, cluster)) {
+    const CellEstimate& est = oracle_->EstimateCell(job.spec, cell);
+    per_type[static_cast<int>(cell.gpu_type)] += est.profile_gpu_seconds;
+  }
+  // Heterogeneous GPU types profile in parallel, one device each (§6.1);
+  // Crius bounds the total at 30 minutes (§8.2).
+  double delay = 0.0;
+  for (double t : per_type) {
+    delay = std::max(delay, t);
+  }
+  return std::min(delay, 1800.0);
+}
+
+ScheduleDecision CriusScheduler::Schedule(double now, const std::vector<const JobState*>& jobs,
+                                          const Cluster& cluster) {
+  if (config_.placement_order != CriusPlacementOrder::kBestOfAll || config_.deadline_aware) {
+    return ScheduleOnce(now, jobs, cluster, config_.placement_order).first;
+  }
+  // Solver-lite: evaluate every ordering virtually and keep the outcome with
+  // the highest total estimated throughput (all passes are pure functions of
+  // (jobs, cluster), so re-running is safe).
+  std::pair<ScheduleDecision, double> best{ScheduleDecision{}, -1.0};
+  for (CriusPlacementOrder order : {CriusPlacementOrder::kFifo,
+                                    CriusPlacementOrder::kScoreDensity,
+                                    CriusPlacementOrder::kSmallestFirst}) {
+    std::pair<ScheduleDecision, double> candidate = ScheduleOnce(now, jobs, cluster, order);
+    if (candidate.second > best.second) {
+      best = std::move(candidate);
+    }
+  }
+  return best.first;
+}
+
+std::pair<ScheduleDecision, double> CriusScheduler::ScheduleOnce(
+    double now, const std::vector<const JobState*>& jobs, const Cluster& cluster,
+    CriusPlacementOrder order) {
+  ScheduleDecision decision;
+
+  FreeMap free{};
+  for (GpuType type : AllGpuTypes()) {
+    free[static_cast<int>(type)] = cluster.TotalGpus(type);
+  }
+
+  // --- Virtual state: running jobs keep their Cells ------------------------
+  std::vector<VirtualJob> vjobs;
+  std::vector<size_t> queued_order;
+  for (const JobState* js : jobs) {
+    VirtualJob vj;
+    vj.state = js;
+    if (js->phase == JobPhase::kRunning) {
+      Cell cell{js->gpu_type, js->ngpus, js->nstages};
+      const JobCells& jc = CellsFor(js->job, cluster);
+      double score = 0.0;
+      for (const CellChoice& c : jc.choices) {
+        if (c.cell == cell) {
+          score = c.score;
+          break;
+        }
+      }
+      vj.cell = cell;
+      vj.score = score;
+      vj.opportunistic = js->opportunistic;
+      Take(cell, free);
+    }
+    vjobs.push_back(vj);
+  }
+  for (size_t i = 0; i < vjobs.size(); ++i) {
+    if (!vjobs[i].cell.has_value()) {
+      queued_order.push_back(i);
+    }
+  }
+  // Density of a queued job: best estimated score per requested GPU.
+  auto density = [&](size_t vi) {
+    const JobCells& jc = CellsFor(vjobs[vi].state->job, cluster);
+    const double best = jc.choices.empty() ? 0.0 : jc.choices.front().score;
+    return best / std::max(1, vjobs[vi].state->job.requested_gpus);
+  };
+  std::stable_sort(queued_order.begin(), queued_order.end(), [&](size_t a, size_t b) {
+    const TrainingJob& ja = vjobs[a].state->job;
+    const TrainingJob& jb = vjobs[b].state->job;
+    if (config_.deadline_aware && ja.deadline.has_value() && jb.deadline.has_value() &&
+        *ja.deadline != *jb.deadline) {
+      return *ja.deadline < *jb.deadline;  // earliest deadline first
+    }
+    if (!config_.deadline_aware) {
+      if (order == CriusPlacementOrder::kScoreDensity) {
+        const double da = density(a);
+        const double db = density(b);
+        if (da != db) {
+          return da > db;
+        }
+      } else if (order == CriusPlacementOrder::kSmallestFirst) {
+        if (ja.requested_gpus != jb.requested_gpus) {
+          return ja.requested_gpus < jb.requested_gpus;
+        }
+      }
+    }
+    if (ja.submit_time != jb.submit_time) {
+      return ja.submit_time < jb.submit_time;
+    }
+    return ja.id < jb.id;
+  });
+
+  // Estimated completion check for the deadline policy.
+  auto meets_deadline = [&](const VirtualJob& vj, const CellChoice& choice) {
+    if (!config_.deadline_aware || !vj.state->job.deadline.has_value()) {
+      return true;
+    }
+    const double thr = oracle_->EstimatedThroughput(vj.state->job.spec, choice.cell);
+    if (thr <= 0.0) {
+      return false;
+    }
+    const double iters_per_sec = thr / static_cast<double>(vj.state->job.spec.global_batch);
+    const double finish = now + vj.state->remaining_iters() / iters_per_sec;
+    return finish <= *vj.state->job.deadline;
+  };
+
+  // Best feasible Cell for a job under `free`; highest estimated score first.
+  auto best_fitting = [&](const VirtualJob& vj, const FreeMap& f) -> const CellChoice* {
+    const JobCells& jc = CellsFor(vj.state->job, cluster);
+    for (const CellChoice& c : jc.choices) {
+      if (Fits(c.cell, f) && meets_deadline(vj, c)) {
+        return &c;
+      }
+    }
+    return nullptr;
+  };
+
+  // --- Deadline admission (§8.5): early-drop hopeless jobs ------------------
+  if (config_.deadline_aware) {
+    for (size_t qi : queued_order) {
+      VirtualJob& vj = vjobs[qi];
+      if (!vj.state->job.deadline.has_value()) {
+        continue;
+      }
+      const JobCells& jc = CellsFor(vj.state->job, cluster);
+      bool possible = false;
+      for (const CellChoice& c : jc.choices) {
+        if (meets_deadline(vj, c)) {
+          possible = true;
+          break;
+        }
+      }
+      if (!possible) {
+        decision.dropped.push_back(vj.state->job.id);
+      }
+    }
+  }
+  auto is_dropped = [&](int64_t id) {
+    return std::find(decision.dropped.begin(), decision.dropped.end(), id) !=
+           decision.dropped.end();
+  };
+
+  // --- Place queued jobs (FIFO), scaling running jobs when short (lines
+  // 14-20 of Algorithm 1) ----------------------------------------------------
+  int searched_jobs = 0;
+  bool some_job_pending = false;
+  for (size_t qi : queued_order) {
+    VirtualJob& vj = vjobs[qi];
+    if (is_dropped(vj.state->job.id)) {
+      continue;
+    }
+
+    if (const CellChoice* c = best_fitting(vj, free)) {
+      vj.cell = c->cell;
+      vj.score = c->score;
+      vj.opportunistic = some_job_pending;
+      Take(c->cell, free);
+      continue;
+    }
+
+    // Scaling search: up to search_depth moves of running/placed jobs that
+    // make room for `vj` while maximizing total estimated throughput. A single
+    // downscale often cannot free enough for a large job, so intermediate
+    // moves may carry a negative throughput delta; the chain is only kept if
+    // the final placement makes the cumulative delta (including the placed
+    // job's score) positive.
+    bool placed = false;
+    if (searched_jobs < config_.max_search_jobs && config_.search_depth > 0) {
+      ++searched_jobs;
+      FreeMap trial_free = free;
+      std::vector<std::pair<size_t, std::optional<Cell>>> saved;  // victim -> old cell
+      double cumulative_delta = 0.0;
+      // The best score vj could realize if capacity were freed; bounds the
+      // deficit any intermediate move is allowed to dig.
+      double vj_potential = 0.0;
+      {
+        const JobCells& jc = CellsFor(vj.state->job, cluster);
+        for (const CellChoice& c : jc.choices) {
+          if (meets_deadline(vj, c)) {
+            vj_potential = std::max(vj_potential, c.score);
+          }
+        }
+      }
+
+      for (int depth = 0; depth < config_.search_depth && !placed; ++depth) {
+        double best_delta = -std::numeric_limits<double>::infinity();
+        size_t best_victim = 0;
+        const CellChoice* best_new_cell = nullptr;
+        bool enables_placement = false;
+
+        for (size_t vi = 0; vi < vjobs.size(); ++vi) {
+          VirtualJob& victim = vjobs[vi];
+          if (vi == qi || !victim.cell.has_value()) {
+            continue;
+          }
+          const JobCells& vjc = CellsFor(victim.state->job, cluster);
+          for (const CellChoice& alt : vjc.choices) {
+            if (alt.cell == *victim.cell) {
+              continue;
+            }
+            // The move must shrink usage of some type (downscale or exchange).
+            const bool frees_capacity =
+                alt.cell.gpu_type != victim.cell->gpu_type || alt.cell.ngpus < victim.cell->ngpus;
+            if (!frees_capacity) {
+              continue;
+            }
+            FreeMap f2 = trial_free;
+            Give(*victim.cell, f2);
+            if (!Fits(alt.cell, f2) || !meets_deadline(victim, alt)) {
+              continue;
+            }
+            Take(alt.cell, f2);
+            const CellChoice* mine = best_fitting(vj, f2);
+            const bool enables = mine != nullptr;
+            const double delta = alt.score - victim.score + (enables ? mine->score : 0.0);
+            // Prefer placement-enabling moves strictly; among progress moves
+            // take the least-damaging, but never dig deeper than the placed
+            // job could pay back.
+            if (!enables &&
+                cumulative_delta + delta + vj_potential <= 0.0) {
+              continue;
+            }
+            if ((enables && !enables_placement) ||
+                ((enables == enables_placement) && delta > best_delta)) {
+              best_delta = delta;
+              best_victim = vi;
+              best_new_cell = &alt;
+              enables_placement = enables;
+            }
+          }
+        }
+
+        if (best_new_cell == nullptr ||
+            (enables_placement && cumulative_delta + best_delta <= 0.0)) {
+          break;  // no move, or completing the chain would lower throughput
+        }
+        VirtualJob& victim = vjobs[best_victim];
+        saved.emplace_back(best_victim, victim.cell);
+        Give(*victim.cell, trial_free);
+        Take(best_new_cell->cell, trial_free);
+        cumulative_delta += best_new_cell->score - victim.score;
+        victim.cell = best_new_cell->cell;
+        victim.score = best_new_cell->score;
+
+        if (const CellChoice* mine = best_fitting(vj, trial_free)) {
+          if (cumulative_delta + mine->score > 0.0) {
+            vj.cell = mine->cell;
+            vj.score = mine->score;
+            vj.opportunistic = some_job_pending;
+            Take(mine->cell, trial_free);
+            placed = true;
+          }
+        }
+      }
+
+      if (placed) {
+        free = trial_free;
+      } else {
+        // Roll back all speculative moves.
+        for (auto it = saved.rbegin(); it != saved.rend(); ++it) {
+          VirtualJob& victim = vjobs[it->first];
+          victim.cell = it->second;
+          const JobCells& vjc = CellsFor(victim.state->job, cluster);
+          victim.score = 0.0;
+          for (const CellChoice& c : vjc.choices) {
+            if (victim.cell.has_value() && c.cell == *victim.cell) {
+              victim.score = c.score;
+              break;
+            }
+          }
+        }
+      }
+    }
+
+    if (!placed) {
+      some_job_pending = true;
+      if (!config_.opportunistic) {
+        break;  // strict head-of-line blocking without opportunistic execution
+      }
+    }
+  }
+
+  // --- Pending-job preemption of opportunistic jobs (§6.1) ------------------
+  if (config_.opportunistic && some_job_pending) {
+    for (size_t qi : queued_order) {
+      VirtualJob& vj = vjobs[qi];
+      if (vj.cell.has_value() || is_dropped(vj.state->job.id)) {
+        continue;
+      }
+      // Would evicting all opportunistic jobs make room?
+      FreeMap f2 = free;
+      std::vector<size_t> evictable;
+      for (size_t vi = 0; vi < vjobs.size(); ++vi) {
+        if (vjobs[vi].cell.has_value() && vjobs[vi].opportunistic) {
+          Give(*vjobs[vi].cell, f2);
+          evictable.push_back(vi);
+        }
+      }
+      const CellChoice* mine = best_fitting(vj, f2);
+      if (mine == nullptr) {
+        continue;
+      }
+      // Evict only as many opportunistic jobs as needed (latest first).
+      FreeMap f3 = free;
+      for (auto it = evictable.rbegin(); it != evictable.rend(); ++it) {
+        VirtualJob& opp = vjobs[*it];
+        Give(*opp.cell, f3);
+        opp.cell.reset();
+        opp.score = 0.0;
+        if (Fits(mine->cell, f3)) {
+          break;
+        }
+      }
+      if (const CellChoice* c = best_fitting(vj, f3)) {
+        vj.cell = c->cell;
+        vj.score = c->score;
+        vj.opportunistic = false;
+        Take(c->cell, f3);
+        free = f3;
+      }
+    }
+  }
+
+  // --- Upscale phase: feed leftover capacity back (Algorithm 1 line 11) -----
+  // kMaxThroughput picks the globally best relative gain; kMaxMinFairness
+  // water-fills, upgrading the worst-off placed job first.
+  for (int moves = 0; moves < config_.max_upscale_moves; ++moves) {
+    double best_rank = config_.objective == CriusObjective::kMaxThroughput
+                           ? config_.move_gain_threshold
+                           : -std::numeric_limits<double>::infinity();
+    size_t best_vi = 0;
+    const CellChoice* best_cell = nullptr;
+    for (size_t vi = 0; vi < vjobs.size(); ++vi) {
+      VirtualJob& vj = vjobs[vi];
+      if (!vj.cell.has_value()) {
+        continue;
+      }
+      const JobCells& jc = CellsFor(vj.state->job, cluster);
+      for (const CellChoice& alt : jc.choices) {
+        if (alt.cell == *vj.cell || alt.score <= vj.score) {
+          continue;
+        }
+        FreeMap f2 = free;
+        Give(*vj.cell, f2);
+        if (!Fits(alt.cell, f2) || !meets_deadline(vj, alt)) {
+          continue;
+        }
+        const double gain = (alt.score - vj.score) / std::max(vj.score, 1e-9);
+        if (gain <= config_.move_gain_threshold) {
+          continue;  // a restart is never worth a marginal gain
+        }
+        double rank = 0.0;
+        if (config_.objective == CriusObjective::kMaxThroughput) {
+          rank = gain;
+        } else {
+          // Water-filling: most-deprived job first; its gain breaks ties.
+          rank = -vj.score + 1e-3 * gain;
+        }
+        if (rank > best_rank) {
+          best_rank = rank;
+          best_vi = vi;
+          best_cell = &alt;
+        }
+      }
+    }
+    if (best_cell == nullptr) {
+      break;
+    }
+    VirtualJob& vj = vjobs[best_vi];
+    Give(*vj.cell, free);
+    Take(best_cell->cell, free);
+    vj.cell = best_cell->cell;
+    vj.score = best_cell->score;
+  }
+
+  // --- Emit ------------------------------------------------------------------
+  double total_score = 0.0;
+  for (const VirtualJob& vj : vjobs) {
+    if (!vj.cell.has_value()) {
+      continue;
+    }
+    Assignment a;
+    a.type = vj.cell->gpu_type;
+    a.ngpus = vj.cell->ngpus;
+    a.nstages = vj.cell->nstages;
+    a.opportunistic = vj.opportunistic;
+    decision.assignments[vj.state->job.id] = a;
+    total_score += vj.score;
+  }
+  (void)now;
+  return {std::move(decision), total_score};
+}
+
+}  // namespace crius

@@ -1,0 +1,28 @@
+#include "src/sched/baselines.h"
+
+#include "src/util/mathutil.h"
+
+namespace crius {
+
+std::optional<double> DpView::Throughput(const ModelSpec& spec, GpuType type, int ngpus) const {
+  const std::optional<double> iter = oracle_->DpOnlyIterTime(spec, type, ngpus);
+  if (!iter.has_value()) {
+    return std::nullopt;
+  }
+  return static_cast<double>(spec.global_batch) / *iter;
+}
+
+std::optional<int> DpView::MinShare(const ModelSpec& spec, GpuType type, int cap) const {
+  for (int n = 1; n <= cap; n *= 2) {
+    if (oracle_->DpOnlyIterTime(spec, type, n).has_value()) {
+      return n;
+    }
+  }
+  return std::nullopt;
+}
+
+bool DpView::Launchable(const ModelSpec& spec, GpuType type, int ngpus) const {
+  return oracle_->AdaptiveThroughput(spec, type, ngpus) > 0.0;
+}
+
+}  // namespace crius

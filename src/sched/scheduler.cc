@@ -1,0 +1,24 @@
+#include "src/sched/scheduler.h"
+
+#include <algorithm>
+
+namespace crius {
+
+double ReferenceThroughput(PerformanceOracle& oracle, const Cluster& cluster,
+                           const TrainingJob& job) {
+  double ref = 0.0;
+  if (cluster.HasType(job.requested_type)) {
+    ref = oracle.AdaptiveThroughput(job.spec, job.requested_type, job.requested_gpus);
+  }
+  if (ref <= 0.0) {
+    for (GpuType type : AllGpuTypes()) {
+      if (!cluster.HasType(type)) {
+        continue;
+      }
+      ref = std::max(ref, oracle.AdaptiveThroughput(job.spec, type, job.requested_gpus));
+    }
+  }
+  return ref;
+}
+
+}  // namespace crius

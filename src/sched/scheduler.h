@@ -1,0 +1,107 @@
+// Scheduler interface.
+//
+// The simulator (src/sim) drives a Scheduler with the current set of active
+// jobs each scheduling round (and on job departures, per Algorithm 1). The
+// scheduler returns a target assignment per job: GPU type + count, plus -- for
+// Crius -- the Cell's pipeline-stage count. The simulator applies the diff
+// (restarts, allocations) and runs every scheduled job with adaptive
+// parallelism (§8.1's fair-comparison setup).
+
+#ifndef SRC_SCHED_SCHEDULER_H_
+#define SRC_SCHED_SCHEDULER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/oracle.h"
+#include "src/hw/cluster.h"
+#include "src/model/job.h"
+
+namespace crius {
+
+enum class JobPhase : uint8_t {
+  kQueued,    // submitted, not running
+  kRunning,
+  kFinished,
+  kDropped,   // deadline-infeasible, rejected at admission (§8.5)
+};
+
+// Scheduler-visible job state, owned by the simulator.
+struct JobState {
+  TrainingJob job;
+  JobPhase phase = JobPhase::kQueued;
+
+  // Current grant (phase == kRunning only).
+  GpuType gpu_type = GpuType::kA100;
+  int ngpus = 0;
+  int nstages = 0;  // 0 = plan chosen by full adaptive parallelism
+
+  double iter_time = 0.0;    // current plan's iteration latency
+  double iters_done = 0.0;   // fractional progress
+  double first_start = -1.0;
+  double finish_time = -1.0;
+  int num_restarts = 0;
+  // Progress is blocked (checkpoint/restore/profiling) until this time.
+  double blocked_until = 0.0;
+  // True if launched opportunistically while a larger job pends (§6.1).
+  bool opportunistic = false;
+
+  double remaining_iters() const {
+    return static_cast<double>(job.iterations) - iters_done;
+  }
+};
+
+// Desired placement for one job.
+struct Assignment {
+  GpuType type = GpuType::kA100;
+  int ngpus = 0;
+  // Pipeline-stage count of the scheduled Cell; 0 lets the framework pick via
+  // full adaptive-parallelism exploration (baselines).
+  int nstages = 0;
+  // Marks the job as opportunistic (may be preempted for a pending job).
+  bool opportunistic = false;
+};
+
+// One scheduling round's outcome: job id -> assignment. Jobs absent from the
+// map stay (or become) queued. `dropped` lists jobs rejected for good.
+struct ScheduleDecision {
+  std::map<int64_t, Assignment> assignments;
+  std::vector<int64_t> dropped;
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(PerformanceOracle* oracle) : oracle_(oracle) {}
+  virtual ~Scheduler() = default;
+
+  virtual std::string name() const = 0;
+
+  // Computes the target placement of all `jobs` (queued + running) given the
+  // cluster's total capacity. The returned assignments must respect per-type
+  // capacity; the simulator validates.
+  virtual ScheduleDecision Schedule(double now, const std::vector<const JobState*>& jobs,
+                                    const Cluster& cluster) = 0;
+
+  // One-time profiling delay charged when `job` first becomes schedulable
+  // (§8.2: Crius profiles Cells on a single GPU, bounded by 30 minutes).
+  // Baselines profile during execution; they return 0.
+  virtual double ProfilingDelay(const TrainingJob& job, const Cluster& cluster) {
+    (void)job;
+    (void)cluster;
+    return 0.0;
+  }
+
+ protected:
+  PerformanceOracle* oracle_;
+};
+
+// Reference throughput used to normalize a job's contribution to cluster
+// throughput: its ground-truth adaptive throughput on the requested GPUs of
+// the requested type (falling back to the best type if infeasible there).
+double ReferenceThroughput(PerformanceOracle& oracle, const Cluster& cluster,
+                           const TrainingJob& job);
+
+}  // namespace crius
+
+#endif  // SRC_SCHED_SCHEDULER_H_

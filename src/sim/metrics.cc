@@ -1,0 +1,100 @@
+#include "src/sim/metrics.h"
+
+#include <algorithm>
+
+#include "src/util/stats.h"
+
+namespace crius {
+
+const char* SimEvent::KindName(Kind kind) {
+  switch (kind) {
+    case Kind::kStart:
+      return "start";
+    case Kind::kRestart:
+      return "restart";
+    case Kind::kPreempt:
+      return "preempt";
+    case Kind::kFinish:
+      return "finish";
+    case Kind::kDrop:
+      return "drop";
+  }
+  return "?";
+}
+
+void SimResult::Finalize() {
+  std::vector<double> jcts;
+  std::vector<double> queues;
+  std::vector<double> slowdowns;
+  double restarts = 0.0;
+  int deadline_total = 0;
+  int deadline_met = 0;
+  finished_jobs = 0;
+  dropped_jobs = 0;
+  unfinished_jobs = 0;
+  makespan = 0.0;
+
+  for (const JobRecord& r : jobs) {
+    if (r.dropped) {
+      ++dropped_jobs;
+    } else if (r.finished) {
+      ++finished_jobs;
+      jcts.push_back(r.jct());
+      queues.push_back(std::max(0.0, r.queue_time()));
+      if (r.ideal_duration > 0.0) {
+        slowdowns.push_back(std::max(1.0, r.jct() / r.ideal_duration));
+      }
+      restarts += static_cast<double>(r.restarts);
+      makespan = std::max(makespan, r.finish);
+    } else {
+      ++unfinished_jobs;
+    }
+    if (r.had_deadline) {
+      ++deadline_total;
+      if (r.deadline_met) {
+        ++deadline_met;
+      }
+    }
+  }
+
+  if (!jcts.empty()) {
+    avg_jct = Mean(jcts);
+    median_jct = Median(jcts);
+    max_jct = Max(jcts);
+    avg_queue_time = Mean(queues);
+    avg_restarts = restarts / static_cast<double>(finished_jobs);
+  }
+  deadline_ratio =
+      deadline_total > 0 ? static_cast<double>(deadline_met) / deadline_total : 0.0;
+
+  if (!slowdowns.empty()) {
+    avg_slowdown = Mean(slowdowns);
+    p99_slowdown = Percentile(slowdowns, 99.0);
+    // Jain's index over service rates (1 / slowdown).
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (double s : slowdowns) {
+      const double rate = 1.0 / s;
+      sum += rate;
+      sum_sq += rate * rate;
+    }
+    fairness_index = sum * sum / (static_cast<double>(slowdowns.size()) * sum_sq);
+  }
+
+  if (!timeline.empty()) {
+    std::vector<double> thr;
+    thr.reserve(timeline.size());
+    double busy = 0.0;
+    for (const ThroughputSample& s : timeline) {
+      thr.push_back(s.normalized_throughput);
+      busy += static_cast<double>(s.busy_gpus);
+    }
+    avg_throughput = Mean(thr);
+    peak_throughput = Max(thr);
+    if (cluster_gpus > 0) {
+      avg_gpu_utilization = busy / static_cast<double>(timeline.size()) / cluster_gpus;
+    }
+  }
+}
+
+}  // namespace crius

@@ -1,0 +1,101 @@
+// Simulation results and metric aggregation.
+//
+// Collects the quantities every evaluation figure reports: per-job JCT and
+// queuing delay (Figs. 14a/b, 17a, 18a/b), finished-job counts (Fig. 17b),
+// the normalized cluster-throughput timeline (Fig. 16) with average/peak
+// summaries (Figs. 14c, 17c, 18c/d), restart counts (§8.4), and the deadline
+// satisfactory ratio (Fig. 19).
+
+#ifndef SRC_SIM_METRICS_H_
+#define SRC_SIM_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace crius {
+
+struct JobRecord {
+  int64_t id = 0;
+  double submit = 0.0;
+  double first_start = -1.0;  // -1: never started
+  double finish = -1.0;       // -1: unfinished at simulation end
+  // Standalone runtime at the requested shape's ground-truth optimal plan;
+  // jct()/ideal_duration is the job's slowdown (finish-time fairness).
+  double ideal_duration = 0.0;
+  int restarts = 0;
+  bool finished = false;
+  bool dropped = false;
+  bool had_deadline = false;
+  bool deadline_met = false;
+
+  double jct() const { return finish - submit; }
+  double queue_time() const { return (first_start < 0.0 ? finish : first_start) - submit; }
+};
+
+struct ThroughputSample {
+  double time = 0.0;
+  // Sum over running jobs of (current throughput / requested-shape reference).
+  double normalized_throughput = 0.0;
+  int running_jobs = 0;
+  int queued_jobs = 0;
+  // GPUs held by running jobs at sample time (all types).
+  int busy_gpus = 0;
+};
+
+// One scheduling-relevant event (recorded when SimConfig::record_events).
+struct SimEvent {
+  enum class Kind : uint8_t {
+    kStart,      // first launch
+    kRestart,    // relaunched with a (possibly) different placement
+    kPreempt,    // lost its GPUs, back to the queue
+    kFinish,
+    kDrop,
+  };
+  double time = 0.0;
+  Kind kind = Kind::kStart;
+  int64_t job_id = 0;
+  // Placement at/after the event ("A40x8/P2", empty for preempt/finish/drop).
+  std::string placement;
+
+  static const char* KindName(Kind kind);
+};
+
+struct SimResult {
+  std::string scheduler;
+  std::vector<JobRecord> jobs;
+  std::vector<ThroughputSample> timeline;
+  // Chronological event log; empty unless SimConfig::record_events was set.
+  std::vector<SimEvent> events;
+
+  // Aggregates (filled by Finalize).
+  double avg_jct = 0.0;
+  double median_jct = 0.0;
+  double max_jct = 0.0;
+  double avg_queue_time = 0.0;
+  double avg_throughput = 0.0;
+  double peak_throughput = 0.0;
+  double avg_restarts = 0.0;
+  double deadline_ratio = 0.0;  // met / had_deadline (dropped jobs count unmet)
+  int finished_jobs = 0;
+  int dropped_jobs = 0;
+  int unfinished_jobs = 0;
+  double makespan = 0.0;
+  // Mean slowdown (jct / ideal) and Jain's fairness index over the finished
+  // jobs' 1/slowdown values; 1.0 = perfectly even service.
+  double avg_slowdown = 0.0;
+  double p99_slowdown = 0.0;
+  double fairness_index = 0.0;
+  // Mean fraction of cluster GPUs held by running jobs across the timeline.
+  double avg_gpu_utilization = 0.0;
+  // Total cluster GPU count the utilization is relative to (set by the
+  // simulator).
+  int cluster_gpus = 0;
+
+  // Computes the aggregates from `jobs` and `timeline`.
+  void Finalize();
+};
+
+}  // namespace crius
+
+#endif  // SRC_SIM_METRICS_H_

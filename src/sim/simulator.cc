@@ -1,0 +1,304 @@
+#include "src/sim/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "src/core/cell.h"
+#include "src/util/check.h"
+#include "src/util/logging.h"
+#include "src/util/rng.h"
+
+namespace crius {
+
+namespace {
+
+constexpr double kEps = 1e-6;
+
+// Simulator-internal per-job bookkeeping on top of the scheduler-visible
+// JobState.
+struct SimJob {
+  JobState state;
+  Allocation alloc;          // concrete node grant while running
+  double schedulable_at = 0.0;  // submit + profiling delay
+  double reference_throughput = 0.0;
+  bool started_once = false;
+};
+
+}  // namespace
+
+Simulator::Simulator(const Cluster& cluster, SimConfig config)
+    : cluster_template_(cluster), config_(config) {}
+
+SimResult Simulator::Run(Scheduler& scheduler, PerformanceOracle& oracle,
+                         const std::vector<TrainingJob>& trace) {
+  Cluster cluster = cluster_template_;
+  SimResult result;
+  result.scheduler = scheduler.name();
+
+  std::vector<SimJob> jobs(trace.size());
+  for (size_t i = 0; i < trace.size(); ++i) {
+    jobs[i].state.job = trace[i];
+    jobs[i].state.phase = JobPhase::kQueued;
+    double delay = 0.0;
+    if (config_.charge_profiling) {
+      delay = scheduler.ProfilingDelay(trace[i], cluster);
+    }
+    jobs[i].schedulable_at = trace[i].submit_time + delay;
+    jobs[i].reference_throughput = ReferenceThroughput(oracle, cluster, trace[i]);
+    CRIUS_CHECK_MSG(jobs[i].reference_throughput > 0.0,
+                    "trace job " << trace[i].id << " infeasible everywhere");
+  }
+
+  double trace_end = 0.0;
+  for (const TrainingJob& job : trace) {
+    trace_end = std::max(trace_end, job.submit_time);
+  }
+  const double max_time = std::max(trace_end, 1.0) * config_.max_time_factor +
+                          24.0 * kHour;
+
+  // Advances a running job's progress from t0 to t1.
+  auto advance = [&](SimJob& sj, double t0, double t1) {
+    if (sj.state.phase != JobPhase::kRunning) {
+      return;
+    }
+    const double from = std::max(t0, sj.state.blocked_until);
+    if (from >= t1 || sj.state.iter_time <= 0.0) {
+      return;
+    }
+    sj.state.iters_done += (t1 - from) / sj.state.iter_time;
+  };
+
+  // Exact completion time of a running job; +inf otherwise.
+  auto completion_time = [&](const SimJob& sj, double now) {
+    if (sj.state.phase != JobPhase::kRunning || sj.state.iter_time <= 0.0) {
+      return std::numeric_limits<double>::infinity();
+    }
+    const double from = std::max(now, sj.state.blocked_until);
+    return from + sj.state.remaining_iters() * sj.state.iter_time;
+  };
+
+  auto record = [&](double time, SimEvent::Kind kind, int64_t job_id,
+                    std::string placement = "") {
+    if (config_.record_events) {
+      result.events.push_back(SimEvent{time, kind, job_id, std::move(placement)});
+    }
+  };
+
+  // Applies one scheduling decision at time `now`.
+  auto apply_decision = [&](double now, const ScheduleDecision& decision) {
+    // Drops first.
+    for (int64_t id : decision.dropped) {
+      SimJob& sj = jobs[static_cast<size_t>(id)];
+      if (sj.state.phase == JobPhase::kQueued) {
+        sj.state.phase = JobPhase::kDropped;
+        record(now, SimEvent::Kind::kDrop, id);
+      }
+    }
+
+    // Releases: running jobs whose assignment vanished or changed.
+    std::vector<std::pair<size_t, Assignment>> to_start;
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      SimJob& sj = jobs[i];
+      if (sj.state.phase != JobPhase::kRunning && sj.state.phase != JobPhase::kQueued) {
+        continue;
+      }
+      if (now < sj.schedulable_at) {
+        continue;
+      }
+      const auto it = decision.assignments.find(sj.state.job.id);
+      if (sj.state.phase == JobPhase::kRunning) {
+        const bool keep = it != decision.assignments.end() && it->second.type == sj.state.gpu_type &&
+                          it->second.ngpus == sj.state.ngpus &&
+                          (it->second.nstages == 0 || it->second.nstages == sj.state.nstages);
+        if (keep) {
+          sj.state.opportunistic = it->second.opportunistic;
+          continue;
+        }
+        // Preempt / reschedule: release now, maybe restart below.
+        cluster.Release(sj.alloc);
+        sj.alloc = Allocation{};
+        sj.state.phase = JobPhase::kQueued;
+        sj.state.ngpus = 0;
+        sj.state.nstages = 0;
+        sj.state.iter_time = 0.0;
+        if (it == decision.assignments.end()) {
+          record(now, SimEvent::Kind::kPreempt, sj.state.job.id);
+        }
+      }
+      if (it != decision.assignments.end()) {
+        to_start.emplace_back(i, it->second);
+      }
+    }
+
+    // Starts / restarts.
+    for (const auto& [i, a] : to_start) {
+      SimJob& sj = jobs[i];
+      CRIUS_CHECK(sj.state.phase == JobPhase::kQueued);
+      CRIUS_CHECK_MSG(a.ngpus > 0, "empty assignment for job " << sj.state.job.id);
+      auto alloc = cluster.Allocate(a.type, a.ngpus);
+      CRIUS_CHECK_MSG(alloc.has_value(), scheduler.name()
+                                             << " oversubscribed " << GpuName(a.type) << " by job "
+                                             << sj.state.job.id);
+      double iter_time = 0.0;
+      if (a.nstages > 0) {
+        // Crius: run the Cell-guided tuned plan.
+        const Cell cell{a.type, a.ngpus, a.nstages};
+        const TuneResult& tuned = oracle.TuneCell(sj.state.job.spec, cell);
+        if (tuned.best.has_value()) {
+          iter_time = tuned.best->iter_time;
+        }
+      }
+      if (iter_time <= 0.0) {
+        const std::optional<PlanChoice>& best =
+            oracle.BestAdaptive(sj.state.job.spec, a.type, a.ngpus);
+        CRIUS_CHECK_MSG(best.has_value(), scheduler.name()
+                                              << " scheduled infeasible shape for job "
+                                              << sj.state.job.id);
+        iter_time = best->iter_time;
+      }
+      if (config_.execution_jitter > 0.0) {
+        uint64_t key = static_cast<uint64_t>(sj.state.job.id);
+        key = HashCombine(key, static_cast<uint64_t>(a.type));
+        key = HashCombine(key, static_cast<uint64_t>(a.ngpus));
+        iter_time *= HashJitter(config_.jitter_seed, key, config_.execution_jitter);
+      }
+
+      sj.alloc = std::move(*alloc);
+      sj.state.phase = JobPhase::kRunning;
+      sj.state.gpu_type = a.type;
+      sj.state.ngpus = a.ngpus;
+      sj.state.nstages = a.nstages;
+      sj.state.iter_time = iter_time;
+      sj.state.opportunistic = a.opportunistic;
+      double restart_cost = config_.restart_overhead;
+      if (config_.checkpoint_bandwidth > 0.0) {
+        restart_cost += 2.0 * GetOpGraph(sj.state.job.spec).TotalParamBytes() /
+                        config_.checkpoint_bandwidth;
+      }
+      sj.state.blocked_until = now + restart_cost;
+      const Cell placement{a.type, a.ngpus, std::max(1, a.nstages)};
+      if (!sj.started_once) {
+        sj.started_once = true;
+        sj.state.first_start = now;
+        record(now, SimEvent::Kind::kStart, sj.state.job.id, placement.ToString());
+      } else {
+        ++sj.state.num_restarts;
+        record(now, SimEvent::Kind::kRestart, sj.state.job.id, placement.ToString());
+      }
+    }
+  };
+
+  // Runs one scheduler invocation over the currently visible jobs.
+  auto run_scheduler = [&](double now) {
+    std::vector<const JobState*> visible;
+    for (const SimJob& sj : jobs) {
+      if ((sj.state.phase == JobPhase::kQueued && now + kEps >= sj.schedulable_at &&
+           now + kEps >= sj.state.job.submit_time) ||
+          sj.state.phase == JobPhase::kRunning) {
+        visible.push_back(&sj.state);
+      }
+    }
+    if (visible.empty()) {
+      return;
+    }
+    const ScheduleDecision decision = scheduler.Schedule(now, visible, cluster);
+    apply_decision(now, decision);
+  };
+
+  auto sample_throughput = [&](double now) {
+    ThroughputSample sample;
+    sample.time = now;
+    for (const SimJob& sj : jobs) {
+      if (sj.state.phase == JobPhase::kRunning) {
+        ++sample.running_jobs;
+        sample.busy_gpus += sj.state.ngpus;
+        if (now >= sj.state.blocked_until && sj.state.iter_time > 0.0) {
+          const double thr =
+              static_cast<double>(sj.state.job.spec.global_batch) / sj.state.iter_time;
+          sample.normalized_throughput += thr / sj.reference_throughput;
+        }
+      } else if (sj.state.phase == JobPhase::kQueued && now >= sj.state.job.submit_time) {
+        ++sample.queued_jobs;
+      }
+    }
+    result.timeline.push_back(sample);
+  };
+
+  // --- Main loop --------------------------------------------------------------
+  double now = 0.0;
+  double next_round = 0.0;
+  int live = static_cast<int>(jobs.size());
+  while (live > 0 && now < max_time) {
+    // Next event: round boundary or earliest completion.
+    double next_completion = std::numeric_limits<double>::infinity();
+    for (const SimJob& sj : jobs) {
+      next_completion = std::min(next_completion, completion_time(sj, now));
+    }
+    const double t_next = std::min(next_round, next_completion);
+    CRIUS_CHECK(t_next < std::numeric_limits<double>::infinity());
+
+    for (SimJob& sj : jobs) {
+      advance(sj, now, t_next);
+    }
+    now = t_next;
+
+    // Completions (SchedDeparture).
+    bool departed = false;
+    for (SimJob& sj : jobs) {
+      if (sj.state.phase == JobPhase::kRunning &&
+          sj.state.iters_done + kEps >= static_cast<double>(sj.state.job.iterations)) {
+        cluster.Release(sj.alloc);
+        sj.alloc = Allocation{};
+        sj.state.phase = JobPhase::kFinished;
+        sj.state.finish_time = now;
+        record(now, SimEvent::Kind::kFinish, sj.state.job.id);
+        departed = true;
+      }
+    }
+    if (departed) {
+      run_scheduler(now);
+    }
+
+    // Round boundary (SchedArrival + periodic rescheduling).
+    if (now + kEps >= next_round) {
+      run_scheduler(now);
+      sample_throughput(now);
+      next_round += config_.schedule_interval;
+      if (config_.verbose) {
+        CRIUS_LOG(kInfo) << scheduler.name() << " t=" << now << " live=" << live;
+      }
+    }
+
+    live = 0;
+    for (const SimJob& sj : jobs) {
+      if (sj.state.phase == JobPhase::kQueued || sj.state.phase == JobPhase::kRunning) {
+        ++live;
+      }
+    }
+  }
+
+  // --- Records -----------------------------------------------------------------
+  for (const SimJob& sj : jobs) {
+    JobRecord r;
+    r.id = sj.state.job.id;
+    r.submit = sj.state.job.submit_time;
+    r.first_start = sj.state.first_start;
+    r.finish = sj.state.finish_time;
+    r.ideal_duration = static_cast<double>(sj.state.job.iterations) *
+                       static_cast<double>(sj.state.job.spec.global_batch) /
+                       sj.reference_throughput;
+    r.restarts = sj.state.num_restarts;
+    r.finished = sj.state.phase == JobPhase::kFinished;
+    r.dropped = sj.state.phase == JobPhase::kDropped;
+    r.had_deadline = sj.state.job.deadline.has_value();
+    r.deadline_met = r.finished && r.had_deadline && r.finish <= *sj.state.job.deadline;
+    result.jobs.push_back(r);
+  }
+  result.cluster_gpus = cluster.TotalGpus();
+  result.Finalize();
+  return result;
+}
+
+}  // namespace crius

@@ -1,0 +1,65 @@
+// Discrete-event cluster simulator.
+//
+// Mirrors the paper's runtime (§7): the scheduler fires every 5 minutes
+// (SchedArrival batches the jobs that arrived since the last round) and
+// immediately on job completions (SchedDeparture). Assignment changes pay a
+// restart overhead (checkpoint + relaunch); Crius additionally pays its
+// one-time single-GPU Cell-profiling delay before a new job becomes
+// schedulable (§8.2). Scheduled jobs run at the ground-truth iteration time of
+// their plan: the Cell-tuned plan for Crius, the full adaptive-parallelism
+// optimum for the baselines (§8.1's fair comparison).
+
+#ifndef SRC_SIM_SIMULATOR_H_
+#define SRC_SIM_SIMULATOR_H_
+
+#include <memory>
+
+#include "src/sched/scheduler.h"
+#include "src/sim/metrics.h"
+
+namespace crius {
+
+struct SimConfig {
+  // Scheduling round interval (the paper uses 5 minutes).
+  double schedule_interval = 5.0 * kMinute;
+  // Fixed checkpoint + restore + relaunch cost paid on every assignment
+  // change.
+  double restart_overhead = 60.0;
+  // Optional size-dependent checkpoint cost: when > 0, every restart
+  // additionally pays 2 x model parameter bytes / this bandwidth (write at
+  // suspend + read at resume). 0 keeps the fixed-cost model.
+  double checkpoint_bandwidth = 0.0;
+  // Charge schedulers' ProfilingDelay before a job becomes schedulable.
+  bool charge_profiling = true;
+  // Hard stop: trace duration x this factor (jobs unfinished then are
+  // reported as unfinished).
+  double max_time_factor = 4.0;
+  // Per-(job, placement) multiplicative jitter on realized iteration times,
+  // modeling real-testbed variance the simulator does not capture; 0 gives
+  // the pure simulation, ~0.06 emulates the physical testbed for the §8.3
+  // fidelity comparison.
+  double execution_jitter = 0.0;
+  uint64_t jitter_seed = 1234;
+  // Record a chronological SimEvent log in the result (start / restart /
+  // preempt / finish / drop per job).
+  bool record_events = false;
+  // Quiet progress logging.
+  bool verbose = false;
+};
+
+class Simulator {
+ public:
+  Simulator(const Cluster& cluster, SimConfig config);
+
+  // Runs `trace` to completion (or the time cap) under `scheduler`.
+  SimResult Run(Scheduler& scheduler, PerformanceOracle& oracle,
+                const std::vector<TrainingJob>& trace);
+
+ private:
+  Cluster cluster_template_;
+  SimConfig config_;
+};
+
+}  // namespace crius
+
+#endif  // SRC_SIM_SIMULATOR_H_

@@ -1,0 +1,215 @@
+#include "src/sim/trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+#include "src/util/mathutil.h"
+#include "src/util/rng.h"
+
+namespace crius {
+
+namespace {
+
+// Family mixture; BERT-style jobs dominate production LLM clusters.
+constexpr double kFamilyWeights[kNumModelFamilies] = {0.30, 0.40, 0.30};
+
+// Size-rank weight decay: the i-th smallest size of a family is
+// kSizeDecay^i as likely as the smallest (Fig. 15's small-model-heavy mix).
+constexpr double kSizeDecay = 0.68;
+
+// Smallest power-of-two GPU count on which the job can start on `type`
+// (ground-truth adaptive feasibility -- users request shapes that work).
+int MinFeasibleGpus(PerformanceOracle& oracle, const ModelSpec& spec, GpuType type, int cap) {
+  for (int n = 1; n <= cap; n *= 2) {
+    if (oracle.AdaptiveThroughput(spec, type, n) > 0.0) {
+      return n;
+    }
+  }
+  return 0;
+}
+
+// Diurnal + burst arrival intensity in [0.2, ~3], integrating to ~1.
+double ArrivalIntensity(double t, double duration, double burstiness) {
+  const double day_phase = 2.0 * 3.14159265358979 * t / kDay;
+  double v = 1.0 + burstiness * 0.8 * std::sin(day_phase - 1.3);
+  // Two burst windows at 30% and 65% of the trace (the Fig. 16 surges).
+  for (double center : {0.30, 0.65}) {
+    const double x = (t / duration - center) / 0.05;
+    v += burstiness * 2.0 * std::exp(-x * x);
+  }
+  return std::max(0.2, v);
+}
+
+}  // namespace
+
+TraceConfig PhillySixHourConfig() {
+  TraceConfig c;
+  c.name = "philly-6h";
+  c.seed = 7001;
+  c.duration = 6.0 * kHour;
+  c.num_jobs = 244;
+  c.load = 1.9;
+  c.burstiness = 0.6;
+  c.max_request_gpus = 16;
+  return c;
+}
+
+TraceConfig PhillyWeekHeavyConfig() {
+  TraceConfig c;
+  c.name = "philly-week-heavy";
+  c.seed = 7002;
+  c.duration = 7.0 * kDay;
+  c.num_jobs = 2600;
+  c.load = 1.25;
+  c.burstiness = 0.8;
+  c.max_request_gpus = 64;
+  return c;
+}
+
+TraceConfig HeliosModerateConfig() {
+  TraceConfig c;
+  c.name = "helios-moderate";
+  c.seed = 7003;
+  c.duration = 1.0 * kDay;
+  c.num_jobs = 650;
+  c.load = 0.70;
+  c.burstiness = 0.5;
+  c.max_request_gpus = 64;
+  return c;
+}
+
+TraceConfig PaiLowConfig() {
+  TraceConfig c;
+  c.name = "pai-low";
+  c.seed = 7004;
+  c.duration = 1.0 * kDay;
+  c.num_jobs = 420;
+  c.load = 0.38;
+  c.burstiness = 0.4;
+  c.max_request_gpus = 64;
+  return c;
+}
+
+std::vector<TrainingJob> GenerateTrace(const Cluster& cluster, PerformanceOracle& oracle,
+                                       const TraceConfig& config) {
+  CRIUS_CHECK(config.num_jobs > 0);
+  CRIUS_CHECK(config.duration > 0.0);
+  Rng rng(config.seed, "trace." + config.name);
+
+  // GPU types weighted by capacity share.
+  std::vector<GpuType> types;
+  std::vector<double> type_weights;
+  for (GpuType type : AllGpuTypes()) {
+    if (cluster.HasType(type)) {
+      types.push_back(type);
+      type_weights.push_back(static_cast<double>(cluster.TotalGpus(type)));
+    }
+  }
+  CRIUS_CHECK(!types.empty());
+
+  // Mean ideal duration targeting the configured offered load.
+  // load = sum(requested_gpus x ideal_duration) / (total_gpus x duration).
+  // Requested GPU counts average out around 6; solve for the mean duration and
+  // fix up below by rescaling after sampling.
+  std::vector<TrainingJob> jobs;
+  std::vector<double> ideal_durations;
+  double gpu_seconds_accum = 0.0;
+
+  for (int i = 0; i < config.num_jobs; ++i) {
+    TrainingJob job;
+    job.id = i;
+
+    // --- Model ---------------------------------------------------------------
+    for (int attempt = 0;; ++attempt) {
+      CRIUS_CHECK_MSG(attempt < 64, "cannot synthesize a feasible job");
+      const auto family = static_cast<ModelFamily>(rng.WeightedIndex(
+          {kFamilyWeights[0], kFamilyWeights[1], kFamilyWeights[2]}));
+      const std::vector<double>& sizes = SupportedSizes(family);
+      std::vector<double> size_weights(sizes.size());
+      for (size_t s = 0; s < sizes.size(); ++s) {
+        size_weights[s] = std::pow(kSizeDecay, static_cast<double>(s));
+      }
+      const size_t size_idx = rng.WeightedIndex(size_weights);
+      const std::vector<int64_t>& batches = SupportedBatches(family);
+      const int64_t batch =
+          batches[static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(batches.size()) - 1))];
+      job.spec = ModelSpec{family, sizes[size_idx], batch};
+
+      const size_t type_idx = rng.WeightedIndex(type_weights);
+      job.requested_type = types[type_idx];
+      const int cap = std::min(config.max_request_gpus,
+                               static_cast<int>(FloorPowerOfTwo(
+                                   cluster.TotalGpus(job.requested_type))));
+      const int min_gpus = MinFeasibleGpus(oracle, job.spec, job.requested_type, cap);
+      if (min_gpus == 0) {
+        continue;  // model too large for this type; redraw
+      }
+      // Users habitually over-request (the Philly analysis): most jobs ask for
+      // 2-4x the share they can efficiently use, which is the headroom elastic
+      // schedulers reclaim.
+      const int scale = 1 << rng.WeightedIndex({0.30, 0.40, 0.30});
+      job.requested_gpus = std::min(cap, min_gpus * scale);
+      break;
+    }
+
+    // --- Duration / iterations ------------------------------------------------
+    // Log-normal ideal duration; heavy upper tail, clamped to the trace scale.
+    const double median = std::min(config.duration * 0.15, 45.0 * kMinute);
+    const double d_raw = rng.LogNormal(std::log(median), 1.1);
+    const double d_min = 4.0 * kMinute;
+    const double d_max = config.duration * 1.5;
+    ideal_durations.push_back(std::clamp(d_raw, d_min, d_max));
+    gpu_seconds_accum += ideal_durations.back() * job.requested_gpus;
+
+    // --- Arrival ---------------------------------------------------------------
+    // Rejection-sample arrival times against the intensity profile.
+    double t = 0.0;
+    for (;;) {
+      t = rng.Uniform(0.0, config.duration);
+      const double intensity = ArrivalIntensity(t, config.duration, config.burstiness);
+      if (rng.Uniform() * 3.5 < intensity) {
+        break;
+      }
+    }
+    job.submit_time = t;
+    jobs.push_back(job);
+  }
+
+  // Rescale durations so the realized offered load matches config.load.
+  const double target_gpu_seconds =
+      config.load * static_cast<double>(cluster.TotalGpus()) * config.duration;
+  const double scale = target_gpu_seconds / gpu_seconds_accum;
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    TrainingJob& job = jobs[i];
+    const double ideal = std::max(4.0 * kMinute, ideal_durations[i] * scale);
+    const double thr =
+        oracle.AdaptiveThroughput(job.spec, job.requested_type, job.requested_gpus);
+    CRIUS_CHECK(thr > 0.0);
+    const double iter_time = static_cast<double>(job.spec.global_batch) / thr;
+    job.iterations = std::max<int64_t>(20, static_cast<int64_t>(ideal / iter_time));
+
+    if (config.deadline_fraction > 0.0 && rng.Uniform() < config.deadline_fraction) {
+      const double slack = rng.Uniform(config.deadline_slack_min, config.deadline_slack_max);
+      job.deadline = job.submit_time + slack * ideal + 0.5 * kHour;
+    }
+  }
+
+  std::stable_sort(jobs.begin(), jobs.end(), [](const TrainingJob& a, const TrainingJob& b) {
+    return a.submit_time < b.submit_time;
+  });
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    jobs[i].id = static_cast<int64_t>(i);
+  }
+  return jobs;
+}
+
+std::map<std::string, int> ModelSizeHistogram(const std::vector<TrainingJob>& trace) {
+  std::map<std::string, int> hist;
+  for (const TrainingJob& job : trace) {
+    ++hist[job.spec.Name()];
+  }
+  return hist;
+}
+
+}  // namespace crius

@@ -1,0 +1,67 @@
+// Synthetic workload traces (DESIGN.md §2 substitution for the Philly,
+// Helios Venus and Alibaba PAI production traces).
+//
+// The paper adapts the public traces by randomly generating GPU amounts and
+// types for heterogeneity and deriving iteration counts from trace durations;
+// this generator produces shape-matched synthetic equivalents directly:
+//   * model mixture follows the Fig. 15 size distribution (small models
+//     dominate, a long tail up to MoE-27B),
+//   * requested GPU counts are powers of two scaled to each model's real
+//     minimum footprint,
+//   * durations are log-normal with a heavy tail (Philly's signature),
+//   * arrivals follow a diurnally modulated Poisson process with optional
+//     burst windows (the Fig. 16 "range 850-1200" surge),
+//   * the target offered load (fraction of cluster GPU capacity) selects
+//     heavy / moderate / low pressure, matching how the paper picks its
+//     Philly / Helios / PAI windows.
+
+#ifndef SRC_SIM_TRACE_H_
+#define SRC_SIM_TRACE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/oracle.h"
+#include "src/hw/cluster.h"
+#include "src/model/job.h"
+
+namespace crius {
+
+struct TraceConfig {
+  std::string name = "trace";
+  uint64_t seed = 1;
+  // Arrival window in seconds; jobs may finish after it.
+  double duration = 6.0 * kHour;
+  int num_jobs = 244;
+  // Target offered load: total requested GPU-seconds / (cluster GPUs x duration).
+  double load = 1.0;
+  // Fraction of jobs carrying a deadline (deadline-aware experiments, §8.5).
+  double deadline_fraction = 0.0;
+  // Deadline slack range, multiples of the job's ideal standalone duration.
+  double deadline_slack_min = 2.0;
+  double deadline_slack_max = 8.0;
+  // Arrival burstiness: 0 = homogeneous Poisson; 1 = strong diurnal + bursts.
+  double burstiness = 0.5;
+  // Largest GPU request generated.
+  int max_request_gpus = 64;
+};
+
+// Canonical configurations for the four evaluation traces.
+TraceConfig PhillySixHourConfig();    // §8.3: 244 jobs / 6 h on the 64-GPU testbed
+TraceConfig PhillyWeekHeavyConfig();  // §8.4: one-week heavy load, 1,280 GPUs
+TraceConfig HeliosModerateConfig();   // §8.4: one-day moderate load
+TraceConfig PaiLowConfig();           // §8.4: one-day low load
+
+// Generates a trace for `cluster`. The oracle is used to clamp each job's
+// requested GPU count to a shape the model can actually start on (mirroring
+// how users request sane shares) and to size iteration counts from durations.
+std::vector<TrainingJob> GenerateTrace(const Cluster& cluster, PerformanceOracle& oracle,
+                                       const TraceConfig& config);
+
+// Job counts per model-size bucket (the Fig. 15 histogram).
+std::map<std::string, int> ModelSizeHistogram(const std::vector<TrainingJob>& trace);
+
+}  // namespace crius
+
+#endif  // SRC_SIM_TRACE_H_

@@ -1,0 +1,182 @@
+#include "src/sim/trace_io.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace crius {
+
+namespace {
+
+// Splits one CSV line on commas (no quoting needed for these schemas).
+std::vector<std::string> SplitCsv(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  for (char c : line) {
+    if (c == ',') {
+      fields.push_back(field);
+      field.clear();
+    } else if (c != '\r') {
+      field += c;
+    }
+  }
+  fields.push_back(field);
+  return fields;
+}
+
+double ParseDouble(const std::string& s, const char* what, int line_no) {
+  CRIUS_CHECK_MSG(!s.empty(), "trace CSV line " << line_no << ": empty " << what);
+  size_t pos = 0;
+  double v = 0.0;
+  bool ok = true;
+  try {
+    v = std::stod(s, &pos);
+  } catch (const std::exception&) {
+    ok = false;
+  }
+  CRIUS_CHECK_MSG(ok && pos == s.size(),
+                  "trace CSV line " << line_no << ": bad " << what << " '" << s << "'");
+  return v;
+}
+
+int64_t ParseInt(const std::string& s, const char* what, int line_no) {
+  const double v = ParseDouble(s, what, line_no);
+  CRIUS_CHECK_MSG(v == std::floor(v), "trace CSV line " << line_no << ": non-integer " << what);
+  return static_cast<int64_t>(v);
+}
+
+ModelFamily ParseFamily(const std::string& s, int line_no) {
+  for (ModelFamily f : {ModelFamily::kWideResNet, ModelFamily::kBert, ModelFamily::kMoe}) {
+    if (s == FamilyName(f)) {
+      return f;
+    }
+  }
+  CRIUS_UNREACHABLE("trace CSV line " + std::to_string(line_no) + ": unknown family '" + s +
+                    "'");
+}
+
+}  // namespace
+
+void WriteTraceCsv(const std::vector<TrainingJob>& trace, std::ostream& out) {
+  out << "id,family,params_billion,global_batch,iterations,submit_time,requested_gpus,"
+         "requested_type,deadline\n";
+  for (const TrainingJob& job : trace) {
+    out << job.id << ',' << FamilyName(job.spec.family) << ',' << job.spec.params_billion
+        << ',' << job.spec.global_batch << ',' << job.iterations << ',' << job.submit_time
+        << ',' << job.requested_gpus << ',' << GpuName(job.requested_type) << ',';
+    if (job.deadline.has_value()) {
+      out << *job.deadline;
+    }
+    out << '\n';
+  }
+}
+
+bool WriteTraceCsvFile(const std::vector<TrainingJob>& trace, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return false;
+  }
+  WriteTraceCsv(trace, out);
+  return out.good();
+}
+
+std::vector<TrainingJob> ReadTraceCsv(std::istream& in) {
+  std::vector<TrainingJob> trace;
+  std::string line;
+  int line_no = 0;
+  bool header_seen = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) {
+      continue;
+    }
+    if (!header_seen) {
+      header_seen = true;
+      CRIUS_CHECK_MSG(line.rfind("id,", 0) == 0, "trace CSV missing header row");
+      continue;
+    }
+    const std::vector<std::string> f = SplitCsv(line);
+    CRIUS_CHECK_MSG(f.size() == 9, "trace CSV line " << line_no << ": expected 9 fields, got "
+                                                     << f.size());
+    TrainingJob job;
+    job.id = ParseInt(f[0], "id", line_no);
+    job.spec.family = ParseFamily(f[1], line_no);
+    job.spec.params_billion = ParseDouble(f[2], "params_billion", line_no);
+    job.spec.global_batch = ParseInt(f[3], "global_batch", line_no);
+    job.iterations = ParseInt(f[4], "iterations", line_no);
+    job.submit_time = ParseDouble(f[5], "submit_time", line_no);
+    job.requested_gpus = static_cast<int>(ParseInt(f[6], "requested_gpus", line_no));
+    job.requested_type = ParseGpuType(f[7]);
+    if (!f[8].empty()) {
+      job.deadline = ParseDouble(f[8], "deadline", line_no);
+    }
+    trace.push_back(job);
+  }
+  return trace;
+}
+
+std::vector<TrainingJob> ReadTraceCsvFile(const std::string& path) {
+  std::ifstream in(path);
+  CRIUS_CHECK_MSG(in.is_open(), "cannot open trace file " << path);
+  return ReadTraceCsv(in);
+}
+
+void WriteJobRecordsCsv(const SimResult& result, std::ostream& out) {
+  out << "id,submit,first_start,finish,jct,queue_time,restarts,finished,dropped,"
+         "had_deadline,deadline_met\n";
+  for (const JobRecord& r : result.jobs) {
+    out << r.id << ',' << r.submit << ',' << r.first_start << ',' << r.finish << ','
+        << (r.finished ? r.jct() : -1.0) << ','
+        << (r.finished ? std::max(0.0, r.queue_time()) : -1.0) << ',' << r.restarts << ','
+        << r.finished << ',' << r.dropped << ',' << r.had_deadline << ',' << r.deadline_met
+        << '\n';
+  }
+}
+
+bool WriteJobRecordsCsvFile(const SimResult& result, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return false;
+  }
+  WriteJobRecordsCsv(result, out);
+  return out.good();
+}
+
+void WriteTimelineCsv(const SimResult& result, std::ostream& out) {
+  out << "time,normalized_throughput,running_jobs,queued_jobs,busy_gpus\n";
+  for (const ThroughputSample& s : result.timeline) {
+    out << s.time << ',' << s.normalized_throughput << ',' << s.running_jobs << ','
+        << s.queued_jobs << ',' << s.busy_gpus << '\n';
+  }
+}
+
+bool WriteTimelineCsvFile(const SimResult& result, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return false;
+  }
+  WriteTimelineCsv(result, out);
+  return out.good();
+}
+
+void WriteEventsCsv(const SimResult& result, std::ostream& out) {
+  out << "time,kind,job_id,placement\n";
+  for (const SimEvent& e : result.events) {
+    out << e.time << ',' << SimEvent::KindName(e.kind) << ',' << e.job_id << ','
+        << e.placement << '\n';
+  }
+}
+
+bool WriteEventsCsvFile(const SimResult& result, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return false;
+  }
+  WriteEventsCsv(result, out);
+  return out.good();
+}
+
+}  // namespace crius

@@ -1,0 +1,52 @@
+// Trace and result persistence (CSV).
+//
+// The paper's system consumes production traces (Philly / Helios / PAI) from
+// files; this module gives the reproduction the same workflow: synthetic
+// traces can be saved, edited, and replayed, and simulation results can be
+// exported for external plotting.
+//
+// Trace CSV columns:
+//   id,family,params_billion,global_batch,iterations,submit_time,
+//   requested_gpus,requested_type,deadline
+// (deadline empty when absent). Header row required.
+
+#ifndef SRC_SIM_TRACE_IO_H_
+#define SRC_SIM_TRACE_IO_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/model/job.h"
+#include "src/sim/metrics.h"
+
+namespace crius {
+
+// Serializes `trace` as CSV (with header).
+void WriteTraceCsv(const std::vector<TrainingJob>& trace, std::ostream& out);
+bool WriteTraceCsvFile(const std::vector<TrainingJob>& trace, const std::string& path);
+
+// Parses a trace CSV. Aborts with a diagnostic on malformed rows (a corrupt
+// workload file is an operator error worth failing loudly on).
+std::vector<TrainingJob> ReadTraceCsv(std::istream& in);
+std::vector<TrainingJob> ReadTraceCsvFile(const std::string& path);
+
+// Per-job result rows:
+//   id,submit,first_start,finish,jct,queue_time,restarts,finished,dropped,
+//   had_deadline,deadline_met
+void WriteJobRecordsCsv(const SimResult& result, std::ostream& out);
+bool WriteJobRecordsCsvFile(const SimResult& result, const std::string& path);
+
+// Throughput timeline rows:
+//   time,normalized_throughput,running_jobs,queued_jobs,busy_gpus
+void WriteTimelineCsv(const SimResult& result, std::ostream& out);
+bool WriteTimelineCsvFile(const SimResult& result, const std::string& path);
+
+// Scheduling-event rows (requires SimConfig::record_events):
+//   time,kind,job_id,placement
+void WriteEventsCsv(const SimResult& result, std::ostream& out);
+bool WriteEventsCsvFile(const SimResult& result, const std::string& path);
+
+}  // namespace crius
+
+#endif  // SRC_SIM_TRACE_IO_H_

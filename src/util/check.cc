@@ -1,0 +1,18 @@
+#include "src/util/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace crius {
+
+void CheckFailed(const char* file, int line, const char* expr, const std::string& message) {
+  std::fprintf(stderr, "CRIUS_CHECK failed at %s:%d: %s", file, line, expr);
+  if (!message.empty()) {
+    std::fprintf(stderr, " -- %s", message.c_str());
+  }
+  std::fprintf(stderr, "\n");
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace crius

@@ -1,0 +1,45 @@
+// Lightweight runtime-check macros used across the Crius code base.
+//
+// CRIUS_CHECK(cond)        -- aborts with a diagnostic if `cond` is false, in all builds.
+// CRIUS_CHECK_MSG(cond, m) -- same, with an extra human-readable message.
+// CRIUS_UNREACHABLE(m)     -- marks code paths that must never execute.
+//
+// These are hard invariant checks (programming errors), not error handling for
+// expected runtime conditions; recoverable failures use status-style returns.
+
+#ifndef SRC_UTIL_CHECK_H_
+#define SRC_UTIL_CHECK_H_
+
+#include <sstream>
+#include <string>
+
+namespace crius {
+
+// Aborts the process after printing `message` with source location context.
+// Never returns.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& message);
+
+}  // namespace crius
+
+#define CRIUS_CHECK(cond)                                       \
+  do {                                                          \
+    if (!(cond)) {                                              \
+      ::crius::CheckFailed(__FILE__, __LINE__, #cond, "");      \
+    }                                                           \
+  } while (0)
+
+#define CRIUS_CHECK_MSG(cond, msg)                              \
+  do {                                                          \
+    if (!(cond)) {                                              \
+      std::ostringstream crius_check_oss_;                      \
+      crius_check_oss_ << msg;                                  \
+      ::crius::CheckFailed(__FILE__, __LINE__, #cond,           \
+                           crius_check_oss_.str());             \
+    }                                                           \
+  } while (0)
+
+#define CRIUS_UNREACHABLE(msg)                                  \
+  ::crius::CheckFailed(__FILE__, __LINE__, "unreachable", msg)
+
+#endif  // SRC_UTIL_CHECK_H_

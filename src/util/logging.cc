@@ -1,0 +1,44 @@
+#include "src/util/logging.h"
+
+#include <cstdio>
+
+namespace crius {
+
+namespace {
+
+LogLevel g_level = LogLevel::kWarning;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_level = level;
+}
+
+LogLevel GetLogLevel() {
+  return g_level;
+}
+
+void LogMessage(LogLevel level, const std::string& message) {
+  if (level < g_level || level == LogLevel::kOff) {
+    return;
+  }
+  std::fprintf(stderr, "[crius %s] %s\n", LevelName(level), message.c_str());
+}
+
+}  // namespace crius

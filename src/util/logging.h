@@ -1,0 +1,51 @@
+// Minimal leveled logging. The simulator and schedulers log through this so
+// that benches can silence per-round chatter while tests can turn it on.
+
+#ifndef SRC_UTIL_LOGGING_H_
+#define SRC_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace crius {
+
+enum class LogLevel {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+// Global threshold; messages below it are dropped. Default: kWarning.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Emits one line to stderr with a level prefix if `level` passes the threshold.
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace log_internal {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { LogMessage(level_, oss_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    oss_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream oss_;
+};
+
+}  // namespace log_internal
+
+}  // namespace crius
+
+#define CRIUS_LOG(level) ::crius::log_internal::LogLine(::crius::LogLevel::level)
+
+#endif  // SRC_UTIL_LOGGING_H_

@@ -1,0 +1,95 @@
+#include "src/util/mathutil.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace crius {
+
+bool IsPowerOfTwo(int64_t x) {
+  return x > 0 && (x & (x - 1)) == 0;
+}
+
+int64_t FloorPowerOfTwo(int64_t x) {
+  CRIUS_CHECK(x >= 1);
+  int64_t p = 1;
+  while (p * 2 <= x) {
+    p *= 2;
+  }
+  return p;
+}
+
+int64_t CeilPowerOfTwo(int64_t x) {
+  CRIUS_CHECK(x >= 1);
+  int64_t p = 1;
+  while (p < x) {
+    p *= 2;
+  }
+  return p;
+}
+
+int Log2Floor(int64_t x) {
+  CRIUS_CHECK(x >= 1);
+  int l = 0;
+  while (x > 1) {
+    x >>= 1;
+    ++l;
+  }
+  return l;
+}
+
+int64_t CeilDiv(int64_t a, int64_t b) {
+  CRIUS_CHECK(b > 0);
+  CRIUS_CHECK(a >= 0);
+  return (a + b - 1) / b;
+}
+
+std::vector<PowerOfTwoSplit> PowerOfTwoSplits(int64_t n) {
+  CRIUS_CHECK_MSG(IsPowerOfTwo(n), "n must be a power of two, got " << n);
+  std::vector<PowerOfTwoSplit> out;
+  for (int64_t t = 1; t <= n; t *= 2) {
+    out.push_back(PowerOfTwoSplit{n / t, t});
+  }
+  return out;
+}
+
+std::vector<int64_t> PowersOfTwoUpTo(int64_t n) {
+  CRIUS_CHECK(n >= 1);
+  std::vector<int64_t> out;
+  for (int64_t p = 1; p <= n; p *= 2) {
+    out.push_back(p);
+  }
+  return out;
+}
+
+int HalfHybridFloor(int n) {
+  CRIUS_CHECK(IsPowerOfTwo(n));
+  return 1 << (Log2Floor(n) / 2);
+}
+
+int HalfHybridCeil(int n) {
+  CRIUS_CHECK(IsPowerOfTwo(n));
+  return 1 << ((Log2Floor(n) + 1) / 2);
+}
+
+double InterpolateLinear(const std::vector<double>& xs, const std::vector<double>& ys, double x) {
+  CRIUS_CHECK(xs.size() == ys.size());
+  CRIUS_CHECK(xs.size() >= 2);
+  // Find the segment [i, i+1] whose x-range covers `x`, clamping to the first
+  // or last segment outside the sampled range.
+  size_t i = 0;
+  if (x >= xs.back()) {
+    i = xs.size() - 2;
+  } else if (x > xs.front()) {
+    const auto it = std::upper_bound(xs.begin(), xs.end(), x);
+    i = static_cast<size_t>(it - xs.begin()) - 1;
+    i = std::min(i, xs.size() - 2);
+  }
+  const double x0 = xs[i];
+  const double x1 = xs[i + 1];
+  CRIUS_CHECK_MSG(x1 > x0, "interpolation xs must be strictly increasing");
+  const double f = (x - x0) / (x1 - x0);
+  return ys[i] + (ys[i + 1] - ys[i]) * f;
+}
+
+}  // namespace crius

@@ -1,0 +1,49 @@
+// Integer/bit helpers shared by the parallelism and scheduling code.
+
+#ifndef SRC_UTIL_MATHUTIL_H_
+#define SRC_UTIL_MATHUTIL_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace crius {
+
+// True if x is a power of two (x > 0).
+bool IsPowerOfTwo(int64_t x);
+
+// Largest power of two <= x. Requires x >= 1.
+int64_t FloorPowerOfTwo(int64_t x);
+
+// Smallest power of two >= x. Requires x >= 1.
+int64_t CeilPowerOfTwo(int64_t x);
+
+// floor(log2(x)). Requires x >= 1.
+int Log2Floor(int64_t x);
+
+// Ceiling division for non-negative integers. Requires b > 0.
+int64_t CeilDiv(int64_t a, int64_t b);
+
+// All (d, t) factorizations of n with d and t powers of two and d * t == n.
+// Requires n to be a power of two. Ordered by increasing t.
+struct PowerOfTwoSplit {
+  int64_t d;
+  int64_t t;
+};
+std::vector<PowerOfTwoSplit> PowerOfTwoSplits(int64_t n);
+
+// All powers of two in [1, n] in increasing order. Requires n >= 1.
+std::vector<int64_t> PowersOfTwoUpTo(int64_t n);
+
+// Half-hybrid split points for a power-of-two group of n GPUs (Crius §5.2):
+// 2^floor(log2(n)/2) and 2^ceil(log2(n)/2). Equal when log2(n) is even.
+int HalfHybridFloor(int n);
+int HalfHybridCeil(int n);
+
+// Linear interpolation of y at x over the sorted sample points (xs, ys);
+// clamps outside the range by extrapolating the boundary segment slope.
+// Requires xs strictly increasing with at least two points.
+double InterpolateLinear(const std::vector<double>& xs, const std::vector<double>& ys, double x);
+
+}  // namespace crius
+
+#endif  // SRC_UTIL_MATHUTIL_H_

@@ -1,0 +1,165 @@
+#include "src/util/rng.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace crius {
+
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+}  // namespace
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashString(std::string_view s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (SplitMix64(b) + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4));
+}
+
+Rng::Rng(uint64_t seed, std::string_view stream_name) {
+  uint64_t x = seed;
+  if (!stream_name.empty()) {
+    x = HashCombine(seed, HashString(stream_name));
+  }
+  for (auto& s : s_) {
+    x = SplitMix64(x);
+    s = x;
+  }
+  // A state of all zeros would be a fixed point; SplitMix64 cannot produce four
+  // consecutive zeros, but guard anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) {
+    s_[0] = 0x9e3779b97f4a7c15ULL;
+  }
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() {
+  // 53 uniform mantissa bits.
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  CRIUS_CHECK(lo <= hi);
+  return lo + (hi - lo) * Uniform();
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  CRIUS_CHECK(lo <= hi);
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) {  // Full 64-bit range.
+    return static_cast<int64_t>(Next());
+  }
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+  uint64_t r = Next();
+  while (r >= limit) {
+    r = Next();
+  }
+  return lo + static_cast<int64_t>(r % span);
+}
+
+double Rng::Normal() {
+  double u1 = Uniform();
+  while (u1 <= 0.0) {
+    u1 = Uniform();
+  }
+  const double u2 = Uniform();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(kTwoPi * u2);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return mean + stddev * Normal();
+}
+
+double Rng::Exponential(double rate) {
+  CRIUS_CHECK(rate > 0.0);
+  double u = Uniform();
+  while (u <= 0.0) {
+    u = Uniform();
+  }
+  return -std::log(u) / rate;
+}
+
+double Rng::LogNormal(double mu, double sigma) {
+  return std::exp(Normal(mu, sigma));
+}
+
+int64_t Rng::Poisson(double mean) {
+  CRIUS_CHECK(mean >= 0.0);
+  if (mean == 0.0) {
+    return 0;
+  }
+  if (mean > 64.0) {
+    const double v = Normal(mean, std::sqrt(mean));
+    return v < 0.0 ? 0 : static_cast<int64_t>(v + 0.5);
+  }
+  // Knuth inversion.
+  const double limit = std::exp(-mean);
+  double p = 1.0;
+  int64_t k = 0;
+  do {
+    ++k;
+    p *= Uniform();
+  } while (p > limit);
+  return k - 1;
+}
+
+size_t Rng::WeightedIndex(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    CRIUS_CHECK(w >= 0.0);
+    total += w;
+  }
+  CRIUS_CHECK_MSG(total > 0.0, "WeightedIndex needs a positive weight");
+  double r = Uniform() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r < 0.0) {
+      return i;
+    }
+  }
+  return weights.size() - 1;
+}
+
+double HashNoise(uint64_t seed, uint64_t key) {
+  const uint64_t h = SplitMix64(HashCombine(seed, key));
+  // Map to [-1, 1].
+  return static_cast<double>(h >> 11) * 0x1.0p-52 - 1.0;
+}
+
+double HashJitter(uint64_t seed, uint64_t key, double amplitude) {
+  return 1.0 + amplitude * HashNoise(seed, key);
+}
+
+}  // namespace crius

@@ -1,0 +1,93 @@
+// Deterministic random-number generation for Crius.
+//
+// Everything stochastic in this repository -- trace synthesis, profiling-noise
+// injection, tie breaking -- is driven by named, seeded streams so that tests
+// and benchmark tables are bit-for-bit reproducible across runs and platforms.
+//
+// Two entry points:
+//   * Rng           -- a xoshiro256** generator with convenience distributions.
+//   * HashNoise/... -- stateless, key-addressed noise. Used where a value must
+//                      be a pure function of its identity (e.g. the measurement
+//                      scatter of profiling operator `op` on GPU type `g`), not
+//                      of the order in which it is queried.
+
+#ifndef SRC_UTIL_RNG_H_
+#define SRC_UTIL_RNG_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace crius {
+
+// SplitMix64 step; used for seeding and for stateless key-addressed noise.
+uint64_t SplitMix64(uint64_t x);
+
+// 64-bit FNV-1a hash of a string; combines with seeds to derive named streams.
+uint64_t HashString(std::string_view s);
+
+// Combines two 64-bit values into one (boost::hash_combine style, 64-bit).
+uint64_t HashCombine(uint64_t a, uint64_t b);
+
+// xoshiro256** 1.0 -- small, fast, high-quality PRNG.
+class Rng {
+ public:
+  // Seeds the generator. A named substream is derived as
+  // Rng(seed, "trace.philly") so independent components never share a stream.
+  explicit Rng(uint64_t seed, std::string_view stream_name = "");
+
+  // Raw 64 uniform bits.
+  uint64_t Next();
+
+  // Uniform double in [0, 1).
+  double Uniform();
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Standard normal via Box-Muller (deterministic, no cached spare).
+  double Normal();
+
+  // Normal with the given mean / standard deviation.
+  double Normal(double mean, double stddev);
+
+  // Exponential with the given rate (mean 1/rate). Requires rate > 0.
+  double Exponential(double rate);
+
+  // Log-normal: exp(Normal(mu, sigma)).
+  double LogNormal(double mu, double sigma);
+
+  // Poisson-distributed count with the given mean (inversion for small means,
+  // normal approximation above 64).
+  int64_t Poisson(double mean);
+
+  // Samples an index in [0, weights.size()) proportionally to `weights`.
+  // Requires at least one strictly positive weight.
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+  // Fisher-Yates shuffles `v` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+};
+
+// Stateless noise in [-1, 1], a pure function of (seed, key). Use HashCombine /
+// HashString to build keys from identities.
+double HashNoise(uint64_t seed, uint64_t key);
+
+// Stateless multiplicative jitter: 1 + amplitude * HashNoise(seed, key).
+double HashJitter(uint64_t seed, uint64_t key, double amplitude);
+
+}  // namespace crius
+
+#endif  // SRC_UTIL_RNG_H_

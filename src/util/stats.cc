@@ -1,0 +1,106 @@
+#include "src/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace crius {
+
+double Mean(const std::vector<double>& v) {
+  if (v.empty()) {
+    return 0.0;
+  }
+  double s = 0.0;
+  for (double x : v) {
+    s += x;
+  }
+  return s / static_cast<double>(v.size());
+}
+
+double GeoMean(const std::vector<double>& v) {
+  if (v.empty()) {
+    return 0.0;
+  }
+  double log_sum = 0.0;
+  for (double x : v) {
+    CRIUS_CHECK_MSG(x > 0.0, "GeoMean requires positive entries");
+    log_sum += std::log(x);
+  }
+  return std::exp(log_sum / static_cast<double>(v.size()));
+}
+
+double StdDev(const std::vector<double>& v) {
+  if (v.size() < 2) {
+    return 0.0;
+  }
+  const double m = Mean(v);
+  double acc = 0.0;
+  for (double x : v) {
+    acc += (x - m) * (x - m);
+  }
+  return std::sqrt(acc / static_cast<double>(v.size()));
+}
+
+double Percentile(std::vector<double> v, double p) {
+  CRIUS_CHECK(!v.empty());
+  CRIUS_CHECK(p >= 0.0 && p <= 100.0);
+  std::sort(v.begin(), v.end());
+  if (v.size() == 1) {
+    return v[0];
+  }
+  const double rank = p / 100.0 * static_cast<double>(v.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return v[lo] + (v[hi] - v[lo]) * frac;
+}
+
+double Median(std::vector<double> v) {
+  return Percentile(std::move(v), 50.0);
+}
+
+double Max(const std::vector<double>& v) {
+  CRIUS_CHECK(!v.empty());
+  return *std::max_element(v.begin(), v.end());
+}
+
+double Min(const std::vector<double>& v) {
+  CRIUS_CHECK(!v.empty());
+  return *std::min_element(v.begin(), v.end());
+}
+
+double Sum(const std::vector<double>& v) {
+  double s = 0.0;
+  for (double x : v) {
+    s += x;
+  }
+  return s;
+}
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::stddev() const {
+  return std::sqrt(variance());
+}
+
+}  // namespace crius

@@ -1,0 +1,57 @@
+// Small descriptive-statistics helpers used by metrics collection and benches.
+
+#ifndef SRC_UTIL_STATS_H_
+#define SRC_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace crius {
+
+// Arithmetic mean; 0 for an empty input.
+double Mean(const std::vector<double>& v);
+
+// Geometric mean; 0 for an empty input. Requires all entries > 0.
+double GeoMean(const std::vector<double>& v);
+
+// Population standard deviation; 0 for fewer than two samples.
+double StdDev(const std::vector<double>& v);
+
+// Linear-interpolated percentile, p in [0, 100]. Requires a non-empty input.
+double Percentile(std::vector<double> v, double p);
+
+// Median (50th percentile). Requires a non-empty input.
+double Median(std::vector<double> v);
+
+// Maximum / minimum. Require a non-empty input.
+double Max(const std::vector<double>& v);
+double Min(const std::vector<double>& v);
+
+// Sum; 0 for an empty input.
+double Sum(const std::vector<double>& v);
+
+// Streaming mean/variance/min/max accumulator (Welford).
+class RunningStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+}  // namespace crius
+
+#endif  // SRC_UTIL_STATS_H_

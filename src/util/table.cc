@@ -1,0 +1,94 @@
+#include "src/util/table.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+#include "src/util/check.h"
+
+namespace crius {
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+void Table::SetHeader(std::vector<std::string> header) {
+  CRIUS_CHECK(rows_.empty());
+  header_ = std::move(header);
+}
+
+void Table::AddRow(std::vector<std::string> row) {
+  CRIUS_CHECK_MSG(row.size() == header_.size(),
+                  "row arity " << row.size() << " != header arity " << header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::Fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::FmtInt(int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  return buf;
+}
+
+std::string Table::FmtPercent(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+std::string Table::FmtFactor(double ratio, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*fx", precision, ratio);
+  return buf;
+}
+
+std::string Table::Render() const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::ostringstream oss;
+    oss << "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      oss << " " << row[c];
+      for (size_t pad = row[c].size(); pad < widths[c]; ++pad) {
+        oss << ' ';
+      }
+      oss << " |";
+    }
+    oss << "\n";
+    return oss.str();
+  };
+
+  std::ostringstream oss;
+  size_t total = 1;
+  for (size_t w : widths) {
+    total += w + 3;
+  }
+  oss << "\n== " << title_ << " ==\n";
+  oss << render_row(header_);
+  oss << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) {
+    oss << render_row(row);
+  }
+  return oss.str();
+}
+
+void Table::Print() const {
+  const std::string s = Render();
+  std::fwrite(s.data(), 1, s.size(), stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace crius

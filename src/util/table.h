@@ -1,0 +1,44 @@
+// Fixed-width text table printer. Every benchmark binary reports its
+// paper-figure reproduction through this so the output reads like the paper's
+// tables ("rows/series the paper reports").
+
+#ifndef SRC_UTIL_TABLE_H_
+#define SRC_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace crius {
+
+class Table {
+ public:
+  // `title` is printed as a banner above the table.
+  explicit Table(std::string title);
+
+  // Sets the column headers. Must be called before AddRow.
+  void SetHeader(std::vector<std::string> header);
+
+  // Appends a row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  // Formats helpers for cells.
+  static std::string Fmt(double v, int precision = 2);
+  static std::string FmtInt(int64_t v);
+  static std::string FmtPercent(double fraction, int precision = 1);  // 0.489 -> "48.9%"
+  static std::string FmtFactor(double ratio, int precision = 2);      // 1.49 -> "1.49x"
+
+  // Renders the table to a string.
+  std::string Render() const;
+
+  // Renders and writes to stdout.
+  void Print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace crius
+
+#endif  // SRC_UTIL_TABLE_H_

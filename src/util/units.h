@@ -1,0 +1,38 @@
+// Unit constants. Crius uses SI base units internally:
+//   time    -- seconds (double)
+//   bytes   -- bytes (double; values routinely exceed 2^53-safe int ranges only
+//              in aggregates, which stay well under the double mantissa)
+//   compute -- FLOPs (double)
+//   bw      -- bytes / second
+
+#ifndef SRC_UTIL_UNITS_H_
+#define SRC_UTIL_UNITS_H_
+
+namespace crius {
+
+constexpr double kKiB = 1024.0;
+constexpr double kMiB = 1024.0 * kKiB;
+constexpr double kGiB = 1024.0 * kMiB;
+
+constexpr double kKB = 1e3;
+constexpr double kMB = 1e6;
+constexpr double kGB = 1e9;
+
+constexpr double kTeraFlops = 1e12;
+constexpr double kGigaFlops = 1e9;
+
+constexpr double kGBps = 1e9;          // bytes/second
+constexpr double kGbps = 1e9 / 8.0;    // bits/second expressed as bytes/second
+
+constexpr double kMicrosecond = 1e-6;
+constexpr double kMillisecond = 1e-3;
+constexpr double kSecond = 1.0;
+constexpr double kMinute = 60.0;
+constexpr double kHour = 3600.0;
+constexpr double kDay = 24.0 * kHour;
+
+constexpr double kBillion = 1e9;
+
+}  // namespace crius
+
+#endif  // SRC_UTIL_UNITS_H_

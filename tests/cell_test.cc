@@ -1,0 +1,108 @@
+#include "src/core/cell.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/util/mathutil.h"
+
+namespace crius {
+namespace {
+
+TrainingJob MakeJob(int requested_gpus, GpuType type = GpuType::kA40) {
+  TrainingJob job;
+  job.id = 1;
+  job.spec = ModelSpec{ModelFamily::kBert, 1.3, 128};
+  job.requested_gpus = requested_gpus;
+  job.requested_type = type;
+  return job;
+}
+
+TEST(CellTest, ToStringAndKey) {
+  const Cell cell{GpuType::kA100, 8, 4};
+  EXPECT_EQ(cell.ToString(), "A100x8/P4");
+  EXPECT_EQ(cell.Key(), (Cell{GpuType::kA100, 8, 4}).Key());
+  EXPECT_NE(cell.Key(), (Cell{GpuType::kA100, 8, 2}).Key());
+  EXPECT_NE(cell.Key(), (Cell{GpuType::kV100, 8, 4}).Key());
+}
+
+TEST(GenerateCellsTest, SizesAreHalfSameDouble) {
+  const Cluster cluster = MakePhysicalTestbed();
+  const auto cells = GenerateCells(MakeJob(8), cluster);
+  std::set<int> sizes;
+  for (const Cell& c : cells) {
+    sizes.insert(c.ngpus);
+  }
+  EXPECT_EQ(sizes, (std::set<int>{4, 8, 16}));
+}
+
+TEST(GenerateCellsTest, CoversAllClusterTypes) {
+  const Cluster cluster = MakePhysicalTestbed();
+  const auto cells = GenerateCells(MakeJob(8), cluster);
+  std::set<GpuType> types;
+  for (const Cell& c : cells) {
+    types.insert(c.gpu_type);
+  }
+  EXPECT_EQ(types, (std::set<GpuType>{GpuType::kA40, GpuType::kA10}));
+}
+
+TEST(GenerateCellsTest, StageCountsAreLogChoices) {
+  const Cluster cluster = MakePhysicalTestbed();
+  const auto cells = GenerateCells(MakeJob(8), cluster);
+  std::set<int> stages_for_8;
+  for (const Cell& c : cells) {
+    if (c.ngpus == 8 && c.gpu_type == GpuType::kA40) {
+      stages_for_8.insert(c.nstages);
+      EXPECT_TRUE(IsPowerOfTwo(c.nstages));
+      EXPECT_LE(c.nstages, c.ngpus);
+    }
+  }
+  EXPECT_EQ(stages_for_8, (std::set<int>{1, 2, 4, 8}));
+}
+
+TEST(GenerateCellsTest, RequestOfOneHasNoHalf) {
+  const Cluster cluster = MakePhysicalTestbed();
+  const auto cells = GenerateCells(MakeJob(1), cluster);
+  std::set<int> sizes;
+  for (const Cell& c : cells) {
+    sizes.insert(c.ngpus);
+  }
+  EXPECT_EQ(sizes, (std::set<int>{1, 2}));
+}
+
+TEST(GenerateCellsTest, ClampsToClusterCapacity) {
+  const Cluster cluster = MakeMotivationCluster();  // 4 + 4 GPUs
+  const auto cells = GenerateCells(MakeJob(4, GpuType::kA100), cluster);
+  for (const Cell& c : cells) {
+    EXPECT_LE(c.ngpus, 4);  // 2 * N_G == 8 exceeds both pools
+  }
+}
+
+TEST(GenerateCellsTest, NoDuplicates) {
+  const Cluster cluster = MakeSimulatedCluster();
+  const auto cells = GenerateCells(MakeJob(8), cluster);
+  std::set<std::string> seen;
+  for (const Cell& c : cells) {
+    EXPECT_TRUE(seen.insert(c.ToString()).second) << "duplicate " << c.ToString();
+  }
+}
+
+TEST(GenerateCellsUpToTest, RespectsCap) {
+  const Cluster cluster = MakeSimulatedCluster();
+  const auto cells = GenerateCellsUpTo(MakeJob(8), cluster, 8);
+  for (const Cell& c : cells) {
+    EXPECT_LE(c.ngpus, 8);
+  }
+  EXPECT_FALSE(cells.empty());
+}
+
+TEST(GenerateCellsTest, CellCountIsModest) {
+  // O(3 log N) sizes x types: the §6.1 complexity claim.
+  const Cluster cluster = MakeSimulatedCluster();
+  const auto cells = GenerateCells(MakeJob(16), cluster);
+  EXPECT_LE(cells.size(), 4u * 3u * 6u);
+  EXPECT_GE(cells.size(), 12u);
+}
+
+}  // namespace
+}  // namespace crius

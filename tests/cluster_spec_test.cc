@@ -1,0 +1,49 @@
+#include <gtest/gtest.h>
+
+#include "src/hw/cluster.h"
+
+namespace crius {
+namespace {
+
+TEST(ClusterSpecTest, ParsesSinglePart) {
+  const Cluster c = ParseClusterSpec("A100:8x4");
+  EXPECT_EQ(c.TotalGpus(GpuType::kA100), 32);
+  EXPECT_EQ(c.GpusPerNode(GpuType::kA100), 4);
+  EXPECT_FALSE(c.HasType(GpuType::kA40));
+}
+
+TEST(ClusterSpecTest, ParsesMultipleParts) {
+  const Cluster c = ParseClusterSpec("A100:80x4,A40:160x2,A10:160x2,V100:20x16");
+  EXPECT_EQ(c.TotalGpus(), 1280);
+  EXPECT_EQ(c.GpusPerNode(GpuType::kV100), 16);
+}
+
+TEST(ClusterSpecTest, CaseInsensitiveTypeNames) {
+  const Cluster c = ParseClusterSpec("v100:2x8");
+  EXPECT_EQ(c.TotalGpus(GpuType::kV100), 16);
+}
+
+TEST(ClusterSpecTest, RoundTripThroughSpecString) {
+  const Cluster original = MakeSimulatedCluster();
+  const Cluster parsed = ParseClusterSpec(ClusterSpecString(original));
+  for (GpuType type : AllGpuTypes()) {
+    EXPECT_EQ(parsed.TotalGpus(type), original.TotalGpus(type));
+    EXPECT_EQ(parsed.GpusPerNode(type), original.GpusPerNode(type));
+  }
+}
+
+TEST(ClusterSpecTest, SpecStringFormat) {
+  EXPECT_EQ(ClusterSpecString(MakePhysicalTestbed()), "A40:16x2,A10:16x2");
+}
+
+TEST(ClusterSpecDeathTest, MalformedSpecsAbort) {
+  EXPECT_DEATH(ParseClusterSpec("A100"), "bad cluster spec");
+  EXPECT_DEATH(ParseClusterSpec("A100:x4"), "bad cluster spec|bad node count");
+  EXPECT_DEATH(ParseClusterSpec("A100:8x"), "bad GPUs-per-node");
+  EXPECT_DEATH(ParseClusterSpec("A100:0x4"), "bad node count");
+  EXPECT_DEATH(ParseClusterSpec(""), "empty cluster spec");
+  EXPECT_DEATH(ParseClusterSpec("H100:8x4"), "unknown GPU type");
+}
+
+}  // namespace
+}  // namespace crius

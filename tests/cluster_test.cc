@@ -1,0 +1,140 @@
+#include "src/hw/cluster.h"
+
+#include <gtest/gtest.h>
+
+namespace crius {
+namespace {
+
+TEST(ClusterBuildersTest, PhysicalTestbedShape) {
+  const Cluster c = MakePhysicalTestbed();
+  EXPECT_EQ(c.TotalGpus(), 64);
+  EXPECT_EQ(c.TotalGpus(GpuType::kA40), 32);
+  EXPECT_EQ(c.TotalGpus(GpuType::kA10), 32);
+  EXPECT_EQ(c.GpusPerNode(GpuType::kA40), 2);
+  EXPECT_EQ(c.GpusPerNode(GpuType::kA10), 2);
+  EXPECT_FALSE(c.HasType(GpuType::kA100));
+  EXPECT_FALSE(c.HasType(GpuType::kV100));
+}
+
+TEST(ClusterBuildersTest, SimulatedClusterMatchesTable1) {
+  const Cluster c = MakeSimulatedCluster();
+  EXPECT_EQ(c.TotalGpus(), 1280);
+  EXPECT_EQ(c.TotalGpus(GpuType::kA100), 320);
+  EXPECT_EQ(c.TotalGpus(GpuType::kA40), 320);
+  EXPECT_EQ(c.TotalGpus(GpuType::kA10), 320);
+  EXPECT_EQ(c.TotalGpus(GpuType::kV100), 320);
+  EXPECT_EQ(c.GpusPerNode(GpuType::kA100), 4);
+  EXPECT_EQ(c.GpusPerNode(GpuType::kV100), 16);
+}
+
+TEST(ClusterBuildersTest, MotivationCluster) {
+  const Cluster c = MakeMotivationCluster();
+  EXPECT_EQ(c.TotalGpus(GpuType::kA100), 4);
+  EXPECT_EQ(c.TotalGpus(GpuType::kV100), 4);
+}
+
+TEST(ClusterTest, AllocateReducesFree) {
+  Cluster c = MakePhysicalTestbed();
+  const auto alloc = c.Allocate(GpuType::kA40, 8);
+  ASSERT_TRUE(alloc.has_value());
+  EXPECT_EQ(alloc->total_gpus(), 8);
+  EXPECT_EQ(alloc->type, GpuType::kA40);
+  EXPECT_EQ(c.FreeGpus(GpuType::kA40), 24);
+  EXPECT_EQ(c.FreeGpus(GpuType::kA10), 32);
+}
+
+TEST(ClusterTest, ReleaseRestoresFree) {
+  Cluster c = MakePhysicalTestbed();
+  const auto alloc = c.Allocate(GpuType::kA10, 6);
+  ASSERT_TRUE(alloc.has_value());
+  c.Release(*alloc);
+  EXPECT_EQ(c.FreeGpus(GpuType::kA10), 32);
+  EXPECT_EQ(c.FreeGpus(), 64);
+}
+
+TEST(ClusterTest, AllocateFailsWhenInsufficient) {
+  Cluster c = MakePhysicalTestbed();
+  EXPECT_FALSE(c.Allocate(GpuType::kA40, 33).has_value());
+  EXPECT_EQ(c.FreeGpus(GpuType::kA40), 32);  // unchanged on failure
+}
+
+TEST(ClusterTest, AllocatePrefersWholeNodes) {
+  Cluster c;
+  c.AddNodes(GpuType::kA100, 3, 4);
+  // Fragment node 0.
+  const auto frag = c.Allocate(GpuType::kA100, 1);
+  ASSERT_TRUE(frag.has_value());
+  // An 8-GPU request should land on the two fully free nodes.
+  const auto big = c.Allocate(GpuType::kA100, 8);
+  ASSERT_TRUE(big.has_value());
+  EXPECT_EQ(big->num_nodes(), 2);
+  for (const auto& [node, count] : big->node_gpus) {
+    EXPECT_EQ(count, 4);
+    EXPECT_NE(node, frag->node_gpus[0].first);
+  }
+}
+
+TEST(ClusterTest, PartialNodesUsedWhenNecessary) {
+  Cluster c;
+  c.AddNodes(GpuType::kA100, 2, 4);
+  auto a = c.Allocate(GpuType::kA100, 3);
+  ASSERT_TRUE(a.has_value());
+  auto b = c.Allocate(GpuType::kA100, 5);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(c.FreeGpus(GpuType::kA100), 0);
+  EXPECT_EQ(b->total_gpus(), 5);
+}
+
+TEST(ClusterTest, ExhaustAndRefill) {
+  Cluster c = MakeMotivationCluster();
+  std::vector<Allocation> allocs;
+  for (int i = 0; i < 4; ++i) {
+    auto a = c.Allocate(GpuType::kA100, 1);
+    ASSERT_TRUE(a.has_value());
+    allocs.push_back(*a);
+  }
+  EXPECT_EQ(c.FreeGpus(GpuType::kA100), 0);
+  EXPECT_FALSE(c.Allocate(GpuType::kA100, 1).has_value());
+  for (const auto& a : allocs) {
+    c.Release(a);
+  }
+  EXPECT_EQ(c.FreeGpus(GpuType::kA100), 4);
+}
+
+TEST(ClusterDeathTest, DoubleReleaseAborts) {
+  Cluster c = MakeMotivationCluster();
+  const auto a = c.Allocate(GpuType::kA100, 4);
+  ASSERT_TRUE(a.has_value());
+  c.Release(*a);
+  EXPECT_DEATH(c.Release(*a), "double release");
+}
+
+TEST(ClusterDeathTest, MismatchedGpusPerNodeAborts) {
+  Cluster c;
+  c.AddNodes(GpuType::kA100, 1, 4);
+  EXPECT_DEATH(c.AddNodes(GpuType::kA100, 1, 8), "same GPU count");
+}
+
+TEST(ClusterTest, FreeByTypeSnapshot) {
+  Cluster c = MakeSimulatedCluster();
+  auto free = c.FreeByType();
+  EXPECT_EQ(free[static_cast<int>(GpuType::kA100)], 320);
+  const auto a = c.Allocate(GpuType::kA100, 100);
+  ASSERT_TRUE(a.has_value());
+  free = c.FreeByType();
+  EXPECT_EQ(free[static_cast<int>(GpuType::kA100)], 220);
+}
+
+TEST(ClusterTest, TopologyForMatchesNodes) {
+  const Cluster c = MakeSimulatedCluster();
+  EXPECT_EQ(c.TopologyFor(GpuType::kV100).gpus_per_node, 16);
+  EXPECT_EQ(c.TopologyFor(GpuType::kA40).gpus_per_node, 2);
+}
+
+TEST(ClusterDeathTest, TopologyForMissingTypeAborts) {
+  const Cluster c = MakePhysicalTestbed();
+  EXPECT_DEATH(c.TopologyFor(GpuType::kA100), "no A100");
+}
+
+}  // namespace
+}  // namespace crius

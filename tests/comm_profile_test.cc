@@ -1,0 +1,114 @@
+#include "src/core/comm_profile.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace crius {
+namespace {
+
+class CommProfileTest : public ::testing::Test {
+ protected:
+  CommProfileTest() : cluster_(MakeSimulatedCluster()), profile_(cluster_, 42) {}
+
+  Cluster cluster_;
+  CommProfile profile_;
+};
+
+TEST_F(CommProfileTest, EstimatesTrackExactModel) {
+  // Interpolated estimates stay within jitter + interpolation error of the
+  // exact interconnect model across kinds, types, sizes and groups.
+  for (GpuType type : AllGpuTypes()) {
+    const GroupTopology topo = cluster_.TopologyFor(type);
+    for (CollectiveKind kind : {CollectiveKind::kAllReduce, CollectiveKind::kAllGather,
+                                CollectiveKind::kAllToAll}) {
+      for (int n : {2, 4, 8}) {
+        for (double bytes : {1e5, 3e6, 1e8, 2e9}) {
+          const double exact = CollectiveTime(kind, topo, bytes, n);
+          const double est = profile_.Estimate(kind, type, bytes, n);
+          EXPECT_NEAR(est, exact, exact * 0.12)
+              << GpuName(type) << " " << CollectiveName(kind) << " n=" << n << " b=" << bytes;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(CommProfileTest, SendRecvTracksExact) {
+  for (GpuType type : AllGpuTypes()) {
+    const GroupTopology topo = cluster_.TopologyFor(type);
+    for (bool cross : {false, true}) {
+      for (double bytes : {1e5, 1e7, 1e9}) {
+        const double exact = SendRecvTime(topo, bytes, cross);
+        const double est = profile_.EstimateSendRecv(type, bytes, cross);
+        EXPECT_NEAR(est, exact, exact * 0.12);
+      }
+    }
+  }
+}
+
+TEST_F(CommProfileTest, MonotoneInBytes) {
+  double prev = 0.0;
+  for (double bytes = 1e4; bytes < 1e10; bytes *= 10.0) {
+    const double t = profile_.Estimate(CollectiveKind::kAllReduce, GpuType::kA100, bytes, 4);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST_F(CommProfileTest, ZeroAndSingletonCases) {
+  EXPECT_DOUBLE_EQ(profile_.Estimate(CollectiveKind::kAllReduce, GpuType::kA100, 0.0, 8), 0.0);
+  EXPECT_DOUBLE_EQ(profile_.Estimate(CollectiveKind::kAllReduce, GpuType::kA100, 1e6, 1), 0.0);
+  EXPECT_DOUBLE_EQ(profile_.EstimateSendRecv(GpuType::kA40, 0.0, true), 0.0);
+}
+
+TEST_F(CommProfileTest, CrossNodeSendRecvSlower) {
+  EXPECT_GT(profile_.EstimateSendRecv(GpuType::kA40, 1e8, true),
+            profile_.EstimateSendRecv(GpuType::kA40, 1e8, false));
+}
+
+TEST_F(CommProfileTest, DeterministicForSameSeed) {
+  const CommProfile other(cluster_, 42);
+  EXPECT_DOUBLE_EQ(profile_.Estimate(CollectiveKind::kAllGather, GpuType::kV100, 5e7, 8),
+                   other.Estimate(CollectiveKind::kAllGather, GpuType::kV100, 5e7, 8));
+}
+
+TEST_F(CommProfileTest, SeedChangesJitterOnly) {
+  const CommProfile other(cluster_, 43);
+  const double a = profile_.Estimate(CollectiveKind::kAllReduce, GpuType::kA100, 7e7, 4);
+  const double b = other.Estimate(CollectiveKind::kAllReduce, GpuType::kA100, 7e7, 4);
+  EXPECT_NE(a, b);
+  EXPECT_NEAR(a, b, a * 0.1);
+}
+
+TEST_F(CommProfileTest, GiantPayloadExtrapolates) {
+  // Beyond the profiled grid the estimate scales linearly, never collapses.
+  const double at_max = profile_.Estimate(CollectiveKind::kAllReduce, GpuType::kA100,
+                                          CommProfile::kMaxBytes, 4);
+  const double beyond = profile_.Estimate(CollectiveKind::kAllReduce, GpuType::kA100,
+                                          4.0 * CommProfile::kMaxBytes, 4);
+  EXPECT_NEAR(beyond, 4.0 * at_max, 0.2 * beyond);
+}
+
+TEST_F(CommProfileTest, OversizedGroupClampsToLargestProfiled) {
+  // Group sizes beyond the profiled range reuse the largest curve.
+  const double t = profile_.Estimate(CollectiveKind::kAllReduce, GpuType::kA100, 1e7, 1024);
+  EXPECT_GT(t, 0.0);
+}
+
+TEST_F(CommProfileTest, OfflineCostAccounted) {
+  EXPECT_GT(profile_.offline_gpu_seconds(), 0.0);
+  // Offline profiling is amortizable: hours, not weeks, of GPU time.
+  EXPECT_LT(profile_.offline_gpu_seconds(), 200.0 * 3600.0);
+}
+
+TEST(CommProfilePartialClusterTest, OnlyProfilesPresentTypes) {
+  const Cluster testbed = MakePhysicalTestbed();
+  const CommProfile profile(testbed, 1);
+  EXPECT_GT(profile.Estimate(CollectiveKind::kAllReduce, GpuType::kA40, 1e7, 4), 0.0);
+  EXPECT_DEATH(profile.Estimate(CollectiveKind::kAllReduce, GpuType::kA100, 1e7, 4),
+               "no offline profile");
+}
+
+}  // namespace
+}  // namespace crius

@@ -1,0 +1,102 @@
+#include "src/core/compute_profile.h"
+
+#include <gtest/gtest.h>
+
+#include "src/parallel/stage_partition.h"
+
+namespace crius {
+namespace {
+
+class ComputeProfileTest : public ::testing::Test {
+ protected:
+  ComputeProfileTest()
+      : cluster_(MakeSimulatedCluster()), model_(cluster_), profiler_(&model_, 42) {}
+
+  JobContext Ctx(GpuType type = GpuType::kA100) {
+    return model_.MakeContext(ModelSpec{ModelFamily::kBert, 1.3, 128}, type);
+  }
+
+  Cluster cluster_;
+  PerfModel model_;
+  SingleDeviceProfiler profiler_;
+};
+
+TEST_F(ComputeProfileTest, MeasurementWithinJitterOfSingleDeviceTruth) {
+  const JobContext ctx = Ctx();
+  const StageRange range{0, ctx.graph->size(), 4};
+  const StageEval exact = model_.EvalStage(ctx, range, 4, 1, 1);
+  const StageProfile prof = profiler_.ProfileStage(ctx, range, 4, 1, 1);
+  EXPECT_NEAR(prof.t_compute, exact.t_compute_single,
+              exact.t_compute_single * SingleDeviceProfiler::kMeasureJitter * 1.001);
+}
+
+TEST_F(ComputeProfileTest, MeasuresSingleDeviceNotDistributedTime) {
+  // The profiler cannot see the distributed straggler factor; on average its
+  // readings sit below the true distributed compute time.
+  const JobContext ctx = Ctx();
+  const StageRange range{0, ctx.graph->size(), 8};
+  const StageEval exact = model_.EvalStage(ctx, range, 1, 8, 1);
+  const StageProfile prof = profiler_.ProfileStage(ctx, range, 1, 8, 1);
+  EXPECT_LT(prof.t_compute, exact.t_compute);
+}
+
+TEST_F(ComputeProfileTest, MemoryIsExact) {
+  const JobContext ctx = Ctx();
+  const StageRange range{0, ctx.graph->size(), 2};
+  const StageEval exact = model_.EvalStage(ctx, range, 1, 2, 1);
+  const StageProfile prof = profiler_.ProfileStage(ctx, range, 1, 2, 1);
+  EXPECT_DOUBLE_EQ(prof.mem_bytes, exact.mem_bytes);
+  EXPECT_EQ(prof.fits, exact.fits);
+}
+
+TEST_F(ComputeProfileTest, DetectsOom) {
+  const JobContext ctx = model_.MakeContext(ModelSpec{ModelFamily::kBert, 2.6, 128},
+                                            GpuType::kA100);
+  const StageRange range{0, ctx.graph->size(), 4};
+  EXPECT_FALSE(profiler_.ProfileStage(ctx, range, 4, 1, 1).fits);   // dp-only OOM
+  EXPECT_TRUE(profiler_.ProfileStage(ctx, range, 1, 4, 1).fits);    // tp-only fits
+}
+
+TEST_F(ComputeProfileTest, Deterministic) {
+  const JobContext ctx = Ctx();
+  const StageRange range{0, ctx.graph->size() / 2, 4};
+  const StageProfile a = profiler_.ProfileStage(ctx, range, 2, 2, 2);
+  const StageProfile b = profiler_.ProfileStage(ctx, range, 2, 2, 2);
+  EXPECT_DOUBLE_EQ(a.t_compute, b.t_compute);
+  const SingleDeviceProfiler other(&model_, 42);
+  EXPECT_DOUBLE_EQ(a.t_compute, other.ProfileStage(ctx, range, 2, 2, 2).t_compute);
+}
+
+TEST_F(ComputeProfileTest, DifferentSplitsGetIndependentJitter) {
+  const JobContext ctx = Ctx();
+  const StageRange range{0, ctx.graph->size(), 4};
+  const StageProfile dp = profiler_.ProfileStage(ctx, range, 4, 1, 1);
+  const StageProfile tp = profiler_.ProfileStage(ctx, range, 1, 4, 1);
+  // Not a fixed ratio of each other: jitters differ.
+  EXPECT_NE(dp.t_compute, tp.t_compute);
+}
+
+TEST_F(ComputeProfileTest, CostIncludesCompilationPerOperator) {
+  const JobContext ctx = Ctx();
+  const StageRange full{0, ctx.graph->size(), 4};
+  const StageRange half{0, ctx.graph->size() / 2, 4};
+  const StageProfile pf = profiler_.ProfileStage(ctx, full, 4, 1, 1);
+  const StageProfile ph = profiler_.ProfileStage(ctx, half, 4, 1, 2);
+  EXPECT_GT(pf.gpu_seconds, ph.gpu_seconds);
+  EXPECT_GE(pf.gpu_seconds,
+            SingleDeviceProfiler::kCompileSecondsPerOp * static_cast<double>(ctx.graph->size()));
+}
+
+TEST_F(ComputeProfileTest, CostIsSingleGpuScale) {
+  // Profiling cost must not scale with the stage's GPU count -- that is the
+  // whole point of single-device distributed profiling (§5.1).
+  const JobContext ctx = Ctx();
+  const StageRange small{0, ctx.graph->size(), 2};
+  const StageRange big{0, ctx.graph->size(), 16};
+  const double cost2 = profiler_.ProfileStage(ctx, small, 2, 1, 1).gpu_seconds;
+  const double cost16 = profiler_.ProfileStage(ctx, big, 16, 1, 1).gpu_seconds;
+  EXPECT_NEAR(cost2, cost16, cost2 * 0.5);
+}
+
+}  // namespace
+}  // namespace crius

@@ -1,0 +1,203 @@
+#include "src/core/estimator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "src/parallel/explorer.h"
+
+namespace crius {
+namespace {
+
+class EstimatorTest : public ::testing::Test {
+ protected:
+  EstimatorTest()
+      : cluster_(MakeSimulatedCluster()),
+        model_(cluster_),
+        comm_(cluster_, 42),
+        estimator_(&model_, &comm_, 42),
+        explorer_(&model_) {}
+
+  JobContext Ctx(const ModelSpec& spec, GpuType type) {
+    return model_.MakeContext(spec, type);
+  }
+
+  Cluster cluster_;
+  PerfModel model_;
+  CommProfile comm_;
+  CellEstimator estimator_;
+  Explorer explorer_;
+};
+
+TEST_F(EstimatorTest, AssembledPlanIsValidGridPlan) {
+  const ModelSpec spec{ModelFamily::kBert, 1.3, 128};
+  const JobContext ctx = Ctx(spec, GpuType::kA100);
+  const Cell cell{GpuType::kA100, 8, 2};
+  const CellEstimate est = estimator_.Estimate(ctx, cell);
+  ASSERT_TRUE(est.feasible);
+  ValidatePlan(est.plan, *ctx.graph);
+  EXPECT_EQ(est.plan.total_gpus(), 8);
+  EXPECT_EQ(est.plan.num_stages(), 2);
+  for (size_t s = 0; s < est.plan.stages.size(); ++s) {
+    const StagePlan& sp = est.plan.stages[s];
+    // Grid plans are dp-only or tp-only per stage.
+    EXPECT_TRUE(sp.dp == 1 || sp.tp == 1) << "stage " << s;
+    EXPECT_EQ(est.stage_prefers_tp[s], sp.tp > 1);
+  }
+}
+
+TEST_F(EstimatorTest, EstimateCloseToMeasuredSamePlan) {
+  // Fig. 12a's definition: estimated vs directly-measured iteration time.
+  double worst = 1.0;
+  int count = 0;
+  for (const ModelSpec spec :
+       {ModelSpec{ModelFamily::kBert, 1.3, 128}, ModelSpec{ModelFamily::kWideResNet, 2.0, 256},
+        ModelSpec{ModelFamily::kMoe, 2.4, 256}}) {
+    for (GpuType type : {GpuType::kA100, GpuType::kA40, GpuType::kV100}) {
+      for (int nstages : {1, 2, 4}) {
+        const JobContext ctx = Ctx(spec, type);
+        const Cell cell{type, 8, nstages};
+        const CellEstimate est = estimator_.Estimate(ctx, cell);
+        if (!est.feasible) {
+          continue;
+        }
+        const PlanEval measured = model_.Evaluate(ctx, est.plan);
+        ASSERT_TRUE(measured.feasible);
+        const double acc = 1.0 - std::abs(est.iter_time - measured.iter_time) /
+                                     measured.iter_time;
+        worst = std::min(worst, acc);
+        ++count;
+      }
+    }
+  }
+  EXPECT_GE(count, 20);
+  EXPECT_GE(worst, 0.85);  // paper: 90.5% worst case
+}
+
+TEST_F(EstimatorTest, GridSamplingNeverBeatsTrueOptimumByMuch) {
+  // The assembled best is an upper bound on the Cell's optimum up to noise.
+  const ModelSpec spec{ModelFamily::kBert, 2.6, 128};
+  const JobContext ctx = Ctx(spec, GpuType::kA40);
+  const Cell cell{GpuType::kA40, 8, 2};
+  const CellEstimate est = estimator_.Estimate(ctx, cell);
+  ASSERT_TRUE(est.feasible);
+  const ExploreResult full = explorer_.ExploreWithinStages(ctx, cell.ngpus, cell.nstages);
+  ASSERT_TRUE(full.best.has_value());
+  EXPECT_GE(est.iter_time, full.best->iter_time * 0.85);
+}
+
+TEST_F(EstimatorTest, InfeasibleWhenNoGridPlanFits) {
+  // MoE-27B on one A10 fits under neither dp-only nor tp-only.
+  const ModelSpec spec{ModelFamily::kMoe, 27.0, 256};
+  const JobContext ctx = Ctx(spec, GpuType::kA10);
+  const CellEstimate est = estimator_.Estimate(ctx, Cell{GpuType::kA10, 1, 1});
+  EXPECT_FALSE(est.feasible);
+  EXPECT_TRUE(std::isinf(est.iter_time));
+  // Profiling cost was still paid for the attempted compilation.
+  EXPECT_GT(est.profile_gpu_seconds, 0.0);
+}
+
+TEST_F(EstimatorTest, FeasibilityConsistentWithGridGroundTruth) {
+  // Cell-feasible <=> at least one full grid (dp/tp-only) plan fits exactly.
+  for (const ModelSpec spec :
+       {ModelSpec{ModelFamily::kBert, 2.6, 128}, ModelSpec{ModelFamily::kMoe, 10.0, 256}}) {
+    for (GpuType type : {GpuType::kA100, GpuType::kA10}) {
+      for (int n : {2, 4, 8}) {
+        const JobContext ctx = Ctx(spec, type);
+        const Cell cell{type, n, 1};
+        const CellEstimate est = estimator_.Estimate(ctx, cell);
+        // Single-stage grid options: (n,1) and (1,n).
+        const StageRange range{0, ctx.graph->size(), n};
+        const bool dp_fits = model_.EvalStage(ctx, range, n, 1, 1).fits;
+        const bool tp_fits = n > 1 && model_.EvalStage(ctx, range, 1, n, 1).fits;
+        EXPECT_EQ(est.feasible, dp_fits || tp_fits)
+            << spec.Name() << " " << cell.ToString();
+      }
+    }
+  }
+}
+
+TEST_F(EstimatorTest, PlansAssembledIsTwoToTheStages) {
+  const ModelSpec spec{ModelFamily::kBert, 1.3, 128};
+  const JobContext ctx = Ctx(spec, GpuType::kA100);
+  for (int nstages : {1, 2, 4, 8}) {
+    const CellEstimate est = estimator_.Estimate(ctx, Cell{GpuType::kA100, 8, nstages});
+    if (!est.feasible) {
+      continue;
+    }
+    // Single-GPU stages have one option; others two minus OOM-dropped ones.
+    EXPECT_LE(est.plans_assembled, 1 << nstages);
+    EXPECT_GE(est.plans_assembled, 1);
+  }
+}
+
+TEST_F(EstimatorTest, ProfilingCostIsTwoSingleDevicePasses) {
+  // ~2 plans x (compile + a few iterations) on ONE device: well under any
+  // distributed profiling budget, and ~minutes at most (§8.2).
+  const ModelSpec spec{ModelFamily::kBert, 6.7, 128};
+  const JobContext ctx = Ctx(spec, GpuType::kA100);
+  const CellEstimate est = estimator_.Estimate(ctx, Cell{GpuType::kA100, 16, 4});
+  ASSERT_TRUE(est.feasible);
+  EXPECT_GT(est.profile_gpu_seconds, 1.0);
+  EXPECT_LT(est.profile_gpu_seconds, 10.0 * 60.0);
+}
+
+TEST_F(EstimatorTest, CheaperThanDirectProfiling) {
+  // Fig. 12b: estimator GPU time << direct plan profiling on all GPUs.
+  const ModelSpec spec{ModelFamily::kMoe, 10.0, 256};
+  const JobContext ctx = Ctx(spec, GpuType::kA40);
+  const Cell cell{GpuType::kA40, 16, 4};
+  const CellEstimate est = estimator_.Estimate(ctx, cell);
+  ASSERT_TRUE(est.feasible);
+  const double direct = model_.DirectProfileGpuSeconds(ctx, est.plan);
+  EXPECT_GT(direct / est.profile_gpu_seconds, 2.0);
+}
+
+TEST_F(EstimatorTest, Deterministic) {
+  const ModelSpec spec{ModelFamily::kMoe, 2.4, 512};
+  const JobContext ctx = Ctx(spec, GpuType::kV100);
+  const Cell cell{GpuType::kV100, 16, 4};
+  const CellEstimate a = estimator_.Estimate(ctx, cell);
+  const CellEstimate b = estimator_.Estimate(ctx, cell);
+  EXPECT_DOUBLE_EQ(a.iter_time, b.iter_time);
+  EXPECT_EQ(a.plan.ToString(), b.plan.ToString());
+}
+
+TEST_F(EstimatorTest, StageCountBeyondLimitsInfeasible) {
+  const ModelSpec spec{ModelFamily::kBert, 1.3, 128};
+  const JobContext ctx = Ctx(spec, GpuType::kA100);
+  const CellEstimate est = estimator_.Estimate(ctx, Cell{GpuType::kA100, 2, 4});
+  EXPECT_FALSE(est.feasible);
+}
+
+TEST_F(EstimatorTest, TypeMismatchAborts) {
+  const ModelSpec spec{ModelFamily::kBert, 1.3, 128};
+  const JobContext ctx = Ctx(spec, GpuType::kA100);
+  EXPECT_DEATH(estimator_.Estimate(ctx, Cell{GpuType::kA40, 4, 1}), "mismatch");
+}
+
+TEST_F(EstimatorTest, MemoryForcedTpStageGetsProbedRange) {
+  // BERT-2.6B on A100s: dp-only OOMs, so the single-stage grid only has the
+  // tensor-only option. The estimator must probe the half-hybrid point and
+  // emit a tuning range that (a) excludes the known-OOM tp=1 and (b) still
+  // contains the assembled winner via the tuner's winner-keep rule.
+  const ModelSpec spec{ModelFamily::kBert, 2.6, 128};
+  const JobContext ctx = Ctx(spec, GpuType::kA100);
+  const Cell cell{GpuType::kA100, 8, 1};
+  const CellEstimate est = estimator_.Estimate(ctx, cell);
+  ASSERT_TRUE(est.feasible);
+  ASSERT_EQ(est.stage_tp_range.size(), 1u);
+  EXPECT_TRUE(est.stage_prefers_tp[0]);  // only the tensor side survived
+  const auto& [lo, hi] = est.stage_tp_range[0];
+  EXPECT_GE(lo, 2);  // tp == 1 is known-OOM
+  EXPECT_LE(hi, 8);
+  // The probe pays additional single-GPU time beyond the two grid profiles.
+  const CellEstimate both_fit = estimator_.Estimate(
+      Ctx(ModelSpec{ModelFamily::kBert, 1.3, 128}, GpuType::kA100), cell);
+  ASSERT_TRUE(both_fit.feasible);
+  EXPECT_EQ(both_fit.stage_tp_range.size(), 1u);
+}
+
+}  // namespace
+}  // namespace crius

@@ -1,0 +1,167 @@
+#include "src/parallel/explorer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/util/mathutil.h"
+
+namespace crius {
+namespace {
+
+class ExplorerTest : public ::testing::Test {
+ protected:
+  ExplorerTest() : cluster_(MakeSimulatedCluster()), model_(cluster_), explorer_(&model_) {}
+
+  JobContext Ctx(ModelFamily family, double size, int64_t batch, GpuType type) {
+    return model_.MakeContext(ModelSpec{family, size, batch}, type);
+  }
+
+  // Independent brute force over all (dp, tp) combos for fixed stages,
+  // evaluating complete plans with the exact model.
+  double BruteForceBest(const JobContext& ctx, int ngpus, int nstages) {
+    const auto ranges = PartitionStages(*ctx.graph, ngpus, nstages);
+    std::vector<std::vector<PowerOfTwoSplit>> opts;
+    for (const auto& r : ranges) {
+      opts.push_back(PowerOfTwoSplits(r.gpus));
+    }
+    double best = std::numeric_limits<double>::infinity();
+    std::vector<size_t> idx(ranges.size(), 0);
+    for (;;) {
+      ParallelPlan plan;
+      plan.gpu_type = ctx.gpu_type;
+      for (size_t s = 0; s < ranges.size(); ++s) {
+        const auto& split = opts[s][idx[s]];
+        plan.stages.push_back(StagePlan{ranges[s].op_begin, ranges[s].op_end, ranges[s].gpus,
+                                        static_cast<int>(split.d), static_cast<int>(split.t)});
+      }
+      const PlanEval eval = model_.Evaluate(ctx, plan);
+      if (eval.feasible) {
+        best = std::min(best, eval.iter_time);
+      }
+      // Increment the mixed-radix counter.
+      size_t s = 0;
+      while (s < idx.size() && ++idx[s] == opts[s].size()) {
+        idx[s] = 0;
+        ++s;
+      }
+      if (s == idx.size()) {
+        break;
+      }
+    }
+    return best;
+  }
+
+  Cluster cluster_;
+  PerfModel model_;
+  Explorer explorer_;
+};
+
+TEST_F(ExplorerTest, MatchesBruteForceSingleStage) {
+  for (GpuType type : {GpuType::kA100, GpuType::kA40, GpuType::kV100}) {
+    const JobContext ctx = Ctx(ModelFamily::kBert, 1.3, 128, type);
+    for (int n : {1, 2, 4, 8}) {
+      const ExploreResult r = explorer_.ExploreWithinStages(ctx, n, 1);
+      const double brute = BruteForceBest(ctx, n, 1);
+      ASSERT_TRUE(r.best.has_value());
+      EXPECT_NEAR(r.best->iter_time, brute, 1e-9) << GpuName(type) << " n=" << n;
+    }
+  }
+}
+
+TEST_F(ExplorerTest, MatchesBruteForceMultiStage) {
+  const JobContext ctx = Ctx(ModelFamily::kMoe, 2.4, 256, GpuType::kA40);
+  for (int nstages : {2, 4}) {
+    const ExploreResult r = explorer_.ExploreWithinStages(ctx, 8, nstages);
+    const double brute = BruteForceBest(ctx, 8, nstages);
+    ASSERT_TRUE(r.best.has_value());
+    EXPECT_NEAR(r.best->iter_time, brute, 1e-9) << "P" << nstages;
+  }
+}
+
+TEST_F(ExplorerTest, BestPlanIsValidAndFeasible) {
+  const JobContext ctx = Ctx(ModelFamily::kWideResNet, 2.0, 256, GpuType::kA100);
+  const ExploreResult r = explorer_.FullExplore(ctx, 8);
+  ASSERT_TRUE(r.best.has_value());
+  ValidatePlan(r.best->plan, *ctx.graph);
+  EXPECT_EQ(r.best->plan.total_gpus(), 8);
+  const PlanEval eval = model_.Evaluate(ctx, r.best->plan);
+  EXPECT_TRUE(eval.feasible);
+  EXPECT_DOUBLE_EQ(eval.iter_time, r.best->iter_time);
+}
+
+TEST_F(ExplorerTest, FullExploreAtLeastAsGoodAsEveryStageCount) {
+  const JobContext ctx = Ctx(ModelFamily::kBert, 2.6, 128, GpuType::kA40);
+  const ExploreResult full = explorer_.FullExplore(ctx, 8);
+  ASSERT_TRUE(full.best.has_value());
+  for (int nstages : CandidateStageCounts(*ctx.graph, 8)) {
+    const ExploreResult r = explorer_.ExploreWithinStages(ctx, 8, nstages);
+    if (r.best.has_value()) {
+      EXPECT_LE(full.best->iter_time, r.best->iter_time + 1e-12);
+    }
+  }
+}
+
+TEST_F(ExplorerTest, InfeasibleEverywhereReturnsNull) {
+  // MoE-27B on a single A10 (24 GiB) fits under no plan.
+  const JobContext ctx = Ctx(ModelFamily::kMoe, 27.0, 256, GpuType::kA10);
+  const ExploreResult r = explorer_.FullExplore(ctx, 1);
+  EXPECT_FALSE(r.best.has_value());
+}
+
+TEST_F(ExplorerTest, FilterRestrictsChoices) {
+  const JobContext ctx = Ctx(ModelFamily::kBert, 1.3, 128, GpuType::kA100);
+  // Force tensor-only stages.
+  StageOptionFilter tp_only = [](int, int, int tp) { return tp > 1; };
+  const ExploreResult r = explorer_.ExploreWithinStages(ctx, 4, 1, tp_only);
+  ASSERT_TRUE(r.best.has_value());
+  EXPECT_GT(r.best->plan.stages[0].tp, 1);  // dp-only (tp == 1) was filtered out
+
+  StageOptionFilter dp_only = [](int, int dp, int) { return dp > 1; };
+  const ExploreResult r2 = explorer_.ExploreWithinStages(ctx, 4, 1, dp_only);
+  ASSERT_TRUE(r2.best.has_value());
+  EXPECT_EQ(r2.best->plan.stages[0].tp, 1);
+}
+
+TEST_F(ExplorerTest, FilterCanMakeInfeasible) {
+  // BERT-2.6B needs tensor parallelism on 40 GiB A100s; banning it OOMs.
+  const JobContext ctx = Ctx(ModelFamily::kBert, 2.6, 128, GpuType::kA100);
+  StageOptionFilter no_tp = [](int, int, int tp) { return tp == 1; };
+  const ExploreResult r = explorer_.ExploreWithinStages(ctx, 2, 1, no_tp);
+  EXPECT_FALSE(r.best.has_value());
+}
+
+TEST_F(ExplorerTest, AccountingPositiveAndBounded) {
+  const JobContext ctx = Ctx(ModelFamily::kBert, 1.3, 128, GpuType::kA100);
+  const ExploreResult r = explorer_.ExploreWithinStages(ctx, 8, 2);
+  ASSERT_TRUE(r.best.has_value());
+  EXPECT_GT(r.plans_evaluated, 1);
+  EXPECT_GT(r.profile_gpu_seconds, 0.0);
+  // Cost cap: at most kPhysicalProfileCap plans charged.
+  const double per_plan = (PerfModel::kProfileSetupSeconds +
+                           PerfModel::kProfileIters * r.best->iter_time) *
+                          8.0;
+  EXPECT_LE(r.profile_gpu_seconds, Explorer::kPhysicalProfileCap * per_plan + 1e-6);
+}
+
+TEST_F(ExplorerTest, DeterministicAcrossCalls) {
+  const JobContext ctx = Ctx(ModelFamily::kMoe, 10.0, 256, GpuType::kA40);
+  const ExploreResult a = explorer_.FullExplore(ctx, 16);
+  const ExploreResult b = explorer_.FullExplore(ctx, 16);
+  ASSERT_TRUE(a.best.has_value());
+  ASSERT_TRUE(b.best.has_value());
+  EXPECT_DOUBLE_EQ(a.best->iter_time, b.best->iter_time);
+  EXPECT_EQ(a.best->plan.ToString(), b.best->plan.ToString());
+  EXPECT_EQ(a.plans_evaluated, b.plans_evaluated);
+}
+
+TEST_F(ExplorerTest, StageCountBeyondGraphSkipped) {
+  const JobContext ctx = Ctx(ModelFamily::kBert, 1.3, 128, GpuType::kA100);
+  // nstages > ngpus: no valid partition.
+  const ExploreResult r = explorer_.ExploreWithinStages(ctx, 2, 4);
+  EXPECT_FALSE(r.best.has_value());
+  EXPECT_EQ(r.plans_evaluated, 0);
+}
+
+}  // namespace
+}  // namespace crius

@@ -1,0 +1,73 @@
+#include "src/hw/gpu.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/units.h"
+
+namespace crius {
+namespace {
+
+TEST(GpuSpecTest, AllTypesHaveSpecs) {
+  for (GpuType type : AllGpuTypes()) {
+    const GpuSpec& spec = GpuSpecOf(type);
+    EXPECT_EQ(spec.type, type);
+    EXPECT_GT(spec.peak_flops, 0.0);
+    EXPECT_GT(spec.memory_bytes, 0.0);
+    EXPECT_GT(spec.intra_bw, 0.0);
+    EXPECT_GT(spec.inter_bw, 0.0);
+    EXPECT_FALSE(spec.name.empty());
+  }
+  EXPECT_EQ(AllGpuTypes().size(), static_cast<size_t>(kNumGpuTypes));
+}
+
+TEST(GpuSpecTest, Table1Memory) {
+  EXPECT_DOUBLE_EQ(GpuSpecOf(GpuType::kA100).memory_bytes, 40.0 * kGiB);
+  EXPECT_DOUBLE_EQ(GpuSpecOf(GpuType::kA40).memory_bytes, 48.0 * kGiB);
+  EXPECT_DOUBLE_EQ(GpuSpecOf(GpuType::kA10).memory_bytes, 24.0 * kGiB);
+  EXPECT_DOUBLE_EQ(GpuSpecOf(GpuType::kV100).memory_bytes, 32.0 * kGiB);
+}
+
+TEST(GpuSpecTest, PerformanceOrdering) {
+  // A100 is the fastest; V100 (Volta) the slowest peak among the four.
+  EXPECT_GT(GpuSpecOf(GpuType::kA100).peak_flops, GpuSpecOf(GpuType::kA40).peak_flops);
+  EXPECT_GT(GpuSpecOf(GpuType::kA40).peak_flops, GpuSpecOf(GpuType::kA10).peak_flops);
+  EXPECT_GT(GpuSpecOf(GpuType::kA10).peak_flops, GpuSpecOf(GpuType::kV100).peak_flops);
+}
+
+TEST(GpuSpecTest, NvLinkFlags) {
+  EXPECT_TRUE(HasNvLink(GpuType::kA100));
+  EXPECT_TRUE(HasNvLink(GpuType::kV100));
+  EXPECT_FALSE(HasNvLink(GpuType::kA40));
+  EXPECT_FALSE(HasNvLink(GpuType::kA10));
+}
+
+TEST(GpuSpecTest, NvLinkFasterThanPcie) {
+  EXPECT_GT(GpuSpecOf(GpuType::kA100).intra_bw, GpuSpecOf(GpuType::kA40).intra_bw);
+}
+
+TEST(GpuSpecTest, InterLinkBandwidth) {
+  // ConnectX-6 (A10 nodes) is 2x ConnectX-5.
+  EXPECT_DOUBLE_EQ(GpuSpecOf(GpuType::kA10).inter_bw,
+                   2.0 * GpuSpecOf(GpuType::kA40).inter_bw);
+}
+
+TEST(ParseGpuTypeTest, CaseInsensitive) {
+  EXPECT_EQ(ParseGpuType("A100"), GpuType::kA100);
+  EXPECT_EQ(ParseGpuType("a100"), GpuType::kA100);
+  EXPECT_EQ(ParseGpuType("v100"), GpuType::kV100);
+  EXPECT_EQ(ParseGpuType("A40"), GpuType::kA40);
+  EXPECT_EQ(ParseGpuType("a10"), GpuType::kA10);
+}
+
+TEST(ParseGpuTypeDeathTest, UnknownAborts) {
+  EXPECT_DEATH(ParseGpuType("H100"), "unknown GPU type");
+}
+
+TEST(GpuNameTest, RoundTrip) {
+  for (GpuType type : AllGpuTypes()) {
+    EXPECT_EQ(ParseGpuType(GpuName(type)), type);
+  }
+}
+
+}  // namespace
+}  // namespace crius

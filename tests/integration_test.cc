@@ -1,0 +1,127 @@
+// End-to-end integration: full pipeline from trace synthesis through
+// scheduling, estimation, tuning and simulation, checking the paper's
+// headline orderings on a scaled-down workload.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/sched/baselines.h"
+#include "src/sched/crius_sched.h"
+#include "src/sim/simulator.h"
+#include "src/sim/trace.h"
+
+namespace crius {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  IntegrationTest() : cluster_(MakePhysicalTestbed()), oracle_(cluster_, 42) {
+    TraceConfig config = PhillySixHourConfig();
+    config.num_jobs = 60;
+    config.duration = 2.0 * kHour;
+    trace_ = GenerateTrace(cluster_, oracle_, config);
+  }
+
+  SimResult Run(Scheduler& sched) {
+    Simulator sim(cluster_, SimConfig{});
+    return sim.Run(sched, oracle_, trace_);
+  }
+
+  Cluster cluster_;
+  PerformanceOracle oracle_;
+  std::vector<TrainingJob> trace_;
+};
+
+TEST_F(IntegrationTest, EverySchedulerFinishesTheTrace) {
+  std::vector<std::unique_ptr<Scheduler>> scheds;
+  scheds.push_back(std::make_unique<FcfsScheduler>(&oracle_));
+  scheds.push_back(std::make_unique<GandivaScheduler>(&oracle_));
+  scheds.push_back(std::make_unique<GavelScheduler>(&oracle_));
+  scheds.push_back(std::make_unique<ElasticFlowScheduler>(&oracle_, ElasticFlowConfig{}));
+  scheds.push_back(std::make_unique<CriusScheduler>(&oracle_, CriusConfig{}));
+  for (auto& sched : scheds) {
+    const SimResult r = Run(*sched);
+    EXPECT_EQ(r.finished_jobs + r.unfinished_jobs + r.dropped_jobs,
+              static_cast<int>(trace_.size()))
+        << sched->name();
+    EXPECT_EQ(r.finished_jobs, static_cast<int>(trace_.size())) << sched->name();
+    EXPECT_GT(r.avg_throughput, 0.0) << sched->name();
+    // Sanity: every finished job has start <= finish and non-negative queue.
+    for (const JobRecord& rec : r.jobs) {
+      EXPECT_LE(rec.first_start, rec.finish) << sched->name();
+      EXPECT_GE(rec.first_start, rec.submit) << sched->name();
+    }
+  }
+}
+
+TEST_F(IntegrationTest, CriusBeatsFcfsOnEveryHeadlineMetric) {
+  FcfsScheduler fcfs(&oracle_);
+  CriusScheduler crius(&oracle_, CriusConfig{});
+  const SimResult rf = Run(fcfs);
+  const SimResult rc = Run(crius);
+  EXPECT_LT(rc.avg_jct, rf.avg_jct);
+  EXPECT_LT(rc.avg_queue_time, rf.avg_queue_time);
+  EXPECT_GT(rc.avg_throughput, rf.avg_throughput);
+}
+
+TEST_F(IntegrationTest, CriusBestOrTiedOnJct) {
+  std::vector<std::unique_ptr<Scheduler>> baselines;
+  baselines.push_back(std::make_unique<GandivaScheduler>(&oracle_));
+  baselines.push_back(std::make_unique<GavelScheduler>(&oracle_));
+  baselines.push_back(std::make_unique<ElasticFlowScheduler>(&oracle_, ElasticFlowConfig{}));
+  CriusScheduler crius(&oracle_, CriusConfig{});
+  const SimResult rc = Run(crius);
+  for (auto& sched : baselines) {
+    const SimResult rb = Run(*sched);
+    EXPECT_LT(rc.avg_jct, rb.avg_jct * 1.05) << "vs " << sched->name();
+  }
+}
+
+TEST_F(IntegrationTest, AblationsDegradeCrius) {
+  // §8.6: removing adaptivity or heterogeneity scaling hurts.
+  CriusScheduler full(&oracle_, CriusConfig{});
+  CriusScheduler na(&oracle_, CriusConfig{.adaptivity_scaling = false});
+  CriusScheduler nh(&oracle_, CriusConfig{.heterogeneity_scaling = false});
+  const SimResult rf = Run(full);
+  const SimResult rna = Run(na);
+  const SimResult rnh = Run(nh);
+  EXPECT_LE(rf.avg_jct, rna.avg_jct * 1.02);
+  EXPECT_LE(rf.avg_jct, rnh.avg_jct * 1.02);
+}
+
+TEST_F(IntegrationTest, DeterministicEndToEnd) {
+  CriusScheduler a(&oracle_, CriusConfig{});
+  const SimResult ra = Run(a);
+  CriusScheduler b(&oracle_, CriusConfig{});
+  const SimResult rb = Run(b);
+  EXPECT_DOUBLE_EQ(ra.avg_jct, rb.avg_jct);
+  EXPECT_DOUBLE_EQ(ra.avg_throughput, rb.avg_throughput);
+  ASSERT_EQ(ra.jobs.size(), rb.jobs.size());
+  for (size_t i = 0; i < ra.jobs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ra.jobs[i].finish, rb.jobs[i].finish);
+  }
+}
+
+TEST_F(IntegrationTest, DeadlineAwareCriusBeatsElasticFlowOnDeadlines) {
+  // §8.5 on a small deadline-carrying trace.
+  TraceConfig config = PhillySixHourConfig();
+  config.num_jobs = 80;
+  config.duration = 2.0 * kHour;
+  config.load = 1.8;  // deadline pressure only bites under contention
+  config.deadline_fraction = 1.0;
+  config.deadline_slack_min = 1.2;
+  config.deadline_slack_max = 3.0;
+  const auto trace = GenerateTrace(cluster_, oracle_, config);
+
+  CriusScheduler crius_ddl(&oracle_, CriusConfig{.deadline_aware = true});
+  ElasticFlowScheduler ef(&oracle_, ElasticFlowConfig{.loose_deadlines = false});
+  Simulator sim(cluster_, SimConfig{});
+  const SimResult rc = sim.Run(crius_ddl, oracle_, trace);
+  const SimResult re = sim.Run(ef, oracle_, trace);
+  EXPECT_GE(rc.deadline_ratio, re.deadline_ratio);
+  EXPECT_GT(rc.deadline_ratio, 0.5);
+}
+
+}  // namespace
+}  // namespace crius

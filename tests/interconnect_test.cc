@@ -1,0 +1,126 @@
+#include "src/hw/interconnect.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/units.h"
+
+namespace crius {
+namespace {
+
+GroupTopology NvLinkNode4() {
+  return GroupTopology::For(GpuType::kA100, 4);
+}
+
+GroupTopology PcieNode2() {
+  return GroupTopology::For(GpuType::kA40, 2);
+}
+
+TEST(GroupTopologyTest, InheritsGpuSpec) {
+  const GroupTopology t = NvLinkNode4();
+  EXPECT_DOUBLE_EQ(t.intra_bw, GpuSpecOf(GpuType::kA100).intra_bw);
+  EXPECT_DOUBLE_EQ(t.inter_bw, GpuSpecOf(GpuType::kA100).inter_bw);
+  EXPECT_EQ(t.gpus_per_node, 4);
+}
+
+TEST(AllReduceTest, ZeroCases) {
+  const GroupTopology t = NvLinkNode4();
+  EXPECT_DOUBLE_EQ(AllReduceTime(t, 0.0, 8), 0.0);
+  EXPECT_DOUBLE_EQ(AllReduceTime(t, 1e6, 1), 0.0);
+}
+
+TEST(AllReduceTest, MonotoneInBytes) {
+  const GroupTopology t = NvLinkNode4();
+  EXPECT_LT(AllReduceTime(t, 1e6, 4), AllReduceTime(t, 1e7, 4));
+}
+
+TEST(AllReduceTest, IntraNodeRingFormula) {
+  const GroupTopology t = NvLinkNode4();
+  const double bytes = 1e9;
+  const double expected =
+      2.0 * (3.0 / 4.0) * bytes / t.intra_bw + 2.0 * 3.0 * t.intra_latency;
+  EXPECT_NEAR(AllReduceTime(t, bytes, 4), expected, 1e-12);
+}
+
+TEST(AllReduceTest, CrossNodeSlowerThanIntra) {
+  const GroupTopology t = NvLinkNode4();
+  // 8 GPUs span 2 nodes; the inter-node ring dominates.
+  EXPECT_GT(AllReduceTime(t, 1e8, 8), AllReduceTime(t, 1e8, 4));
+}
+
+TEST(AllReduceTest, HierarchicalUsesBothLevels) {
+  const GroupTopology t = NvLinkNode4();
+  const double bytes = 1e9;
+  const double intra_part = 2.0 * (3.0 / 4.0) * bytes / t.intra_bw;
+  const double inter_part = 2.0 * (1.0 / 2.0) * bytes / t.inter_bw;
+  const double got = AllReduceTime(t, bytes, 8);
+  EXPECT_GT(got, intra_part);
+  EXPECT_GT(got, inter_part);
+  EXPECT_LT(got, intra_part + inter_part + 1e-3);
+}
+
+TEST(AllReduceDeathTest, NonPackingGroupAborts) {
+  const GroupTopology t = NvLinkNode4();
+  EXPECT_DEATH(AllReduceTime(t, 1e6, 6), "pack");
+}
+
+TEST(AllGatherTest, HalfOfAllReduceIntra) {
+  const GroupTopology t = NvLinkNode4();
+  const double bytes = 1e8;
+  EXPECT_NEAR(AllGatherTime(t, bytes, 4) * 2.0, AllReduceTime(t, bytes, 4), 1e-9);
+}
+
+TEST(ReduceScatterTest, SymmetricToAllGather) {
+  const GroupTopology t = PcieNode2();
+  EXPECT_DOUBLE_EQ(ReduceScatterTime(t, 5e7, 2), AllGatherTime(t, 5e7, 2));
+}
+
+TEST(SendRecvTest, CrossNodeSlower) {
+  const GroupTopology t = PcieNode2();
+  EXPECT_GT(SendRecvTime(t, 1e8, /*cross_node=*/true),
+            SendRecvTime(t, 1e8, /*cross_node=*/false));
+}
+
+TEST(SendRecvTest, LatencyFloor) {
+  const GroupTopology t = PcieNode2();
+  EXPECT_GE(SendRecvTime(t, 1.0, false), t.intra_latency);
+  EXPECT_DOUBLE_EQ(SendRecvTime(t, 0.0, true), 0.0);
+}
+
+TEST(AllToAllTest, IntraNodeOnly) {
+  const GroupTopology t = NvLinkNode4();
+  const double got = AllToAllTime(t, 1e8, 4);
+  EXPECT_GT(got, 0.0);
+  // Intra-node all-to-all moves (k-1)/n of the payload over NVLink.
+  EXPECT_LT(got, 1e8 / t.intra_bw);
+}
+
+TEST(AllToAllTest, CrossNodeDominatedByNic) {
+  const GroupTopology t = PcieNode2();
+  const double intra_only = AllToAllTime(t, 1e8, 2);
+  const double cross = AllToAllTime(t, 1e8, 8);
+  EXPECT_GT(cross, intra_only);
+}
+
+TEST(CollectiveTimeTest, DispatchMatchesDirectCalls) {
+  const GroupTopology t = NvLinkNode4();
+  EXPECT_DOUBLE_EQ(CollectiveTime(CollectiveKind::kAllReduce, t, 1e7, 4),
+                   AllReduceTime(t, 1e7, 4));
+  EXPECT_DOUBLE_EQ(CollectiveTime(CollectiveKind::kAllGather, t, 1e7, 4),
+                   AllGatherTime(t, 1e7, 4));
+  EXPECT_DOUBLE_EQ(CollectiveTime(CollectiveKind::kAllToAll, t, 1e7, 4),
+                   AllToAllTime(t, 1e7, 4));
+  // SendRecv: n > gpus_per_node selects the cross-node path.
+  EXPECT_DOUBLE_EQ(CollectiveTime(CollectiveKind::kSendRecv, t, 1e7, 8),
+                   SendRecvTime(t, 1e7, true));
+  EXPECT_DOUBLE_EQ(CollectiveTime(CollectiveKind::kSendRecv, t, 1e7, 2),
+                   SendRecvTime(t, 1e7, false));
+}
+
+TEST(CollectiveNameTest, AllNamed) {
+  for (int k = 0; k < kNumCollectiveKinds; ++k) {
+    EXPECT_STRNE(CollectiveName(static_cast<CollectiveKind>(k)), "?");
+  }
+}
+
+}  // namespace
+}  // namespace crius

@@ -1,0 +1,89 @@
+#include "src/util/mathutil.h"
+
+#include <gtest/gtest.h>
+
+namespace crius {
+namespace {
+
+TEST(PowerOfTwoTest, IsPowerOfTwo) {
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(2));
+  EXPECT_TRUE(IsPowerOfTwo(1024));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_FALSE(IsPowerOfTwo(-2));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_FALSE(IsPowerOfTwo(12));
+}
+
+TEST(PowerOfTwoTest, FloorCeil) {
+  EXPECT_EQ(FloorPowerOfTwo(1), 1);
+  EXPECT_EQ(FloorPowerOfTwo(5), 4);
+  EXPECT_EQ(FloorPowerOfTwo(8), 8);
+  EXPECT_EQ(FloorPowerOfTwo(1023), 512);
+  EXPECT_EQ(CeilPowerOfTwo(1), 1);
+  EXPECT_EQ(CeilPowerOfTwo(5), 8);
+  EXPECT_EQ(CeilPowerOfTwo(8), 8);
+}
+
+TEST(PowerOfTwoTest, Log2Floor) {
+  EXPECT_EQ(Log2Floor(1), 0);
+  EXPECT_EQ(Log2Floor(2), 1);
+  EXPECT_EQ(Log2Floor(3), 1);
+  EXPECT_EQ(Log2Floor(64), 6);
+}
+
+TEST(CeilDivTest, Basic) {
+  EXPECT_EQ(CeilDiv(0, 4), 0);
+  EXPECT_EQ(CeilDiv(1, 4), 1);
+  EXPECT_EQ(CeilDiv(4, 4), 1);
+  EXPECT_EQ(CeilDiv(5, 4), 2);
+}
+
+TEST(PowerOfTwoSplitsTest, EnumeratesAllFactorizations) {
+  const auto splits = PowerOfTwoSplits(8);
+  ASSERT_EQ(splits.size(), 4u);
+  for (const auto& s : splits) {
+    EXPECT_EQ(s.d * s.t, 8);
+    EXPECT_TRUE(IsPowerOfTwo(s.d));
+    EXPECT_TRUE(IsPowerOfTwo(s.t));
+  }
+  EXPECT_EQ(splits.front().t, 1);  // ordered by increasing tp
+  EXPECT_EQ(splits.back().t, 8);
+}
+
+TEST(PowerOfTwoSplitsTest, One) {
+  const auto splits = PowerOfTwoSplits(1);
+  ASSERT_EQ(splits.size(), 1u);
+  EXPECT_EQ(splits[0].d, 1);
+  EXPECT_EQ(splits[0].t, 1);
+}
+
+TEST(PowersOfTwoUpToTest, Basic) {
+  EXPECT_EQ(PowersOfTwoUpTo(1), (std::vector<int64_t>{1}));
+  EXPECT_EQ(PowersOfTwoUpTo(10), (std::vector<int64_t>{1, 2, 4, 8}));
+}
+
+TEST(InterpolateLinearTest, ExactPoints) {
+  const std::vector<double> xs = {0.0, 1.0, 2.0};
+  const std::vector<double> ys = {10.0, 20.0, 40.0};
+  EXPECT_DOUBLE_EQ(InterpolateLinear(xs, ys, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(InterpolateLinear(xs, ys, 1.0), 20.0);
+  EXPECT_DOUBLE_EQ(InterpolateLinear(xs, ys, 2.0), 40.0);
+}
+
+TEST(InterpolateLinearTest, Midpoints) {
+  const std::vector<double> xs = {0.0, 1.0, 2.0};
+  const std::vector<double> ys = {10.0, 20.0, 40.0};
+  EXPECT_DOUBLE_EQ(InterpolateLinear(xs, ys, 0.5), 15.0);
+  EXPECT_DOUBLE_EQ(InterpolateLinear(xs, ys, 1.5), 30.0);
+}
+
+TEST(InterpolateLinearTest, ExtrapolatesBoundarySlope) {
+  const std::vector<double> xs = {0.0, 1.0};
+  const std::vector<double> ys = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(InterpolateLinear(xs, ys, 2.0), 20.0);
+  EXPECT_DOUBLE_EQ(InterpolateLinear(xs, ys, -1.0), -10.0);
+}
+
+}  // namespace
+}  // namespace crius

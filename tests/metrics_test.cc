@@ -1,0 +1,107 @@
+#include "src/sim/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace crius {
+namespace {
+
+JobRecord Finished(int64_t id, double submit, double start, double finish, int restarts = 0) {
+  JobRecord r;
+  r.id = id;
+  r.submit = submit;
+  r.first_start = start;
+  r.finish = finish;
+  r.restarts = restarts;
+  r.finished = true;
+  return r;
+}
+
+TEST(JobRecordTest, DerivedTimes) {
+  const JobRecord r = Finished(0, 10.0, 25.0, 110.0);
+  EXPECT_DOUBLE_EQ(r.jct(), 100.0);
+  EXPECT_DOUBLE_EQ(r.queue_time(), 15.0);
+}
+
+TEST(SimResultTest, AggregatesJctAndQueue) {
+  SimResult result;
+  result.jobs.push_back(Finished(0, 0.0, 10.0, 100.0, 1));
+  result.jobs.push_back(Finished(1, 0.0, 0.0, 300.0, 3));
+  result.Finalize();
+  EXPECT_EQ(result.finished_jobs, 2);
+  EXPECT_DOUBLE_EQ(result.avg_jct, 200.0);
+  EXPECT_DOUBLE_EQ(result.median_jct, 200.0);
+  EXPECT_DOUBLE_EQ(result.max_jct, 300.0);
+  EXPECT_DOUBLE_EQ(result.avg_queue_time, 5.0);
+  EXPECT_DOUBLE_EQ(result.avg_restarts, 2.0);
+  EXPECT_DOUBLE_EQ(result.makespan, 300.0);
+}
+
+TEST(SimResultTest, CountsUnfinishedAndDropped) {
+  SimResult result;
+  result.jobs.push_back(Finished(0, 0.0, 1.0, 50.0));
+  JobRecord unfinished;
+  unfinished.id = 1;
+  result.jobs.push_back(unfinished);
+  JobRecord dropped;
+  dropped.id = 2;
+  dropped.dropped = true;
+  result.jobs.push_back(dropped);
+  result.Finalize();
+  EXPECT_EQ(result.finished_jobs, 1);
+  EXPECT_EQ(result.unfinished_jobs, 1);
+  EXPECT_EQ(result.dropped_jobs, 1);
+}
+
+TEST(SimResultTest, DeadlineRatioCountsDropsAsMisses) {
+  SimResult result;
+  JobRecord met = Finished(0, 0.0, 1.0, 10.0);
+  met.had_deadline = true;
+  met.deadline_met = true;
+  result.jobs.push_back(met);
+  JobRecord missed = Finished(1, 0.0, 1.0, 100.0);
+  missed.had_deadline = true;
+  result.jobs.push_back(missed);
+  JobRecord dropped;
+  dropped.id = 2;
+  dropped.dropped = true;
+  dropped.had_deadline = true;
+  result.jobs.push_back(dropped);
+  result.Finalize();
+  EXPECT_NEAR(result.deadline_ratio, 1.0 / 3.0, 1e-12);
+}
+
+TEST(SimResultTest, DeadlineRatioZeroWithoutDeadlines) {
+  SimResult result;
+  result.jobs.push_back(Finished(0, 0.0, 1.0, 10.0));
+  result.Finalize();
+  EXPECT_DOUBLE_EQ(result.deadline_ratio, 0.0);
+}
+
+TEST(SimResultTest, ThroughputAggregates) {
+  SimResult result;
+  result.timeline.push_back(ThroughputSample{0.0, 2.0, 1, 0});
+  result.timeline.push_back(ThroughputSample{300.0, 6.0, 3, 1});
+  result.timeline.push_back(ThroughputSample{600.0, 4.0, 2, 0});
+  result.Finalize();
+  EXPECT_DOUBLE_EQ(result.avg_throughput, 4.0);
+  EXPECT_DOUBLE_EQ(result.peak_throughput, 6.0);
+}
+
+TEST(SimResultTest, EmptyResultIsZeroed) {
+  SimResult result;
+  result.Finalize();
+  EXPECT_DOUBLE_EQ(result.avg_jct, 0.0);
+  EXPECT_DOUBLE_EQ(result.avg_throughput, 0.0);
+  EXPECT_EQ(result.finished_jobs, 0);
+}
+
+TEST(SimResultTest, QueueTimeClampedNonNegative) {
+  SimResult result;
+  JobRecord r = Finished(0, 10.0, 5.0, 50.0);  // started "before" submit
+  result.jobs.push_back(r);
+  result.Finalize();
+  EXPECT_GE(result.avg_queue_time, 0.0);
+}
+
+}  // namespace
+}  // namespace crius

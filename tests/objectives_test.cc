@@ -1,0 +1,175 @@
+// Tests for the scheduling-objective extension (max-min fairness), the
+// size-dependent checkpoint cost model, and the slowdown/fairness metrics.
+
+#include <gtest/gtest.h>
+
+#include "src/sched/baselines.h"
+#include "src/sched/crius_sched.h"
+#include "src/sim/simulator.h"
+#include "tests/sched_test_util.h"
+
+namespace crius {
+namespace {
+
+const ModelSpec kSmall{ModelFamily::kBert, 0.76, 128};
+
+TEST(CriusObjectiveTest, FairVariantName) {
+  Cluster cluster = MakeMotivationCluster();
+  PerformanceOracle oracle(cluster, 42);
+  CriusScheduler fair(&oracle, CriusConfig{.objective = CriusObjective::kMaxMinFairness});
+  EXPECT_EQ(fair.name(), "Crius-Fair");
+}
+
+class FairnessSchedTest : public SchedTestBase {
+ protected:
+  FairnessSchedTest() : SchedTestBase(MakeSimulatedCluster()) {}
+};
+
+TEST_F(FairnessSchedTest, WaterFillingUpgradesWorstOffJob) {
+  // Two placed jobs, one badly deprived (running at N/2 on a slow type) and
+  // one already at a good score; with limited upscale budget, the fairness
+  // objective must improve the deprived one first.
+  CriusConfig config;
+  config.objective = CriusObjective::kMaxMinFairness;
+  config.max_upscale_moves = 1;
+  CriusScheduler sched(&oracle_, config);
+
+  JobState* deprived = AddRunning(0, kSmall, 2, GpuType::kV100, /*nstages=*/1,
+                                  /*requested_gpus=*/16);
+  JobState* healthy = AddRunning(1, kSmall, 16, GpuType::kA100, /*nstages=*/1,
+                                 /*requested_gpus=*/16);
+  const ScheduleDecision d = sched.Schedule(0.0, Views(), cluster_);
+  CheckCapacity(d);
+  ASSERT_TRUE(d.assignments.count(0));
+  ASSERT_TRUE(d.assignments.count(1));
+  // The single allowed move went to the deprived job.
+  const Assignment& a0 = d.assignments.at(0);
+  EXPECT_TRUE(a0.ngpus > deprived->ngpus || a0.type != deprived->gpu_type);
+  EXPECT_EQ(d.assignments.at(1).ngpus, healthy->ngpus);
+  EXPECT_EQ(d.assignments.at(1).type, healthy->gpu_type);
+}
+
+TEST_F(FairnessSchedTest, BothObjectivesRespectCapacity) {
+  for (CriusObjective objective :
+       {CriusObjective::kMaxThroughput, CriusObjective::kMaxMinFairness}) {
+    CriusScheduler sched(&oracle_, CriusConfig{.objective = objective});
+    states_.clear();
+    for (int i = 0; i < 50; ++i) {
+      AddQueued(i, kSmall, 16, GpuType::kA100, static_cast<double>(i));
+    }
+    const ScheduleDecision d = sched.Schedule(0.0, Views(), cluster_);
+    CheckCapacity(d);
+    EXPECT_GT(d.assignments.size(), 5u);
+  }
+}
+
+// ---------- checkpoint-bandwidth restart model --------------------------------
+
+TEST(CheckpointCostTest, LargerModelsPayMoreOnRestart) {
+  Cluster cluster = MakeMotivationCluster();
+  PerformanceOracle oracle(cluster, 42);
+  SimConfig config;
+  config.checkpoint_bandwidth = 2e9;  // 2 GB/s
+
+  auto run_one = [&](const ModelSpec& spec) {
+    TrainingJob job;
+    job.id = 0;
+    job.spec = spec;
+    job.iterations = 10;
+    job.requested_gpus = 4;
+    job.requested_type = GpuType::kA100;
+    FcfsScheduler sched(&oracle);
+    Simulator sim(cluster, config);
+    return sim.Run(sched, oracle, {job});
+  };
+
+  const SimResult small = run_one(ModelSpec{ModelFamily::kBert, 0.76, 128});
+  const SimResult large = run_one(ModelSpec{ModelFamily::kBert, 1.3, 128});
+  ASSERT_TRUE(small.jobs[0].finished && large.jobs[0].finished);
+  // Start-up checkpoint-read gap must reflect the parameter-size difference.
+  const double small_params = GetOpGraph(ModelSpec{ModelFamily::kBert, 0.76, 128}).TotalParamBytes();
+  const double large_params = GetOpGraph(ModelSpec{ModelFamily::kBert, 1.3, 128}).TotalParamBytes();
+  const double expected_gap = 2.0 * (large_params - small_params) / config.checkpoint_bandwidth;
+  const double iter_gap = 10.0 * (oracle.BestAdaptive(ModelSpec{ModelFamily::kBert, 1.3, 128},
+                                                      GpuType::kA100, 4)
+                                      ->iter_time -
+                                  oracle.BestAdaptive(ModelSpec{ModelFamily::kBert, 0.76, 128},
+                                                      GpuType::kA100, 4)
+                                      ->iter_time);
+  EXPECT_NEAR(large.jobs[0].finish - small.jobs[0].finish, expected_gap + iter_gap, 1e-6);
+}
+
+TEST(CheckpointCostTest, ZeroBandwidthKeepsFixedModel) {
+  Cluster cluster = MakeMotivationCluster();
+  PerformanceOracle oracle(cluster, 42);
+  TrainingJob job;
+  job.id = 0;
+  job.spec = kSmall;
+  job.iterations = 10;
+  job.requested_gpus = 4;
+  job.requested_type = GpuType::kA100;
+  FcfsScheduler sched(&oracle);
+  Simulator sim(cluster, SimConfig{});
+  const SimResult r = sim.Run(sched, oracle, {job});
+  const double iter = oracle.BestAdaptive(kSmall, GpuType::kA100, 4)->iter_time;
+  EXPECT_NEAR(r.jobs[0].finish, SimConfig{}.restart_overhead + 10.0 * iter, 1e-6);
+}
+
+// ---------- slowdown / fairness metrics ---------------------------------------
+
+TEST(SlowdownMetricsTest, ComputedFromIdealDuration) {
+  SimResult result;
+  JobRecord a;
+  a.id = 0;
+  a.finished = true;
+  a.submit = 0.0;
+  a.first_start = 0.0;
+  a.finish = 200.0;
+  a.ideal_duration = 100.0;  // slowdown 2
+  result.jobs.push_back(a);
+  JobRecord b = a;
+  b.id = 1;
+  b.finish = 100.0;  // slowdown 1
+  result.jobs.push_back(b);
+  result.Finalize();
+  EXPECT_DOUBLE_EQ(result.avg_slowdown, 1.5);
+  EXPECT_GT(result.p99_slowdown, 1.9);
+  // Jain over rates {0.5, 1.0}: (1.5)^2 / (2 * 1.25) = 0.9.
+  EXPECT_NEAR(result.fairness_index, 0.9, 1e-12);
+}
+
+TEST(SlowdownMetricsTest, PerfectServiceIsFair) {
+  SimResult result;
+  for (int i = 0; i < 4; ++i) {
+    JobRecord r;
+    r.id = i;
+    r.finished = true;
+    r.first_start = 0.0;
+    r.finish = 50.0;
+    r.ideal_duration = 50.0;
+    result.jobs.push_back(r);
+  }
+  result.Finalize();
+  EXPECT_DOUBLE_EQ(result.avg_slowdown, 1.0);
+  EXPECT_DOUBLE_EQ(result.fairness_index, 1.0);
+}
+
+TEST(SlowdownMetricsTest, SimulatorFillsIdealDuration) {
+  Cluster cluster = MakeMotivationCluster();
+  PerformanceOracle oracle(cluster, 42);
+  TrainingJob job;
+  job.id = 0;
+  job.spec = kSmall;
+  job.iterations = 100;
+  job.requested_gpus = 4;
+  job.requested_type = GpuType::kA100;
+  FcfsScheduler sched(&oracle);
+  Simulator sim(cluster, SimConfig{});
+  const SimResult r = sim.Run(sched, oracle, {job});
+  const double iter = oracle.BestAdaptive(kSmall, GpuType::kA100, 4)->iter_time;
+  EXPECT_NEAR(r.jobs[0].ideal_duration, 100.0 * iter, 1e-9);
+  EXPECT_GE(r.avg_slowdown, 1.0);
+}
+
+}  // namespace
+}  // namespace crius

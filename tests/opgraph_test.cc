@@ -1,0 +1,95 @@
+#include "src/model/opgraph.h"
+
+#include <gtest/gtest.h>
+
+namespace crius {
+namespace {
+
+Operator MakeOp(double flops, double params, double act, double tp = 0.0, double a2a = 0.0) {
+  Operator op;
+  op.fwd_flops_per_sample = flops;
+  op.param_bytes = params;
+  op.act_bytes_per_sample = act;
+  op.tp_comm_bytes_per_sample = tp;
+  op.a2a_bytes_per_sample = a2a;
+  return op;
+}
+
+OpGraph MakeGraph() {
+  OpGraph g;
+  g.Add(MakeOp(10.0, 100.0, 5.0, 1.0));
+  g.Add(MakeOp(20.0, 200.0, 6.0, 2.0, 8.0));
+  g.Add(MakeOp(30.0, 300.0, 7.0, 3.0));
+  g.Finalize();
+  return g;
+}
+
+TEST(OpGraphTest, SequentialIds) {
+  const OpGraph g = MakeGraph();
+  ASSERT_EQ(g.size(), 3u);
+  for (size_t i = 0; i < g.size(); ++i) {
+    EXPECT_EQ(g.op(i).id, static_cast<int>(i));
+  }
+}
+
+TEST(OpGraphTest, RangeAggregates) {
+  const OpGraph g = MakeGraph();
+  EXPECT_DOUBLE_EQ(g.FwdFlops(0, 3), 60.0);
+  EXPECT_DOUBLE_EQ(g.FwdFlops(1, 2), 20.0);
+  EXPECT_DOUBLE_EQ(g.FwdFlops(1, 1), 0.0);
+  EXPECT_DOUBLE_EQ(g.ParamBytes(0, 2), 300.0);
+  EXPECT_DOUBLE_EQ(g.ActBytes(1, 3), 13.0);
+  EXPECT_DOUBLE_EQ(g.TpCommBytes(0, 3), 6.0);
+  EXPECT_DOUBLE_EQ(g.A2aBytes(0, 3), 8.0);
+  EXPECT_DOUBLE_EQ(g.A2aBytes(0, 1), 0.0);
+}
+
+TEST(OpGraphTest, TotalsMatchFullRange) {
+  const OpGraph g = MakeGraph();
+  EXPECT_DOUBLE_EQ(g.TotalFwdFlops(), g.FwdFlops(0, g.size()));
+  EXPECT_DOUBLE_EQ(g.TotalParamBytes(), g.ParamBytes(0, g.size()));
+}
+
+TEST(OpGraphTest, BoundaryBytesIsProducerActivation) {
+  const OpGraph g = MakeGraph();
+  EXPECT_DOUBLE_EQ(g.BoundaryBytes(1), 5.0);
+  EXPECT_DOUBLE_EQ(g.BoundaryBytes(2), 6.0);
+}
+
+TEST(OpGraphTest, ActMemDefaultsToActBytes) {
+  OpGraph g;
+  g.Add(MakeOp(1.0, 1.0, 9.0));
+  Operator with_mem = MakeOp(1.0, 1.0, 4.0);
+  with_mem.act_mem_bytes_per_sample = 10.0;
+  g.Add(with_mem);
+  g.Finalize();
+  EXPECT_DOUBLE_EQ(g.ActMemBytes(0, 1), 9.0);   // defaulted
+  EXPECT_DOUBLE_EQ(g.ActMemBytes(1, 2), 10.0);  // explicit
+}
+
+TEST(OpGraphDeathTest, QueriesRequireFinalize) {
+  OpGraph g;
+  g.Add(MakeOp(1.0, 1.0, 1.0));
+  EXPECT_DEATH(g.FwdFlops(0, 1), "finalized");
+}
+
+TEST(OpGraphDeathTest, EmptyGraphCannotFinalize) {
+  OpGraph g;
+  EXPECT_DEATH(g.Finalize(), "at least one");
+}
+
+TEST(OpGraphDeathTest, DoubleFinalizeAborts) {
+  OpGraph g;
+  g.Add(MakeOp(1.0, 1.0, 1.0));
+  g.Finalize();
+  EXPECT_DEATH(g.Finalize(), "finalized");
+}
+
+TEST(OpGraphDeathTest, BoundaryBytesBounds) {
+  const OpGraph g = MakeGraph();
+  EXPECT_DEATH(g.BoundaryBytes(0), "");
+  EXPECT_DEATH(g.BoundaryBytes(3), "");
+}
+
+}  // namespace
+}  // namespace crius

@@ -1,0 +1,154 @@
+#include "src/core/oracle.h"
+
+#include <gtest/gtest.h>
+
+namespace crius {
+namespace {
+
+class OracleTest : public ::testing::Test {
+ protected:
+  OracleTest() : cluster_(MakeSimulatedCluster()), oracle_(cluster_, 42) {}
+
+  Cluster cluster_;
+  PerformanceOracle oracle_;
+};
+
+TEST_F(OracleTest, BestAdaptiveCachedReferenceIsStable) {
+  const ModelSpec spec{ModelFamily::kBert, 1.3, 128};
+  const auto& a = oracle_.BestAdaptive(spec, GpuType::kA100, 4);
+  const auto& b = oracle_.BestAdaptive(spec, GpuType::kA100, 4);
+  EXPECT_EQ(&a, &b);  // same cache slot
+  ASSERT_TRUE(a.has_value());
+}
+
+TEST_F(OracleTest, BestAdaptiveMatchesExplorer) {
+  const ModelSpec spec{ModelFamily::kMoe, 2.4, 256};
+  const JobContext ctx = oracle_.perf_model().MakeContext(spec, GpuType::kA40);
+  const auto& cached = oracle_.BestAdaptive(spec, GpuType::kA40, 8);
+  const ExploreResult direct = oracle_.explorer().FullExplore(ctx, 8);
+  ASSERT_TRUE(cached.has_value());
+  ASSERT_TRUE(direct.best.has_value());
+  EXPECT_DOUBLE_EQ(cached->iter_time, direct.best->iter_time);
+}
+
+TEST_F(OracleTest, DpOnlyMatchesManualPlan) {
+  const ModelSpec spec{ModelFamily::kBert, 1.3, 128};
+  const JobContext ctx = oracle_.perf_model().MakeContext(spec, GpuType::kA100);
+  const auto dp = oracle_.DpOnlyIterTime(spec, GpuType::kA100, 4);
+  ASSERT_TRUE(dp.has_value());
+  ParallelPlan plan;
+  plan.gpu_type = GpuType::kA100;
+  plan.stages.push_back(StagePlan{0, ctx.graph->size(), 4, 4, 1});
+  const PlanEval eval = oracle_.perf_model().Evaluate(ctx, plan);
+  ASSERT_TRUE(eval.feasible);
+  EXPECT_DOUBLE_EQ(*dp, eval.iter_time);
+}
+
+TEST_F(OracleTest, DpOnlyOomReturnsNullopt) {
+  // BERT-2.6B data-parallel-only does not fit any GPU count on A10.
+  const ModelSpec spec{ModelFamily::kBert, 2.6, 128};
+  EXPECT_FALSE(oracle_.DpOnlyIterTime(spec, GpuType::kA10, 8).has_value());
+  // ...while adaptive parallelism finds a plan.
+  EXPECT_TRUE(oracle_.BestAdaptive(spec, GpuType::kA10, 8).has_value());
+}
+
+TEST_F(OracleTest, DpOnlyNeverBeatsAdaptive) {
+  for (const ModelSpec spec : {ModelSpec{ModelFamily::kBert, 1.3, 128},
+                               ModelSpec{ModelFamily::kWideResNet, 1.0, 256}}) {
+    for (int n : {1, 2, 4, 8}) {
+      const auto dp = oracle_.DpOnlyIterTime(spec, GpuType::kA100, n);
+      const auto& best = oracle_.BestAdaptive(spec, GpuType::kA100, n);
+      if (dp.has_value() && best.has_value()) {
+        EXPECT_GE(*dp, best->iter_time - 1e-9);
+      }
+    }
+  }
+}
+
+TEST_F(OracleTest, ThroughputsConsistent) {
+  const ModelSpec spec{ModelFamily::kBert, 1.3, 128};
+  const auto& best = oracle_.BestAdaptive(spec, GpuType::kA100, 4);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_DOUBLE_EQ(oracle_.AdaptiveThroughput(spec, GpuType::kA100, 4),
+                   128.0 / best->iter_time);
+  EXPECT_DOUBLE_EQ(oracle_.AdaptiveThroughput(ModelSpec{ModelFamily::kMoe, 27.0, 256},
+                                              GpuType::kA10, 1),
+                   0.0);  // infeasible shape
+}
+
+TEST_F(OracleTest, EstimateAndTuneCached) {
+  const ModelSpec spec{ModelFamily::kMoe, 2.4, 256};
+  const Cell cell{GpuType::kA40, 8, 2};
+  const CellEstimate& a = oracle_.EstimateCell(spec, cell);
+  const CellEstimate& b = oracle_.EstimateCell(spec, cell);
+  EXPECT_EQ(&a, &b);
+  const TuneResult& t1 = oracle_.TuneCell(spec, cell);
+  const TuneResult& t2 = oracle_.TuneCell(spec, cell);
+  EXPECT_EQ(&t1, &t2);
+  ASSERT_TRUE(a.feasible);
+  ASSERT_TRUE(t1.best.has_value());
+}
+
+TEST_F(OracleTest, EstimatedThroughputMatchesEstimate) {
+  const ModelSpec spec{ModelFamily::kBert, 1.3, 128};
+  const Cell cell{GpuType::kA100, 4, 1};
+  const CellEstimate& est = oracle_.EstimateCell(spec, cell);
+  ASSERT_TRUE(est.feasible);
+  EXPECT_DOUBLE_EQ(oracle_.EstimatedThroughput(spec, cell), 128.0 / est.iter_time);
+}
+
+TEST_F(OracleTest, BatchDistinguishesCacheEntries) {
+  const ModelSpec b128{ModelFamily::kBert, 1.3, 128};
+  const ModelSpec b512{ModelFamily::kBert, 1.3, 512};
+  const auto& a = oracle_.BestAdaptive(b128, GpuType::kA100, 4);
+  const auto& b = oracle_.BestAdaptive(b512, GpuType::kA100, 4);
+  ASSERT_TRUE(a.has_value() && b.has_value());
+  EXPECT_NE(a->iter_time, b->iter_time);
+}
+
+TEST_F(OracleTest, TunedCellNeverWorseThanGridEstimatePlan) {
+  const ModelSpec spec{ModelFamily::kBert, 2.6, 128};
+  const Cell cell{GpuType::kA100, 8, 2};
+  const CellEstimate& est = oracle_.EstimateCell(spec, cell);
+  ASSERT_TRUE(est.feasible);
+  const TuneResult& tuned = oracle_.TuneCell(spec, cell);
+  ASSERT_TRUE(tuned.best.has_value());
+  const JobContext ctx = oracle_.perf_model().MakeContext(spec, GpuType::kA100);
+  const PlanEval grid = oracle_.perf_model().Evaluate(ctx, est.plan);
+  ASSERT_TRUE(grid.feasible);
+  EXPECT_LE(tuned.best->iter_time, grid.iter_time + 1e-9);
+}
+
+TEST(OracleConfigTest, NoiseKnobsChangeEstimatesOnly) {
+  Cluster cluster = MakePhysicalTestbed();
+  PerformanceOracle clean(cluster, 42, OracleConfig{.compute_jitter = 0.0, .comm_jitter = 0.0});
+  PerformanceOracle noisy(cluster, 42, OracleConfig{.compute_jitter = 0.3, .comm_jitter = 0.2});
+  const ModelSpec spec{ModelFamily::kBert, 1.3, 128};
+  const Cell cell{GpuType::kA40, 8, 2};
+  const CellEstimate& a = clean.EstimateCell(spec, cell);
+  const CellEstimate& b = noisy.EstimateCell(spec, cell);
+  ASSERT_TRUE(a.feasible && b.feasible);
+  EXPECT_NE(a.iter_time, b.iter_time);
+  // Ground truth is independent of estimator noise.
+  const auto& best_a = clean.BestAdaptive(spec, GpuType::kA40, 8);
+  const auto& best_b = noisy.BestAdaptive(spec, GpuType::kA40, 8);
+  ASSERT_TRUE(best_a.has_value() && best_b.has_value());
+  EXPECT_DOUBLE_EQ(best_a->iter_time, best_b->iter_time);
+}
+
+TEST(OracleConfigTest, ZeroJitterStillHasStructuralError) {
+  // Even noise-free, the estimator differs from ground truth: grid sampling
+  // and the straggler factor are structural, not stochastic.
+  Cluster cluster = MakePhysicalTestbed();
+  PerformanceOracle clean(cluster, 42, OracleConfig{.compute_jitter = 0.0, .comm_jitter = 0.0});
+  const ModelSpec spec{ModelFamily::kBert, 2.6, 128};
+  const Cell cell{GpuType::kA40, 8, 1};
+  const CellEstimate& est = clean.EstimateCell(spec, cell);
+  ASSERT_TRUE(est.feasible);
+  const JobContext ctx = clean.perf_model().MakeContext(spec, GpuType::kA40);
+  const PlanEval measured = clean.perf_model().Evaluate(ctx, est.plan);
+  EXPECT_NE(est.iter_time, measured.iter_time);  // straggler gap remains
+}
+
+}  // namespace
+}  // namespace crius

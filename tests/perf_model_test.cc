@@ -1,0 +1,200 @@
+#include "src/parallel/perf_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "src/util/units.h"
+
+namespace crius {
+namespace {
+
+class PerfModelTest : public ::testing::Test {
+ protected:
+  PerfModelTest() : cluster_(MakeSimulatedCluster()), model_(cluster_) {}
+
+  JobContext Ctx(ModelFamily family, double size, int64_t batch, GpuType type) {
+    return model_.MakeContext(ModelSpec{family, size, batch}, type);
+  }
+
+  // Uniform-split plan helper: `nstages` FLOPs-balanced stages, all (dp, tp).
+  ParallelPlan UniformPlan(const JobContext& ctx, int ngpus, int nstages, int dp, int tp) {
+    ParallelPlan plan;
+    plan.gpu_type = ctx.gpu_type;
+    const auto ranges = PartitionStages(*ctx.graph, ngpus, nstages);
+    for (const StageRange& r : ranges) {
+      plan.stages.push_back(StagePlan{r.op_begin, r.op_end, r.gpus, dp, tp});
+    }
+    return plan;
+  }
+
+  Cluster cluster_;
+  PerfModel model_;
+};
+
+TEST_F(PerfModelTest, BatchUtilizationMonotone) {
+  for (ModelFamily f : {ModelFamily::kWideResNet, ModelFamily::kBert, ModelFamily::kMoe}) {
+    EXPECT_LT(BatchUtilization(f, 1.0), BatchUtilization(f, 8.0));
+    EXPECT_LT(BatchUtilization(f, 8.0), 1.0);
+    EXPECT_GT(BatchUtilization(f, 0.5), 0.0);
+  }
+}
+
+TEST_F(PerfModelTest, TpEfficiencyDecreases) {
+  EXPECT_DOUBLE_EQ(TpEfficiency(1), 1.0);
+  EXPECT_GT(TpEfficiency(2), TpEfficiency(4));
+  EXPECT_GT(TpEfficiency(4), TpEfficiency(16));
+  EXPECT_GT(TpEfficiency(16), 0.5);
+}
+
+TEST_F(PerfModelTest, ContextCarriesModelKey) {
+  const JobContext a = Ctx(ModelFamily::kBert, 1.3, 128, GpuType::kA100);
+  const JobContext b = Ctx(ModelFamily::kBert, 1.3, 256, GpuType::kA100);
+  EXPECT_NE(a.model_key, 0u);
+  EXPECT_NE(a.model_key, b.model_key);  // batch is part of the identity
+}
+
+TEST_F(PerfModelTest, StragglerMakesDistributedSlower) {
+  const JobContext ctx = Ctx(ModelFamily::kBert, 1.3, 128, GpuType::kA100);
+  const StageRange range{0, ctx.graph->size(), 4};
+  const StageEval ev = model_.EvalStage(ctx, range, 4, 1, 1);
+  EXPECT_GT(ev.t_compute, ev.t_compute_single);
+  const StageEval single = model_.EvalStage(ctx, StageRange{0, ctx.graph->size(), 1}, 1, 1, 1);
+  EXPECT_DOUBLE_EQ(single.t_compute, single.t_compute_single);
+}
+
+TEST_F(PerfModelTest, TensorParallelismShardsMemory) {
+  const JobContext ctx = Ctx(ModelFamily::kBert, 2.6, 128, GpuType::kA100);
+  const StageRange range{0, ctx.graph->size(), 4};
+  const StageEval dp = model_.EvalStage(ctx, range, 4, 1, 1);
+  const StageEval tp = model_.EvalStage(ctx, range, 1, 4, 1);
+  EXPECT_GT(dp.mem_bytes, 2.0 * tp.mem_bytes);
+}
+
+TEST_F(PerfModelTest, KnownOomCases) {
+  // BERT-2.6B dp-only cannot fit in 40 GiB (5.2 GB weights x 8 state mult).
+  const JobContext ctx = Ctx(ModelFamily::kBert, 2.6, 128, GpuType::kA100);
+  const StageRange range{0, ctx.graph->size(), 4};
+  EXPECT_FALSE(model_.EvalStage(ctx, range, 4, 1, 1).fits);
+  EXPECT_TRUE(model_.EvalStage(ctx, range, 1, 4, 1).fits);
+}
+
+TEST_F(PerfModelTest, DpSyncOnlyWithReplicas) {
+  const JobContext ctx = Ctx(ModelFamily::kBert, 1.3, 128, GpuType::kA100);
+  const StageRange range{0, ctx.graph->size(), 4};
+  EXPECT_DOUBLE_EQ(model_.EvalStage(ctx, range, 1, 4, 1).t_dp_sync, 0.0);
+  EXPECT_GT(model_.EvalStage(ctx, range, 4, 1, 1).t_dp_sync, 0.0);
+}
+
+TEST_F(PerfModelTest, TpCommCheaperOnNvLink) {
+  // The same tp-only stage pays more for activation all-reduces on PCIe A40
+  // than on NVLink A100 (relative to its compute).
+  const JobContext a100 = Ctx(ModelFamily::kBert, 1.3, 128, GpuType::kA100);
+  const JobContext a40 = Ctx(ModelFamily::kBert, 1.3, 128, GpuType::kA40);
+  const StageRange range{0, a100.graph->size(), 2};
+  const StageEval ev_a100 = model_.EvalStage(a100, range, 1, 2, 1);
+  const StageEval ev_a40 = model_.EvalStage(a40, range, 1, 2, 1);
+  const double overhead_a100 = ev_a100.t_microbatch / ev_a100.t_compute;
+  const double overhead_a40 = ev_a40.t_microbatch / ev_a40.t_compute;
+  EXPECT_GT(overhead_a40, overhead_a100);
+}
+
+TEST_F(PerfModelTest, MoePaysAllToAll) {
+  const JobContext moe = Ctx(ModelFamily::kMoe, 1.3, 256, GpuType::kA100);
+  const StageRange range{0, moe.graph->size(), 2};
+  const StageEval tp = model_.EvalStage(moe, range, 1, 2, 1);
+  // Stage time strictly exceeds compute + the pure tp all-reduce (a2a extra).
+  EXPECT_GT(tp.t_microbatch, tp.t_compute);
+}
+
+TEST_F(PerfModelTest, EvaluateMatchesManualPipelineFormula) {
+  const JobContext ctx = Ctx(ModelFamily::kBert, 1.3, 128, GpuType::kA100);
+  const ParallelPlan plan = UniformPlan(ctx, 4, 2, 2, 1);
+  const PlanEval eval = model_.Evaluate(ctx, plan);
+  ASSERT_TRUE(eval.feasible);
+
+  // Recompose by hand.
+  const int b = plan.num_microbatches();
+  double sum = 0.0;
+  double max_stage = 0.0;
+  double max_sync = 0.0;
+  for (const StagePlan& sp : plan.stages) {
+    const StageEval ev =
+        model_.EvalStage(ctx, StageRange{sp.op_begin, sp.op_end, sp.gpus}, sp.dp, sp.tp, 2);
+    sum += ev.t_microbatch;
+    max_stage = std::max(max_stage, ev.t_microbatch);
+    max_sync = std::max(max_sync, ev.t_dp_sync);
+  }
+  // The manual total omits boundary comm, so it must lower-bound the model.
+  const double lower = sum + (b - 1) * max_stage +
+                       PerfModel::kDpSyncExposedFraction * max_sync + PerfModel::kIterOverhead;
+  EXPECT_GE(eval.iter_time, lower);
+  EXPECT_LT(eval.iter_time, lower * 1.5);
+}
+
+TEST_F(PerfModelTest, InfeasiblePlanHasInfiniteTime) {
+  const JobContext ctx = Ctx(ModelFamily::kMoe, 27.0, 256, GpuType::kA10);
+  const ParallelPlan plan = UniformPlan(ctx, 2, 1, 2, 1);
+  const PlanEval eval = model_.Evaluate(ctx, plan);
+  EXPECT_FALSE(eval.feasible);
+  EXPECT_TRUE(std::isinf(eval.iter_time));
+  EXPECT_GT(eval.max_stage_mem, GpuSpecOf(GpuType::kA10).memory_bytes);
+}
+
+TEST_F(PerfModelTest, MoreGpusFasterUnderDp) {
+  const JobContext ctx = Ctx(ModelFamily::kWideResNet, 1.0, 256, GpuType::kA100);
+  double prev = 1e30;
+  for (int n : {1, 2, 4, 8}) {
+    const ParallelPlan plan = UniformPlan(ctx, n, 1, n, 1);
+    const PlanEval eval = model_.Evaluate(ctx, plan);
+    ASSERT_TRUE(eval.feasible);
+    EXPECT_LT(eval.iter_time, prev);
+    prev = eval.iter_time;
+  }
+}
+
+TEST_F(PerfModelTest, ScalingEfficiencyBelowLinear) {
+  // Doubling GPUs never more than doubles throughput (Fig. 4a's ceiling).
+  const JobContext ctx = Ctx(ModelFamily::kBert, 0.76, 128, GpuType::kA100);
+  const PlanEval e1 = model_.Evaluate(ctx, UniformPlan(ctx, 1, 1, 1, 1));
+  const PlanEval e8 = model_.Evaluate(ctx, UniformPlan(ctx, 8, 1, 8, 1));
+  ASSERT_TRUE(e1.feasible && e8.feasible);
+  EXPECT_GT(e8.iter_time * 8.0, e1.iter_time);
+}
+
+TEST_F(PerfModelTest, SlowerGpuSlowerIteration) {
+  const ModelSpec spec{ModelFamily::kBert, 1.3, 128};
+  const JobContext a100 = model_.MakeContext(spec, GpuType::kA100);
+  const JobContext v100 = model_.MakeContext(spec, GpuType::kV100);
+  const PlanEval fast = model_.Evaluate(a100, UniformPlan(a100, 4, 1, 4, 1));
+  const PlanEval slow = model_.Evaluate(v100, UniformPlan(v100, 4, 1, 4, 1));
+  ASSERT_TRUE(fast.feasible && slow.feasible);
+  EXPECT_LT(fast.iter_time, slow.iter_time);
+}
+
+TEST_F(PerfModelTest, DirectProfileCostScalesWithGpus) {
+  const JobContext ctx = Ctx(ModelFamily::kBert, 1.3, 128, GpuType::kA100);
+  const ParallelPlan p4 = UniformPlan(ctx, 4, 1, 4, 1);
+  const ParallelPlan p8 = UniformPlan(ctx, 8, 1, 8, 1);
+  EXPECT_GT(model_.DirectProfileGpuSeconds(ctx, p8),
+            model_.DirectProfileGpuSeconds(ctx, p4));
+}
+
+TEST_F(PerfModelTest, PipelineReducesPerStageMemory) {
+  const JobContext ctx = Ctx(ModelFamily::kBert, 6.7, 128, GpuType::kA40);
+  const PlanEval p1 = model_.Evaluate(ctx, UniformPlan(ctx, 4, 1, 4, 1));
+  const PlanEval p4 = model_.Evaluate(ctx, UniformPlan(ctx, 4, 4, 1, 1));
+  EXPECT_FALSE(p1.feasible);  // 13.4 GB weights x 8 does not fit in 48 GiB
+  EXPECT_TRUE(p4.feasible);   // ~1/4 of the weights per stage does
+}
+
+TEST_F(PerfModelTest, MakeContextRejectsMissingType) {
+  const Cluster testbed = MakePhysicalTestbed();
+  const PerfModel pm(testbed);
+  EXPECT_DEATH(pm.MakeContext(ModelSpec{ModelFamily::kBert, 1.3, 128}, GpuType::kA100),
+               "no A100");
+}
+
+}  // namespace
+}  // namespace crius

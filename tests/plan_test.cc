@@ -1,0 +1,98 @@
+#include "src/parallel/plan.h"
+
+#include <gtest/gtest.h>
+
+#include "src/model/models.h"
+
+namespace crius {
+namespace {
+
+ParallelPlan TwoStagePlan() {
+  ParallelPlan plan;
+  plan.gpu_type = GpuType::kA100;
+  plan.stages.push_back(StagePlan{0, 3, 4, 2, 2});
+  plan.stages.push_back(StagePlan{3, 6, 4, 4, 1});
+  return plan;
+}
+
+TEST(ParallelPlanTest, Totals) {
+  const ParallelPlan plan = TwoStagePlan();
+  EXPECT_EQ(plan.num_stages(), 2);
+  EXPECT_EQ(plan.total_gpus(), 8);
+  EXPECT_EQ(plan.num_microbatches(), 8);  // 4 x stages (GPipe)
+}
+
+TEST(ParallelPlanTest, ToStringShowsStages) {
+  EXPECT_EQ(TwoStagePlan().ToString(), "A100 P2[D2T2|D4T1]");
+}
+
+TEST(ParallelPlanTest, ShortFormUniform) {
+  ParallelPlan plan;
+  plan.gpu_type = GpuType::kA40;
+  plan.stages.push_back(StagePlan{0, 2, 4, 4, 1});
+  EXPECT_EQ(plan.ShortForm(), "4D");
+  plan.stages[0].dp = 2;
+  plan.stages[0].tp = 2;
+  EXPECT_EQ(plan.ShortForm(), "2D2T");
+  plan.stages.push_back(StagePlan{2, 4, 4, 2, 2});
+  EXPECT_EQ(plan.ShortForm(), "2P2D2T");
+}
+
+TEST(ParallelPlanTest, ShortFormSingleGpu) {
+  ParallelPlan plan;
+  plan.stages.push_back(StagePlan{0, 1, 1, 1, 1});
+  EXPECT_EQ(plan.ShortForm(), "1D");
+}
+
+TEST(ParallelPlanTest, ShortFormMixedFallsBack) {
+  const ParallelPlan plan = TwoStagePlan();
+  EXPECT_EQ(plan.ShortForm(), plan.ToString());
+}
+
+TEST(ValidatePlanTest, AcceptsWellFormed) {
+  const OpGraph& g = GetOpGraph(ModelSpec{ModelFamily::kBert, 0.76, 128});
+  ParallelPlan plan;
+  plan.gpu_type = GpuType::kA100;
+  plan.stages.push_back(StagePlan{0, g.size() / 2, 2, 2, 1});
+  plan.stages.push_back(StagePlan{g.size() / 2, g.size(), 2, 1, 2});
+  ValidatePlan(plan, g);  // must not abort
+}
+
+TEST(ValidatePlanDeathTest, RejectsGapsAndOverlaps) {
+  const OpGraph& g = GetOpGraph(ModelSpec{ModelFamily::kBert, 0.76, 128});
+  ParallelPlan plan;
+  plan.gpu_type = GpuType::kA100;
+  plan.stages.push_back(StagePlan{0, 2, 1, 1, 1});
+  plan.stages.push_back(StagePlan{3, g.size(), 1, 1, 1});  // gap at op 2
+  EXPECT_DEATH(ValidatePlan(plan, g), "contiguous");
+}
+
+TEST(ValidatePlanDeathTest, RejectsPartialCoverage) {
+  const OpGraph& g = GetOpGraph(ModelSpec{ModelFamily::kBert, 0.76, 128});
+  ParallelPlan plan;
+  plan.stages.push_back(StagePlan{0, 2, 1, 1, 1});
+  EXPECT_DEATH(ValidatePlan(plan, g), "cover");
+}
+
+TEST(ValidatePlanDeathTest, RejectsBadSplit) {
+  const OpGraph& g = GetOpGraph(ModelSpec{ModelFamily::kBert, 0.76, 128});
+  ParallelPlan plan;
+  plan.stages.push_back(StagePlan{0, g.size(), 4, 2, 1});  // dp*tp != gpus
+  EXPECT_DEATH(ValidatePlan(plan, g), "dp\\*tp");
+}
+
+TEST(ValidatePlanDeathTest, RejectsNonPowerOfTwoGpus) {
+  const OpGraph& g = GetOpGraph(ModelSpec{ModelFamily::kBert, 0.76, 128});
+  ParallelPlan plan;
+  plan.stages.push_back(StagePlan{0, g.size(), 3, 3, 1});
+  EXPECT_DEATH(ValidatePlan(plan, g), "power of two");
+}
+
+TEST(ValidatePlanDeathTest, RejectsEmptyPlan) {
+  const OpGraph& g = GetOpGraph(ModelSpec{ModelFamily::kBert, 0.76, 128});
+  ParallelPlan plan;
+  EXPECT_DEATH(ValidatePlan(plan, g), "no stages");
+}
+
+}  // namespace
+}  // namespace crius

@@ -1,0 +1,202 @@
+#include "src/util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace crius {
+namespace {
+
+TEST(SplitMix64Test, DeterministicAndMixing) {
+  EXPECT_EQ(SplitMix64(0), SplitMix64(0));
+  EXPECT_NE(SplitMix64(0), SplitMix64(1));
+  // Nearby inputs should diverge in many bits.
+  const uint64_t a = SplitMix64(42);
+  const uint64_t b = SplitMix64(43);
+  EXPECT_GE(__builtin_popcountll(a ^ b), 16);
+}
+
+TEST(HashStringTest, DistinguishesStrings) {
+  EXPECT_EQ(HashString("abc"), HashString("abc"));
+  EXPECT_NE(HashString("abc"), HashString("abd"));
+  EXPECT_NE(HashString(""), HashString("a"));
+}
+
+TEST(HashCombineTest, OrderSensitive) {
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));
+  EXPECT_EQ(HashCombine(1, 2), HashCombine(1, 2));
+}
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(7, "x");
+  Rng b(7, "x");
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentStreamNamesDiverge) {
+  Rng a(7, "x");
+  Rng b(7, "y");
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += a.Next() == b.Next();
+  }
+  EXPECT_LE(same, 1);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRange) {
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(3);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.UniformInt(2, 5);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all values reachable
+}
+
+TEST(RngTest, UniformIntSingleton) {
+  Rng rng(4);
+  EXPECT_EQ(rng.UniformInt(9, 9), 9);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(5);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(6);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Exponential(2.0);
+    EXPECT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, LogNormalMedian) {
+  Rng rng(7);
+  std::vector<double> v;
+  for (int i = 0; i < 10001; ++i) {
+    v.push_back(rng.LogNormal(std::log(10.0), 0.8));
+  }
+  std::sort(v.begin(), v.end());
+  EXPECT_NEAR(v[v.size() / 2], 10.0, 1.0);
+}
+
+TEST(RngTest, PoissonSmallMean) {
+  Rng rng(8);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(rng.Poisson(3.0));
+  }
+  EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(RngTest, PoissonLargeMeanUsesNormalApprox) {
+  Rng rng(9);
+  double sum = 0.0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    const int64_t v = rng.Poisson(200.0);
+    EXPECT_GE(v, 0);
+    sum += static_cast<double>(v);
+  }
+  EXPECT_NEAR(sum / n, 200.0, 2.0);
+}
+
+TEST(RngTest, PoissonZeroMean) {
+  Rng rng(10);
+  EXPECT_EQ(rng.Poisson(0.0), 0);
+}
+
+TEST(RngTest, WeightedIndexRespectsWeights) {
+  Rng rng(11);
+  int counts[3] = {0, 0, 0};
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) {
+    counts[rng.WeightedIndex({1.0, 2.0, 1.0})]++;
+  }
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.5, 0.02);
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.25, 0.02);
+}
+
+TEST(RngTest, WeightedIndexSkipsZeroWeights) {
+  Rng rng(12);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(rng.WeightedIndex({0.0, 1.0, 0.0}), 1u);
+  }
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(13);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(HashNoiseTest, BoundedAndDeterministic) {
+  for (uint64_t k = 0; k < 1000; ++k) {
+    const double x = HashNoise(99, k);
+    EXPECT_GE(x, -1.0);
+    EXPECT_LE(x, 1.0);
+    EXPECT_EQ(x, HashNoise(99, k));
+  }
+}
+
+TEST(HashNoiseTest, ApproximatelyCentered) {
+  double sum = 0.0;
+  const int n = 20000;
+  for (int k = 0; k < n; ++k) {
+    sum += HashNoise(7, static_cast<uint64_t>(k));
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+}
+
+TEST(HashJitterTest, WithinAmplitude) {
+  for (uint64_t k = 0; k < 1000; ++k) {
+    const double j = HashJitter(1, k, 0.05);
+    EXPECT_GE(j, 0.95);
+    EXPECT_LE(j, 1.05);
+  }
+}
+
+}  // namespace
+}  // namespace crius

@@ -1,0 +1,85 @@
+#include "src/util/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace crius {
+namespace {
+
+TEST(MeanTest, Basic) {
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({-5.0, 5.0}), 0.0);
+}
+
+TEST(GeoMeanTest, Basic) {
+  EXPECT_NEAR(GeoMean({1.0, 4.0}), 2.0, 1e-12);
+  EXPECT_NEAR(GeoMean({8.0}), 8.0, 1e-12);
+  EXPECT_DOUBLE_EQ(GeoMean({}), 0.0);
+}
+
+TEST(StdDevTest, Basic) {
+  EXPECT_DOUBLE_EQ(StdDev({5.0}), 0.0);
+  EXPECT_NEAR(StdDev({2.0, 4.0}), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(StdDev({3.0, 3.0, 3.0}), 0.0);
+}
+
+TEST(PercentileTest, Interpolation) {
+  const std::vector<double> v = {10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50.0), 25.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 25.0), 17.5);
+}
+
+TEST(PercentileTest, UnsortedInput) {
+  EXPECT_DOUBLE_EQ(Percentile({30.0, 10.0, 20.0}, 50.0), 20.0);
+}
+
+TEST(PercentileTest, SingleElement) {
+  EXPECT_DOUBLE_EQ(Percentile({7.0}, 33.0), 7.0);
+}
+
+TEST(MedianTest, OddEven) {
+  EXPECT_DOUBLE_EQ(Median({1.0, 2.0, 9.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({1.0, 2.0, 3.0, 4.0}), 2.5);
+}
+
+TEST(MinMaxSumTest, Basic) {
+  EXPECT_DOUBLE_EQ(Max({3.0, 1.0, 2.0}), 3.0);
+  EXPECT_DOUBLE_EQ(Min({3.0, 1.0, 2.0}), 1.0);
+  EXPECT_DOUBLE_EQ(Sum({3.0, 1.0, 2.0}), 6.0);
+  EXPECT_DOUBLE_EQ(Sum({}), 0.0);
+}
+
+TEST(RunningStatsTest, MatchesBatchStats) {
+  RunningStats rs;
+  const std::vector<double> v = {1.0, 5.0, 2.0, 8.0, 4.0};
+  for (double x : v) {
+    rs.Add(x);
+  }
+  EXPECT_EQ(rs.count(), v.size());
+  EXPECT_NEAR(rs.mean(), Mean(v), 1e-12);
+  EXPECT_NEAR(rs.stddev(), StdDev(v), 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 1.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 8.0);
+  EXPECT_DOUBLE_EQ(rs.sum(), 20.0);
+}
+
+TEST(RunningStatsTest, Empty) {
+  RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats rs;
+  rs.Add(42.0);
+  EXPECT_DOUBLE_EQ(rs.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.min(), 42.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 42.0);
+}
+
+}  // namespace
+}  // namespace crius

@@ -1,0 +1,60 @@
+#include "src/util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace crius {
+namespace {
+
+TEST(TableTest, RendersHeaderAndRows) {
+  Table t("Demo");
+  t.SetHeader({"name", "value"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"bb", "22"});
+  const std::string out = t.Render();
+  EXPECT_NE(out.find("Demo"), std::string::npos);
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("bb"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+}
+
+TEST(TableTest, ColumnsAligned) {
+  Table t("Align");
+  t.SetHeader({"x", "y"});
+  t.AddRow({"longvalue", "1"});
+  const std::string out = t.Render();
+  // Every data line has the same length.
+  size_t first_len = 0;
+  size_t lines_checked = 0;
+  size_t pos = 0;
+  while (pos < out.size()) {
+    const size_t end = out.find('\n', pos);
+    const std::string line = out.substr(pos, end - pos);
+    if (!line.empty() && line[0] == '|') {
+      if (first_len == 0) {
+        first_len = line.size();
+      }
+      EXPECT_EQ(line.size(), first_len);
+      ++lines_checked;
+    }
+    pos = end + 1;
+  }
+  EXPECT_EQ(lines_checked, 2u);
+}
+
+TEST(TableTest, Formatters) {
+  EXPECT_EQ(Table::Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::Fmt(3.0, 0), "3");
+  EXPECT_EQ(Table::FmtInt(-42), "-42");
+  EXPECT_EQ(Table::FmtPercent(0.489), "48.9%");
+  EXPECT_EQ(Table::FmtPercent(1.0, 0), "100%");
+  EXPECT_EQ(Table::FmtFactor(1.49), "1.49x");
+}
+
+TEST(TableDeathTest, RowArityMismatchAborts) {
+  Table t("Bad");
+  t.SetHeader({"a", "b"});
+  EXPECT_DEATH(t.AddRow({"only-one"}), "arity");
+}
+
+}  // namespace
+}  // namespace crius

@@ -1,0 +1,165 @@
+#include "src/sim/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/mathutil.h"
+
+namespace crius {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  TraceTest() : cluster_(MakeSimulatedCluster()), oracle_(cluster_, 42) {}
+
+  Cluster cluster_;
+  PerformanceOracle oracle_;
+};
+
+TEST_F(TraceTest, GeneratesRequestedJobCount) {
+  TraceConfig config = HeliosModerateConfig();
+  config.num_jobs = 100;
+  const auto trace = GenerateTrace(cluster_, oracle_, config);
+  EXPECT_EQ(trace.size(), 100u);
+}
+
+TEST_F(TraceTest, JobsSortedBySubmitTimeWithSequentialIds) {
+  const auto trace = GenerateTrace(cluster_, oracle_, HeliosModerateConfig());
+  for (size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(trace[i].id, static_cast<int64_t>(i));
+    if (i > 0) {
+      EXPECT_GE(trace[i].submit_time, trace[i - 1].submit_time);
+    }
+    EXPECT_GE(trace[i].submit_time, 0.0);
+    EXPECT_LE(trace[i].submit_time, HeliosModerateConfig().duration);
+  }
+}
+
+TEST_F(TraceTest, Deterministic) {
+  const auto a = GenerateTrace(cluster_, oracle_, PaiLowConfig());
+  const auto b = GenerateTrace(cluster_, oracle_, PaiLowConfig());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].spec.Key(), b[i].spec.Key());
+    EXPECT_EQ(a[i].requested_gpus, b[i].requested_gpus);
+    EXPECT_EQ(a[i].requested_type, b[i].requested_type);
+    EXPECT_DOUBLE_EQ(a[i].submit_time, b[i].submit_time);
+    EXPECT_EQ(a[i].iterations, b[i].iterations);
+  }
+}
+
+TEST_F(TraceTest, SeedChangesTrace) {
+  TraceConfig config = PaiLowConfig();
+  const auto a = GenerateTrace(cluster_, oracle_, config);
+  config.seed += 1;
+  const auto b = GenerateTrace(cluster_, oracle_, config);
+  int differing = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    differing += a[i].spec.Key() != b[i].spec.Key();
+  }
+  EXPECT_GT(differing, static_cast<int>(a.size()) / 4);
+}
+
+TEST_F(TraceTest, EveryJobIsFeasibleAtItsRequestedShape) {
+  const auto trace = GenerateTrace(cluster_, oracle_, HeliosModerateConfig());
+  for (const TrainingJob& job : trace) {
+    EXPECT_TRUE(IsPowerOfTwo(job.requested_gpus));
+    EXPECT_GT(oracle_.AdaptiveThroughput(job.spec, job.requested_type, job.requested_gpus),
+              0.0)
+        << job.spec.Name() << " x" << job.requested_gpus << " on "
+        << GpuName(job.requested_type);
+    EXPECT_GE(job.iterations, 20);
+  }
+}
+
+TEST_F(TraceTest, OfferedLoadMatchesTarget) {
+  // Realized requested GPU-seconds / (cluster GPUs x duration) ~= config.load.
+  TraceConfig config = HeliosModerateConfig();
+  const auto trace = GenerateTrace(cluster_, oracle_, config);
+  double gpu_seconds = 0.0;
+  for (const TrainingJob& job : trace) {
+    const double thr =
+        oracle_.AdaptiveThroughput(job.spec, job.requested_type, job.requested_gpus);
+    const double ideal =
+        static_cast<double>(job.iterations) * job.spec.global_batch / thr;
+    gpu_seconds += ideal * job.requested_gpus;
+  }
+  const double load = gpu_seconds / (cluster_.TotalGpus() * config.duration);
+  EXPECT_NEAR(load, config.load, config.load * 0.25);
+}
+
+TEST_F(TraceTest, DeadlineFractionHonored) {
+  TraceConfig config = PaiLowConfig();
+  config.deadline_fraction = 0.5;
+  const auto trace = GenerateTrace(cluster_, oracle_, config);
+  int with_deadline = 0;
+  for (const TrainingJob& job : trace) {
+    if (job.deadline.has_value()) {
+      ++with_deadline;
+      EXPECT_GT(*job.deadline, job.submit_time);
+    }
+  }
+  const double fraction = static_cast<double>(with_deadline) / trace.size();
+  EXPECT_NEAR(fraction, 0.5, 0.12);
+}
+
+TEST_F(TraceTest, NoDeadlinesByDefault) {
+  const auto trace = GenerateTrace(cluster_, oracle_, PhillySixHourConfig());
+  for (const TrainingJob& job : trace) {
+    EXPECT_FALSE(job.deadline.has_value());
+  }
+}
+
+TEST_F(TraceTest, RequestCapRespected) {
+  TraceConfig config = PhillyWeekHeavyConfig();
+  config.num_jobs = 300;
+  const auto trace = GenerateTrace(cluster_, oracle_, config);
+  for (const TrainingJob& job : trace) {
+    EXPECT_LE(job.requested_gpus, config.max_request_gpus);
+  }
+}
+
+TEST_F(TraceTest, MixesAllFamiliesAndSmallSizesDominate) {
+  TraceConfig config = PhillyWeekHeavyConfig();
+  const auto trace = GenerateTrace(cluster_, oracle_, config);
+  int families[kNumModelFamilies] = {0, 0, 0};
+  int small = 0;
+  int large = 0;
+  for (const TrainingJob& job : trace) {
+    families[static_cast<int>(job.spec.family)]++;
+    if (job.spec.params_billion <= 1.3) {
+      ++small;
+    }
+    if (job.spec.params_billion >= 6.7) {
+      ++large;
+    }
+  }
+  for (int f = 0; f < kNumModelFamilies; ++f) {
+    EXPECT_GT(families[f], static_cast<int>(trace.size()) / 10);
+  }
+  EXPECT_GT(small, large);  // Fig. 15 shape
+  EXPECT_GT(large, 0);      // ...but the tail exists
+}
+
+TEST_F(TraceTest, HistogramCountsEveryJob) {
+  const auto trace = GenerateTrace(cluster_, oracle_, PaiLowConfig());
+  const auto hist = ModelSizeHistogram(trace);
+  int total = 0;
+  for (const auto& [name, count] : hist) {
+    EXPECT_GT(count, 0);
+    total += count;
+  }
+  EXPECT_EQ(total, static_cast<int>(trace.size()));
+}
+
+TEST_F(TraceTest, TestbedTraceUsesTestbedTypes) {
+  const Cluster testbed = MakePhysicalTestbed();
+  PerformanceOracle oracle(testbed, 42);
+  const auto trace = GenerateTrace(testbed, oracle, PhillySixHourConfig());
+  for (const TrainingJob& job : trace) {
+    EXPECT_TRUE(job.requested_type == GpuType::kA40 || job.requested_type == GpuType::kA10);
+    EXPECT_LE(job.requested_gpus, 16);
+  }
+}
+
+}  // namespace
+}  // namespace crius

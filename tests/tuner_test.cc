@@ -1,0 +1,178 @@
+#include "src/core/tuner.h"
+
+#include <gtest/gtest.h>
+
+namespace crius {
+namespace {
+
+class TunerTest : public ::testing::Test {
+ protected:
+  TunerTest()
+      : cluster_(MakeSimulatedCluster()),
+        model_(cluster_),
+        comm_(cluster_, 42),
+        estimator_(&model_, &comm_, 42),
+        explorer_(&model_),
+        tuner_(&explorer_) {}
+
+  JobContext Ctx(const ModelSpec& spec, GpuType type) {
+    return model_.MakeContext(spec, type);
+  }
+
+  Cluster cluster_;
+  PerfModel model_;
+  CommProfile comm_;
+  CellEstimator estimator_;
+  Explorer explorer_;
+  CellTuner tuner_;
+};
+
+TEST(HalfHybridTest, FloorAndCeil) {
+  EXPECT_EQ(CellTuner::HalfHybridTpFloor(1), 1);
+  EXPECT_EQ(CellTuner::HalfHybridTpCeil(1), 1);
+  EXPECT_EQ(CellTuner::HalfHybridTpFloor(2), 1);
+  EXPECT_EQ(CellTuner::HalfHybridTpCeil(2), 2);
+  EXPECT_EQ(CellTuner::HalfHybridTpFloor(4), 2);
+  EXPECT_EQ(CellTuner::HalfHybridTpCeil(4), 2);
+  EXPECT_EQ(CellTuner::HalfHybridTpFloor(8), 2);
+  EXPECT_EQ(CellTuner::HalfHybridTpCeil(8), 4);
+  EXPECT_EQ(CellTuner::HalfHybridTpFloor(16), 4);
+  EXPECT_EQ(CellTuner::HalfHybridTpCeil(16), 4);
+}
+
+TEST_F(TunerTest, TunedPlanStaysInFavoredRange) {
+  const ModelSpec spec{ModelFamily::kBert, 2.6, 128};
+  const JobContext ctx = Ctx(spec, GpuType::kA40);
+  const Cell cell{GpuType::kA40, 16, 2};
+  const CellEstimate est = estimator_.Estimate(ctx, cell);
+  ASSERT_TRUE(est.feasible);
+  ASSERT_EQ(est.stage_tp_range.size(), est.plan.stages.size());
+  const TuneResult tuned = tuner_.Tune(ctx, cell, est);
+  ASSERT_TRUE(tuned.best.has_value());
+  for (size_t s = 0; s < tuned.best->plan.stages.size(); ++s) {
+    const StagePlan& sp = tuned.best->plan.stages[s];
+    const auto& [lo, hi] = est.stage_tp_range[s];
+    EXPECT_TRUE((sp.tp >= lo && sp.tp <= hi) || sp.tp == est.plan.stages[s].tp)
+        << "stage " << s << " tp " << sp.tp << " outside [" << lo << "," << hi << "]";
+  }
+}
+
+TEST_F(TunerTest, InformedFavorRangesMatchHalfHybridRule) {
+  // When both grid probes fit, a dp favor tunes [1, half-floor] and a tp
+  // favor tunes [half-ceil, N].
+  const ModelSpec spec{ModelFamily::kBert, 1.3, 128};
+  const JobContext ctx = Ctx(spec, GpuType::kA100);
+  const Cell cell{GpuType::kA100, 8, 2};
+  const CellEstimate est = estimator_.Estimate(ctx, cell);
+  ASSERT_TRUE(est.feasible);
+  for (size_t s = 0; s < est.plan.stages.size(); ++s) {
+    const int gpus = est.plan.stages[s].gpus;
+    const auto& [lo, hi] = est.stage_tp_range[s];
+    if (est.stage_prefers_tp[s]) {
+      EXPECT_EQ(hi, gpus);
+      EXPECT_LE(lo, gpus);
+    } else {
+      EXPECT_LE(lo, 2);
+      EXPECT_LE(hi, CellTuner::HalfHybridTpCeil(gpus));
+    }
+  }
+}
+
+TEST_F(TunerTest, TunedAtLeastAsGoodAsAssembledPlan) {
+  // The favored half-space always contains the assembled winner, so tuning
+  // can only improve on it (in exact/measured time).
+  for (const ModelSpec spec :
+       {ModelSpec{ModelFamily::kBert, 1.3, 128}, ModelSpec{ModelFamily::kMoe, 2.4, 256},
+        ModelSpec{ModelFamily::kWideResNet, 2.0, 256}}) {
+    for (GpuType type : {GpuType::kA100, GpuType::kA10}) {
+      for (int nstages : {1, 2, 4}) {
+        const JobContext ctx = Ctx(spec, type);
+        const Cell cell{type, 8, nstages};
+        const CellEstimate est = estimator_.Estimate(ctx, cell);
+        if (!est.feasible) {
+          continue;
+        }
+        const TuneResult tuned = tuner_.Tune(ctx, cell, est);
+        ASSERT_TRUE(tuned.best.has_value()) << spec.Name() << " " << cell.ToString();
+        const PlanEval assembled_measured = model_.Evaluate(ctx, est.plan);
+        ASSERT_TRUE(assembled_measured.feasible);
+        EXPECT_LE(tuned.best->iter_time, assembled_measured.iter_time + 1e-9);
+      }
+    }
+  }
+}
+
+TEST_F(TunerTest, HighTuningAccuracyVsFullSearch) {
+  // Fig. 13a: tuned vs unpruned full-space optimum. Grid sampling has a known
+  // worst case -- when memory forces the grid to tensor-only, the favor can
+  // prune a cheaper low-tp hybrid -- so the check is on the average accuracy
+  // (the paper reports 96.2% average), with a loose floor on the worst case.
+  double worst = 1.0;
+  double sum = 0.0;
+  int count = 0;
+  for (const ModelSpec spec :
+       {ModelSpec{ModelFamily::kBert, 2.6, 128}, ModelSpec{ModelFamily::kMoe, 10.0, 256},
+        ModelSpec{ModelFamily::kWideResNet, 4.0, 256}}) {
+    for (GpuType type : {GpuType::kA100, GpuType::kA40}) {
+      for (int nstages : {1, 2, 4}) {
+        const JobContext ctx = Ctx(spec, type);
+        const Cell cell{type, 16, nstages};
+        const CellEstimate est = estimator_.Estimate(ctx, cell);
+        if (!est.feasible) {
+          continue;
+        }
+        const TuneResult tuned = tuner_.Tune(ctx, cell, est);
+        const TuneResult full = tuner_.TuneUnpruned(ctx, cell);
+        ASSERT_TRUE(tuned.best.has_value());
+        ASSERT_TRUE(full.best.has_value());
+        const double acc =
+            1.0 - (tuned.best->iter_time - full.best->iter_time) / full.best->iter_time;
+        worst = std::min(worst, acc);
+        sum += acc;
+        ++count;
+      }
+    }
+  }
+  EXPECT_GE(count, 12);
+  EXPECT_GE(sum / count, 0.90);
+  EXPECT_GE(worst, -0.10);  // never catastrophically wrong
+}
+
+TEST_F(TunerTest, PruningReducesSearchCost) {
+  const ModelSpec spec{ModelFamily::kMoe, 2.4, 256};
+  const JobContext ctx = Ctx(spec, GpuType::kA40);
+  const Cell cell{GpuType::kA40, 16, 4};
+  const CellEstimate est = estimator_.Estimate(ctx, cell);
+  ASSERT_TRUE(est.feasible);
+  const TuneResult tuned = tuner_.Tune(ctx, cell, est);
+  const TuneResult full = tuner_.TuneUnpruned(ctx, cell);
+  EXPECT_LT(tuned.plans_evaluated, full.plans_evaluated);
+  EXPECT_LT(tuned.tune_gpu_seconds, full.tune_gpu_seconds);
+}
+
+TEST_F(TunerTest, InfeasibleEstimateYieldsEmptyResult) {
+  const ModelSpec spec{ModelFamily::kMoe, 27.0, 256};
+  const JobContext ctx = Ctx(spec, GpuType::kA10);
+  const Cell cell{GpuType::kA10, 1, 1};
+  const CellEstimate est = estimator_.Estimate(ctx, cell);
+  ASSERT_FALSE(est.feasible);
+  const TuneResult tuned = tuner_.Tune(ctx, cell, est);
+  EXPECT_FALSE(tuned.best.has_value());
+  EXPECT_EQ(tuned.plans_evaluated, 0);
+}
+
+TEST_F(TunerTest, Deterministic) {
+  const ModelSpec spec{ModelFamily::kBert, 6.7, 128};
+  const JobContext ctx = Ctx(spec, GpuType::kA40);
+  const Cell cell{GpuType::kA40, 16, 4};
+  const CellEstimate est = estimator_.Estimate(ctx, cell);
+  ASSERT_TRUE(est.feasible);
+  const TuneResult a = tuner_.Tune(ctx, cell, est);
+  const TuneResult b = tuner_.Tune(ctx, cell, est);
+  ASSERT_TRUE(a.best.has_value() && b.best.has_value());
+  EXPECT_DOUBLE_EQ(a.best->iter_time, b.best->iter_time);
+  EXPECT_EQ(a.best->plan.ToString(), b.best->plan.ToString());
+}
+
+}  // namespace
+}  // namespace crius

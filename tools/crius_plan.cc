@@ -1,0 +1,138 @@
+// crius_plan: inspect the parallelization of one job on one GPU shape.
+//
+// Shows what the whole pipeline produces for a single (model, GPU type, GPU
+// count): the adaptive-parallelism optimum, the per-stage-count alternatives,
+// the Cell estimates, the pipeline Gantt of the best plan, and optionally a
+// Chrome-trace JSON of one iteration.
+//
+// Examples:
+//   crius_plan --model BERT-2.6B --gpus 8 --type A40
+//   crius_plan --model MoE-10B --gpus 16 --type A100 --batch 512 --chrome-trace iter.json
+
+#include <cstdio>
+#include <fstream>
+
+#include "src/core/oracle.h"
+#include "src/runtime/gantt.h"
+#include "src/runtime/pipeline_engine.h"
+#include "src/util/check.h"
+#include "src/util/flags.h"
+#include "src/util/table.h"
+
+namespace crius {
+namespace {
+
+ModelSpec ParseModelName(const std::string& name, int64_t batch) {
+  for (ModelFamily family :
+       {ModelFamily::kWideResNet, ModelFamily::kBert, ModelFamily::kMoe}) {
+    for (double size : SupportedSizes(family)) {
+      ModelSpec spec{family, size, batch > 0 ? batch : SupportedBatches(family)[0]};
+      if (spec.Name() == name) {
+        return spec;
+      }
+    }
+  }
+  std::string known;
+  for (ModelFamily family :
+       {ModelFamily::kWideResNet, ModelFamily::kBert, ModelFamily::kMoe}) {
+    for (double size : SupportedSizes(family)) {
+      known += " " + ModelSpec{family, size, 1}.Name();
+    }
+  }
+  CRIUS_UNREACHABLE("unknown model '" + name + "'; known:" + known);
+}
+
+int Run(int argc, const char* const* argv) {
+  std::string model_name = "BERT-2.6B";
+  std::string type_name = "A100";
+  std::string cluster_spec;
+  int64_t gpus = 8;
+  int64_t batch = 0;
+  int64_t seed = 42;
+  std::string chrome_trace;
+
+  FlagSet flags("crius_plan", "Inspect adaptive parallelization of one job");
+  flags.String("model", &model_name, "model name, e.g. BERT-2.6B, WRes-4.0B, MoE-10B");
+  flags.String("type", &type_name, "GPU type: A100 | A40 | A10 | V100");
+  flags.String("cluster", &cluster_spec,
+               "optional cluster spec (defaults to 16 nodes of the chosen type)");
+  flags.Int("gpus", &gpus, "GPU count (power of two)");
+  flags.Int("batch", &batch, "global batch size (0 = family default)");
+  flags.Int("seed", &seed, "profiling-noise seed");
+  flags.String("chrome-trace", &chrome_trace,
+               "write one iteration of the best plan as Chrome-trace JSON");
+  if (!flags.Parse(argc, argv)) {
+    return 1;
+  }
+
+  const GpuType type = ParseGpuType(type_name);
+  Cluster cluster;
+  if (cluster_spec.empty()) {
+    const int per_node = type == GpuType::kA100 ? 4 : (type == GpuType::kV100 ? 16 : 2);
+    const int nodes = std::max(1, static_cast<int>(gpus) * 2 / per_node);
+    cluster.AddNodes(type, nodes, per_node);
+  } else {
+    cluster = ParseClusterSpec(cluster_spec);
+  }
+  PerformanceOracle oracle(cluster, static_cast<uint64_t>(seed));
+  const ModelSpec spec = ParseModelName(model_name, batch);
+  const JobContext ctx = oracle.perf_model().MakeContext(spec, type);
+
+  std::printf("%s, global batch %lld, on %lldx %s (%d GPUs/node)\n", spec.Name().c_str(),
+              static_cast<long long>(spec.global_batch), static_cast<long long>(gpus),
+              GpuName(type).c_str(), cluster.GpusPerNode(type));
+
+  // Per-stage-count alternatives and the Cell estimates.
+  Table table("Plans by pipeline-stage count");
+  table.SetHeader({"stages", "optimal plan", "measured iter (s)", "thr (samples/s)",
+                   "Cell estimate (s)", "est. accuracy"});
+  for (int nstages : CandidateStageCounts(*ctx.graph, static_cast<int>(gpus))) {
+    const ExploreResult r =
+        oracle.explorer().ExploreWithinStages(ctx, static_cast<int>(gpus), nstages);
+    const Cell cell{type, static_cast<int>(gpus), nstages};
+    const CellEstimate& est = oracle.EstimateCell(spec, cell);
+    if (!r.best.has_value()) {
+      table.AddRow({"P" + std::to_string(nstages), "OOM", "-", "-",
+                    est.feasible ? Table::Fmt(est.iter_time, 3) : "OOM", "-"});
+      continue;
+    }
+    std::string acc = "-";
+    if (est.feasible) {
+      const PlanEval measured = oracle.perf_model().Evaluate(ctx, est.plan);
+      acc = Table::FmtPercent(
+          1.0 - std::abs(est.iter_time - measured.iter_time) / measured.iter_time);
+    }
+    table.AddRow({"P" + std::to_string(nstages), r.best->plan.ShortForm(),
+                  Table::Fmt(r.best->iter_time, 3),
+                  Table::Fmt(spec.global_batch / r.best->iter_time, 1),
+                  est.feasible ? Table::Fmt(est.iter_time, 3) : "OOM", acc});
+  }
+  table.Print();
+
+  const auto& best = oracle.BestAdaptive(spec, type, static_cast<int>(gpus));
+  if (!best.has_value()) {
+    std::printf("\nNo feasible plan on this shape.\n");
+    return 2;
+  }
+  std::printf("\nAdaptive-parallelism optimum: %s (%.3f s/iter)\n\n%s",
+              best->plan.ToString().c_str(), best->iter_time,
+              RenderPipelineGantt(oracle.perf_model(), ctx, best->plan, 96).c_str());
+
+  if (!chrome_trace.empty()) {
+    const PipelineEngine engine(&oracle.perf_model());
+    const IterationTrace trace = engine.Execute(ctx, best->plan);
+    std::ofstream out(chrome_trace);
+    CRIUS_CHECK_MSG(out.is_open(), "cannot write " << chrome_trace);
+    WriteChromeTrace(trace, best->plan, out);
+    std::printf("\nChrome trace written to %s (open in chrome://tracing)\n",
+                chrome_trace.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace crius
+
+int main(int argc, char** argv) {
+  return crius::Run(argc, argv);
+}

@@ -1,0 +1,217 @@
+// crius_sim: command-line cluster-scheduling simulator.
+//
+// Runs one trace (synthetic or loaded from CSV) on a cluster under one
+// scheduler and prints the metric summary; optionally exports the trace,
+// per-job records and the throughput timeline as CSV for plotting.
+//
+// Examples:
+//   crius_sim --cluster testbed --trace philly6h --scheduler crius
+//   crius_sim --cluster "A100:8x4,V100:2x16" --trace helios --scheduler gavel
+//   crius_sim --trace-file workload.csv --scheduler elasticflow --jobs-csv out.csv
+//   crius_sim --trace philly-week --scheduler crius --search-depth 5 --seed 9
+
+#include <cstdio>
+#include <memory>
+
+#include "src/sched/baselines.h"
+#include "src/sched/crius_sched.h"
+#include "src/sim/simulator.h"
+#include "src/sim/trace.h"
+#include "src/sim/trace_io.h"
+#include "src/util/check.h"
+#include "src/util/flags.h"
+#include "src/util/table.h"
+
+namespace crius {
+namespace {
+
+Cluster MakeCluster(const std::string& spec) {
+  if (spec == "testbed") {
+    return MakePhysicalTestbed();
+  }
+  if (spec == "simulated") {
+    return MakeSimulatedCluster();
+  }
+  if (spec == "motivation") {
+    return MakeMotivationCluster();
+  }
+  return ParseClusterSpec(spec);
+}
+
+TraceConfig MakeTraceConfig(const std::string& name) {
+  if (name == "philly6h") {
+    return PhillySixHourConfig();
+  }
+  if (name == "philly-week") {
+    return PhillyWeekHeavyConfig();
+  }
+  if (name == "helios") {
+    return HeliosModerateConfig();
+  }
+  if (name == "pai") {
+    return PaiLowConfig();
+  }
+  CRIUS_UNREACHABLE("unknown trace style '" + name +
+                    "' (want philly6h|philly-week|helios|pai)");
+}
+
+std::unique_ptr<Scheduler> MakeScheduler(const std::string& name, PerformanceOracle* oracle,
+                                         int search_depth, bool deadline_aware) {
+  if (name == "fcfs") {
+    return std::make_unique<FcfsScheduler>(oracle);
+  }
+  if (name == "tiresias") {
+    return std::make_unique<TiresiasScheduler>(oracle);
+  }
+  if (name == "gandiva") {
+    return std::make_unique<GandivaScheduler>(oracle);
+  }
+  if (name == "gavel") {
+    return std::make_unique<GavelScheduler>(oracle);
+  }
+  if (name == "elasticflow") {
+    return std::make_unique<ElasticFlowScheduler>(oracle, ElasticFlowConfig{});
+  }
+  if (name == "elasticflow-strict") {
+    return std::make_unique<ElasticFlowScheduler>(oracle,
+                                                  ElasticFlowConfig{.loose_deadlines = false});
+  }
+  if (name == "crius" || name == "crius-na" || name == "crius-nh" || name == "crius-fair" ||
+      name == "crius-solver") {
+    CriusConfig config;
+    config.search_depth = search_depth;
+    config.deadline_aware = deadline_aware;
+    config.adaptivity_scaling = name != "crius-na";
+    config.heterogeneity_scaling = name != "crius-nh";
+    if (name == "crius-fair") {
+      config.objective = CriusObjective::kMaxMinFairness;
+    }
+    if (name == "crius-solver") {
+      config.placement_order = CriusPlacementOrder::kBestOfAll;
+    }
+    return std::make_unique<CriusScheduler>(oracle, config);
+  }
+  CRIUS_UNREACHABLE("unknown scheduler '" + name + "'");
+}
+
+int Run(int argc, const char* const* argv) {
+  std::string cluster_spec = "testbed";
+  std::string trace_style = "philly6h";
+  std::string trace_file;
+  std::string scheduler_name = "crius";
+  int64_t seed = 42;
+  int64_t num_jobs = 0;
+  int64_t search_depth = 3;
+  double load = 0.0;
+  double deadline_fraction = 0.0;
+  bool deadline_aware = false;
+  bool no_profiling_cost = false;
+  double execution_jitter = 0.0;
+  std::string trace_out;
+  std::string jobs_csv;
+  std::string timeline_csv;
+  std::string events_csv;
+
+  FlagSet flags("crius_sim", "Run a Crius cluster-scheduling simulation");
+  flags.String("cluster", &cluster_spec,
+               "testbed | simulated | motivation | spec like 'A100:8x4,A40:4x2'");
+  flags.String("trace", &trace_style, "philly6h | philly-week | helios | pai");
+  flags.String("trace-file", &trace_file, "load the workload from a trace CSV instead");
+  flags.String("scheduler", &scheduler_name,
+               "crius | crius-na | crius-nh | crius-fair | crius-solver | fcfs | gandiva | "
+               "gavel | tiresias | elasticflow | elasticflow-strict");
+  flags.Int("seed", &seed, "random seed for trace synthesis and profiling noise");
+  flags.Int("jobs", &num_jobs, "override the trace's job count (0 = keep default)");
+  flags.Int("search-depth", &search_depth, "Crius scaling-search depth (Fig. 21)");
+  flags.Double("load", &load, "override the trace's offered load (0 = keep default)");
+  flags.Double("deadline-fraction", &deadline_fraction,
+               "fraction of jobs carrying deadlines (§8.5)");
+  flags.Bool("deadline-aware", &deadline_aware, "run Crius in deadline-aware mode");
+  flags.Bool("no-profiling-cost", &no_profiling_cost,
+             "skip charging Crius's Cell-profiling delay");
+  flags.Double("execution-jitter", &execution_jitter,
+               "per-placement iteration-time jitter (0 = pure simulation)");
+  flags.String("save-trace", &trace_out, "write the synthesized trace to this CSV");
+  flags.String("jobs-csv", &jobs_csv, "write per-job records to this CSV");
+  flags.String("timeline-csv", &timeline_csv, "write the throughput timeline to this CSV");
+  flags.String("events-csv", &events_csv, "write the scheduling-event log to this CSV");
+  if (!flags.Parse(argc, argv)) {
+    return 1;
+  }
+
+  Cluster cluster = MakeCluster(cluster_spec);
+  PerformanceOracle oracle(cluster, static_cast<uint64_t>(seed));
+
+  std::vector<TrainingJob> trace;
+  if (!trace_file.empty()) {
+    trace = ReadTraceCsvFile(trace_file);
+    std::printf("Loaded %zu jobs from %s\n", trace.size(), trace_file.c_str());
+  } else {
+    TraceConfig config = MakeTraceConfig(trace_style);
+    config.seed = static_cast<uint64_t>(seed);
+    if (num_jobs > 0) {
+      config.num_jobs = static_cast<int>(num_jobs);
+    }
+    if (load > 0.0) {
+      config.load = load;
+    }
+    config.deadline_fraction = deadline_fraction;
+    trace = GenerateTrace(cluster, oracle, config);
+    std::printf("Synthesized %zu jobs (%s) for cluster %s\n", trace.size(),
+                config.name.c_str(), ClusterSpecString(cluster).c_str());
+  }
+  if (!trace_out.empty()) {
+    CRIUS_CHECK_MSG(WriteTraceCsvFile(trace, trace_out), "cannot write " << trace_out);
+    std::printf("Trace written to %s\n", trace_out.c_str());
+  }
+
+  auto scheduler = MakeScheduler(scheduler_name, &oracle, static_cast<int>(search_depth),
+                                 deadline_aware);
+  SimConfig sim_config;
+  sim_config.charge_profiling = !no_profiling_cost;
+  sim_config.execution_jitter = execution_jitter;
+  sim_config.record_events = !events_csv.empty();
+  Simulator sim(cluster, sim_config);
+  const SimResult result = sim.Run(*scheduler, oracle, trace);
+
+  Table table("crius_sim: " + result.scheduler + " on " + ClusterSpecString(cluster));
+  table.SetHeader({"metric", "value"});
+  table.AddRow({"jobs (finished/unfinished/dropped)",
+                Table::FmtInt(result.finished_jobs) + " / " +
+                    Table::FmtInt(result.unfinished_jobs) + " / " +
+                    Table::FmtInt(result.dropped_jobs)});
+  table.AddRow({"avg JCT", Table::Fmt(result.avg_jct / kMinute, 1) + " min"});
+  table.AddRow({"median JCT", Table::Fmt(result.median_jct / kMinute, 1) + " min"});
+  table.AddRow({"max JCT", Table::Fmt(result.max_jct / kHour, 2) + " h"});
+  table.AddRow({"avg queuing time", Table::Fmt(result.avg_queue_time / kMinute, 1) + " min"});
+  table.AddRow({"avg cluster throughput", Table::Fmt(result.avg_throughput, 2)});
+  table.AddRow({"peak cluster throughput", Table::Fmt(result.peak_throughput, 2)});
+  table.AddRow({"avg restarts / job", Table::Fmt(result.avg_restarts, 2)});
+  if (deadline_fraction > 0.0) {
+    table.AddRow({"deadline satisfactory ratio", Table::FmtPercent(result.deadline_ratio)});
+  }
+  table.AddRow({"makespan", Table::Fmt(result.makespan / kHour, 2) + " h"});
+  table.Print();
+
+  if (!jobs_csv.empty()) {
+    CRIUS_CHECK_MSG(WriteJobRecordsCsvFile(result, jobs_csv), "cannot write " << jobs_csv);
+    std::printf("Per-job records written to %s\n", jobs_csv.c_str());
+  }
+  if (!timeline_csv.empty()) {
+    CRIUS_CHECK_MSG(WriteTimelineCsvFile(result, timeline_csv),
+                    "cannot write " << timeline_csv);
+    std::printf("Timeline written to %s\n", timeline_csv.c_str());
+  }
+  if (!events_csv.empty()) {
+    CRIUS_CHECK_MSG(WriteEventsCsvFile(result, events_csv), "cannot write " << events_csv);
+    std::printf("Event log written to %s\n", events_csv.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace crius
+
+int main(int argc, char** argv) {
+  return crius::Run(argc, argv);
+}
