@@ -7,7 +7,9 @@
 
 #include "src/parallel/stage_partition.h"
 #include "src/util/check.h"
+#include "src/util/counters.h"
 #include "src/util/mathutil.h"
+#include "src/util/trace.h"
 
 namespace crius {
 
@@ -38,6 +40,9 @@ CellEstimator::CellEstimator(const PerfModel* model, const CommProfile* comm, ui
 CellEstimate CellEstimator::Estimate(const JobContext& ctx, const Cell& cell) const {
   CRIUS_CHECK(ctx.graph != nullptr);
   CRIUS_CHECK_MSG(ctx.gpu_type == cell.gpu_type, "context/cell GPU type mismatch");
+  CRIUS_TRACE_SPAN("estimator.estimate");
+  CRIUS_COUNTER_INC("estimator.evaluations");
+  CRIUS_SCOPED_TIMER_MS("estimator.eval_ms");
   const OpGraph& g = *ctx.graph;
 
   CellEstimate out;
@@ -53,45 +58,48 @@ CellEstimate CellEstimator::Estimate(const JobContext& ctx, const Cell& cell) co
 
   // --- Profile the two grid plans (dp-only / tp-only per stage) -------------
   std::vector<std::vector<AssemblyOption>> options(ranges.size());
-  for (size_t s = 0; s < ranges.size(); ++s) {
-    const StageRange& range = ranges[s];
-    std::vector<std::pair<int, int>> splits;  // (dp, tp)
-    splits.emplace_back(range.gpus, 1);
-    if (range.gpus > 1) {
-      splits.emplace_back(1, range.gpus);
-    }
-    for (const auto& [dp, tp] : splits) {
-      const StageProfile prof = profiler_.ProfileStage(ctx, range, dp, tp, nstages);
-      out.profile_gpu_seconds += prof.gpu_seconds;
-      if (!prof.fits) {
-        continue;  // the compiled plan reports OOM; drop it (§5.1)
+  {
+    CRIUS_TRACE_SPAN("estimator.grid_sample");
+    for (size_t s = 0; s < ranges.size(); ++s) {
+      const StageRange& range = ranges[s];
+      std::vector<std::pair<int, int>> splits;  // (dp, tp)
+      splits.emplace_back(range.gpus, 1);
+      if (range.gpus > 1) {
+        splits.emplace_back(1, range.gpus);
       }
-      AssemblyOption opt;
-      opt.dp = dp;
-      opt.tp = tp;
-      opt.is_tp = tp > 1;
-      const double local_samples = microbatch / static_cast<double>(dp);
-
-      double t_comm = 0.0;
-      if (tp > 1) {
-        const double tp_bytes = g.TpCommBytes(range.op_begin, range.op_end) * local_samples;
-        t_comm += comm_->Estimate(CollectiveKind::kAllReduce, ctx.gpu_type, tp_bytes, tp);
-        const double a2a_bytes = g.A2aBytes(range.op_begin, range.op_end) * local_samples;
-        if (a2a_bytes > 0.0) {
-          t_comm += comm_->Estimate(CollectiveKind::kAllToAll, ctx.gpu_type, a2a_bytes, tp);
+      for (const auto& [dp, tp] : splits) {
+        const StageProfile prof = profiler_.ProfileStage(ctx, range, dp, tp, nstages);
+        out.profile_gpu_seconds += prof.gpu_seconds;
+        if (!prof.fits) {
+          continue;  // the compiled plan reports OOM; drop it (§5.1)
         }
+        AssemblyOption opt;
+        opt.dp = dp;
+        opt.tp = tp;
+        opt.is_tp = tp > 1;
+        const double local_samples = microbatch / static_cast<double>(dp);
+
+        double t_comm = 0.0;
+        if (tp > 1) {
+          const double tp_bytes = g.TpCommBytes(range.op_begin, range.op_end) * local_samples;
+          t_comm += comm_->Estimate(CollectiveKind::kAllReduce, ctx.gpu_type, tp_bytes, tp);
+          const double a2a_bytes = g.A2aBytes(range.op_begin, range.op_end) * local_samples;
+          if (a2a_bytes > 0.0) {
+            t_comm += comm_->Estimate(CollectiveKind::kAllToAll, ctx.gpu_type, a2a_bytes, tp);
+          }
+        }
+        opt.t_stage = prof.t_compute + t_comm;
+        if (dp > 1) {
+          const double grad_bytes =
+              g.ParamBytes(range.op_begin, range.op_end) / static_cast<double>(tp);
+          opt.t_dp_sync =
+              comm_->Estimate(CollectiveKind::kAllReduce, ctx.gpu_type, grad_bytes, dp);
+        }
+        options[s].push_back(opt);
       }
-      opt.t_stage = prof.t_compute + t_comm;
-      if (dp > 1) {
-        const double grad_bytes =
-            g.ParamBytes(range.op_begin, range.op_end) / static_cast<double>(tp);
-        opt.t_dp_sync =
-            comm_->Estimate(CollectiveKind::kAllReduce, ctx.gpu_type, grad_bytes, dp);
+      if (options[s].empty()) {
+        return out;  // infeasible Cell: some stage fits under no sampled plan
       }
-      options[s].push_back(opt);
-    }
-    if (options[s].empty()) {
-      return out;  // infeasible Cell: some stage fits under no sampled plan
     }
   }
 
@@ -123,35 +131,38 @@ CellEstimate CellEstimator::Estimate(const JobContext& ctx, const Cell& cell) co
 
   double best_time = kInf;
   std::vector<int> best_choice;
-  std::vector<State> stack;
-  stack.push_back(State{});
-  while (!stack.empty()) {
-    State st = std::move(stack.back());
-    stack.pop_back();
-    const size_t s = st.choice.size();
-    if (s == ranges.size()) {
-      ++out.plans_assembled;
-      const double total = st.sum + static_cast<double>(num_microbatches - 1) * st.max_stage +
-                           PerfModel::kDpSyncExposedFraction * st.max_sync +
-                           PerfModel::kIterOverhead;
-      if (total < best_time) {
-        best_time = total;
-        best_choice = st.choice;
+  {
+    CRIUS_TRACE_SPAN("estimator.assemble");
+    std::vector<State> stack;
+    stack.push_back(State{});
+    while (!stack.empty()) {
+      State st = std::move(stack.back());
+      stack.pop_back();
+      const size_t s = st.choice.size();
+      if (s == ranges.size()) {
+        ++out.plans_assembled;
+        const double total = st.sum + static_cast<double>(num_microbatches - 1) * st.max_stage +
+                             PerfModel::kDpSyncExposedFraction * st.max_sync +
+                             PerfModel::kIterOverhead;
+        if (total < best_time) {
+          best_time = total;
+          best_choice = st.choice;
+        }
+        continue;
       }
-      continue;
-    }
-    for (size_t oi = 0; oi < options[s].size(); ++oi) {
-      const AssemblyOption& opt = options[s][oi];
-      State next = st;
-      next.sum += opt.t_stage;
-      if (s > 0) {
-        next.sum += boundary(s, st.last_tp, opt.tp);
+      for (size_t oi = 0; oi < options[s].size(); ++oi) {
+        const AssemblyOption& opt = options[s][oi];
+        State next = st;
+        next.sum += opt.t_stage;
+        if (s > 0) {
+          next.sum += boundary(s, st.last_tp, opt.tp);
+        }
+        next.max_stage = std::max(next.max_stage, opt.t_stage);
+        next.max_sync = std::max(next.max_sync, opt.t_dp_sync);
+        next.last_tp = opt.tp;
+        next.choice.push_back(static_cast<int>(oi));
+        stack.push_back(std::move(next));
       }
-      next.max_stage = std::max(next.max_stage, opt.t_stage);
-      next.max_sync = std::max(next.max_sync, opt.t_dp_sync);
-      next.last_tp = opt.tp;
-      next.choice.push_back(static_cast<int>(oi));
-      stack.push_back(std::move(next));
     }
   }
   CRIUS_CHECK(best_choice.size() == ranges.size());
@@ -213,6 +224,8 @@ CellEstimate CellEstimator::Estimate(const JobContext& ctx, const Cell& cell) co
       out.stage_tp_range[s] = {2, gpus};
     }
   }
+  CRIUS_HISTOGRAM_RECORD("estimator.plans_assembled", static_cast<double>(out.plans_assembled));
+  CRIUS_HISTOGRAM_RECORD("estimator.profile_gpu_s", out.profile_gpu_seconds);
   return out;
 }
 

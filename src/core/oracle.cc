@@ -1,6 +1,7 @@
 #include "src/core/oracle.h"
 
 #include "src/util/check.h"
+#include "src/util/counters.h"
 #include "src/util/mathutil.h"
 #include "src/util/rng.h"
 
@@ -23,6 +24,7 @@ const std::optional<PlanChoice>& PerformanceOracle::BestAdaptive(const ModelSpec
   const ModelPointKey key{ctx.model_key, static_cast<int>(type), ngpus};
   auto it = adaptive_cache_.find(key);
   if (it == adaptive_cache_.end()) {
+    CRIUS_COUNTER_INC("oracle.adaptive_cache_misses");
     std::optional<PlanChoice> best;
     if (ngpus >= 1 && IsPowerOfTwo(ngpus)) {
       ExploreResult r = explorer_.FullExplore(ctx, ngpus);
@@ -30,6 +32,8 @@ const std::optional<PlanChoice>& PerformanceOracle::BestAdaptive(const ModelSpec
     }
     // Non-power-of-two shapes are not schedulable plans; cached as infeasible.
     it = adaptive_cache_.emplace(key, std::move(best)).first;
+  } else {
+    CRIUS_COUNTER_INC("oracle.adaptive_cache_hits");
   }
   return it->second;
 }
@@ -69,7 +73,10 @@ const CellEstimate& PerformanceOracle::EstimateCell(const ModelSpec& spec, const
                          cell.nstages};
   auto it = estimate_cache_.find(key);
   if (it == estimate_cache_.end()) {
+    CRIUS_COUNTER_INC("oracle.estimate_cache_misses");
     it = estimate_cache_.emplace(key, estimator_.Estimate(ctx, cell)).first;
+  } else {
+    CRIUS_COUNTER_INC("oracle.estimate_cache_hits");
   }
   return it->second;
 }
@@ -80,8 +87,11 @@ const TuneResult& PerformanceOracle::TuneCell(const ModelSpec& spec, const Cell&
                          cell.nstages};
   auto it = tune_cache_.find(key);
   if (it == tune_cache_.end()) {
+    CRIUS_COUNTER_INC("oracle.tune_cache_misses");
     const CellEstimate& estimate = EstimateCell(spec, cell);
     it = tune_cache_.emplace(key, tuner_.Tune(ctx, cell, estimate)).first;
+  } else {
+    CRIUS_COUNTER_INC("oracle.tune_cache_hits");
   }
   return it->second;
 }

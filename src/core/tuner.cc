@@ -1,7 +1,9 @@
 #include "src/core/tuner.h"
 
 #include "src/util/check.h"
+#include "src/util/counters.h"
 #include "src/util/mathutil.h"
+#include "src/util/trace.h"
 
 namespace crius {
 
@@ -19,6 +21,8 @@ int CellTuner::HalfHybridTpCeil(int gpus) {
 
 TuneResult CellTuner::Tune(const JobContext& ctx, const Cell& cell,
                            const CellEstimate& estimate) const {
+  CRIUS_TRACE_SPAN("tuner.tune");
+  CRIUS_COUNTER_INC("tuner.tunes");
   TuneResult out;
   if (!estimate.feasible) {
     return out;
@@ -41,6 +45,8 @@ TuneResult CellTuner::Tune(const JobContext& ctx, const Cell& cell,
   out.best = std::move(r.best);
   out.plans_evaluated = r.plans_evaluated;
   out.tune_gpu_seconds = r.profile_gpu_seconds;
+  CRIUS_HISTOGRAM_RECORD("tuner.plans_evaluated", static_cast<double>(out.plans_evaluated));
+  CRIUS_HISTOGRAM_RECORD("tuner.tune_gpu_s", out.tune_gpu_seconds);
   return out;
 }
 

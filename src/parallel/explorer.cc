@@ -6,7 +6,9 @@
 
 #include "src/hw/interconnect.h"
 #include "src/util/check.h"
+#include "src/util/counters.h"
 #include "src/util/mathutil.h"
+#include "src/util/trace.h"
 
 namespace crius {
 
@@ -59,6 +61,8 @@ ExploreResult Explorer::ExploreWithinStages(const JobContext& ctx, int ngpus, in
                                             const StageOptionFilter& filter) const {
   CRIUS_CHECK(ctx.graph != nullptr);
   CRIUS_CHECK(IsPowerOfTwo(ngpus));
+  CRIUS_TRACE_SPAN("explorer.explore");
+  CRIUS_COUNTER_INC("explorer.explorations");
   const OpGraph& g = *ctx.graph;
   ExploreResult result;
   if (nstages > std::min<int>(ngpus, static_cast<int>(g.size()))) {
@@ -211,10 +215,13 @@ ExploreResult Explorer::ExploreWithinStages(const JobContext& ctx, int ngpus, in
       (PerfModel::kProfileSetupSeconds +
        static_cast<double>(PerfModel::kProfileIters) * exact.iter_time) *
       static_cast<double>(ngpus);
+  CRIUS_HISTOGRAM_RECORD("explorer.plans_enumerated",
+                         static_cast<double>(result.plans_evaluated));
   return result;
 }
 
 ExploreResult Explorer::FullExplore(const JobContext& ctx, int ngpus) const {
+  CRIUS_TRACE_SPAN("explorer.full_explore");
   ExploreResult result;
   for (int nstages : CandidateStageCounts(*ctx.graph, ngpus)) {
     ExploreResult r = ExploreWithinStages(ctx, ngpus, nstages);

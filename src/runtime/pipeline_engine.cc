@@ -4,6 +4,8 @@
 #include <ostream>
 
 #include "src/util/check.h"
+#include "src/util/counters.h"
+#include "src/util/trace.h"
 
 namespace crius {
 
@@ -44,6 +46,8 @@ PipelineEngine::PipelineEngine(const PerfModel* model) : model_(model) {
 
 IterationTrace PipelineEngine::Execute(const JobContext& ctx, const ParallelPlan& plan) const {
   CRIUS_CHECK(ctx.graph != nullptr);
+  CRIUS_TRACE_SPAN("engine.execute");
+  CRIUS_COUNTER_INC("engine.executions");
   ValidatePlan(plan, *ctx.graph);
   const int nstages = plan.num_stages();
   const int b = plan.num_microbatches();

@@ -5,6 +5,8 @@
 #include <limits>
 
 #include "src/util/check.h"
+#include "src/util/counters.h"
+#include "src/util/trace.h"
 
 namespace crius {
 
@@ -66,16 +68,21 @@ const CriusScheduler::JobCells& CriusScheduler::CellsFor(const TrainingJob& job,
     return it->second;
   }
 
+  CRIUS_TRACE_SPAN("sched.cells_for");
   JobCells jc;
   for (const Cell& cell : GenerateCells(job, cluster)) {
+    CRIUS_COUNTER_INC("sched.cells_considered");
     if (!config_.heterogeneity_scaling && cell.gpu_type != job.requested_type) {
+      CRIUS_COUNTER_INC("sched.cells_pruned");
       continue;
     }
     if (!config_.adaptivity_scaling && cell.ngpus != job.requested_gpus) {
+      CRIUS_COUNTER_INC("sched.cells_pruned");
       continue;
     }
     const double thr = oracle_->EstimatedThroughput(job.spec, cell);
     if (thr <= 0.0) {
+      CRIUS_COUNTER_INC("sched.cells_infeasible");
       continue;  // infeasible Cell
     }
     jc.choices.push_back(CellChoice{cell, thr});
@@ -95,6 +102,7 @@ const CriusScheduler::JobCells& CriusScheduler::CellsFor(const TrainingJob& job,
   }
   std::stable_sort(jc.choices.begin(), jc.choices.end(),
                    [](const CellChoice& a, const CellChoice& b) { return a.score > b.score; });
+  CRIUS_HISTOGRAM_RECORD("sched.cells_per_job", static_cast<double>(jc.choices.size()));
   return cells_cache_.emplace(job.id, std::move(jc)).first->second;
 }
 
@@ -115,6 +123,11 @@ double CriusScheduler::ProfilingDelay(const TrainingJob& job, const Cluster& clu
 
 ScheduleDecision CriusScheduler::Schedule(double now, const std::vector<const JobState*>& jobs,
                                           const Cluster& cluster) {
+  CRIUS_COUNTER_INC("sched.rounds");
+  CRIUS_HISTOGRAM_RECORD("sched.round_jobs", static_cast<double>(jobs.size()));
+  CRIUS_SCOPED_TIMER_MS("sched.round_ms");
+  CRIUS_TRACE_SPAN_ARGS("sched.round",
+                        "{\"jobs\": " + std::to_string(jobs.size()) + "}");
   if (config_.placement_order != CriusPlacementOrder::kBestOfAll || config_.deadline_aware) {
     return ScheduleOnce(now, jobs, cluster, config_.placement_order).first;
   }
@@ -136,6 +149,7 @@ ScheduleDecision CriusScheduler::Schedule(double now, const std::vector<const Jo
 std::pair<ScheduleDecision, double> CriusScheduler::ScheduleOnce(
     double now, const std::vector<const JobState*>& jobs, const Cluster& cluster,
     CriusPlacementOrder order) {
+  CRIUS_TRACE_SPAN("sched.pass");
   ScheduleDecision decision;
 
   FreeMap free{};
@@ -257,144 +271,148 @@ std::pair<ScheduleDecision, double> CriusScheduler::ScheduleOnce(
   // 14-20 of Algorithm 1) ----------------------------------------------------
   int searched_jobs = 0;
   bool some_job_pending = false;
-  for (size_t qi : queued_order) {
-    VirtualJob& vj = vjobs[qi];
-    if (is_dropped(vj.state->job.id)) {
-      continue;
-    }
+  {
+    CRIUS_TRACE_SPAN("sched.place");
+    for (size_t qi : queued_order) {
+      VirtualJob& vj = vjobs[qi];
+      if (is_dropped(vj.state->job.id)) {
+        continue;
+      }
 
-    if (const CellChoice* c = best_fitting(vj, free)) {
-      vj.cell = c->cell;
-      vj.score = c->score;
-      vj.opportunistic = some_job_pending;
-      Take(c->cell, free);
-      continue;
-    }
+      if (const CellChoice* c = best_fitting(vj, free)) {
+        vj.cell = c->cell;
+        vj.score = c->score;
+        vj.opportunistic = some_job_pending;
+        Take(c->cell, free);
+        continue;
+      }
 
-    // Scaling search: up to search_depth moves of running/placed jobs that
-    // make room for `vj` while maximizing total estimated throughput. A single
-    // downscale often cannot free enough for a large job, so intermediate
-    // moves may carry a negative throughput delta; the chain is only kept if
-    // the final placement makes the cumulative delta (including the placed
-    // job's score) positive.
-    bool placed = false;
-    if (searched_jobs < config_.max_search_jobs && config_.search_depth > 0) {
-      ++searched_jobs;
-      FreeMap trial_free = free;
-      std::vector<std::pair<size_t, std::optional<Cell>>> saved;  // victim -> old cell
-      double cumulative_delta = 0.0;
-      // The best score vj could realize if capacity were freed; bounds the
-      // deficit any intermediate move is allowed to dig.
-      double vj_potential = 0.0;
-      {
-        const JobCells& jc = CellsFor(vj.state->job, cluster);
-        for (const CellChoice& c : jc.choices) {
-          if (meets_deadline(vj, c)) {
-            vj_potential = std::max(vj_potential, c.score);
+      // Scaling search: up to search_depth moves of running/placed jobs that
+      // make room for `vj` while maximizing total estimated throughput. A single
+      // downscale often cannot free enough for a large job, so intermediate
+      // moves may carry a negative throughput delta; the chain is only kept if
+      // the final placement makes the cumulative delta (including the placed
+      // job's score) positive.
+      bool placed = false;
+      if (searched_jobs < config_.max_search_jobs && config_.search_depth > 0) {
+        ++searched_jobs;
+        FreeMap trial_free = free;
+        std::vector<std::pair<size_t, std::optional<Cell>>> saved;  // victim -> old cell
+        double cumulative_delta = 0.0;
+        // The best score vj could realize if capacity were freed; bounds the
+        // deficit any intermediate move is allowed to dig.
+        double vj_potential = 0.0;
+        {
+          const JobCells& jc = CellsFor(vj.state->job, cluster);
+          for (const CellChoice& c : jc.choices) {
+            if (meets_deadline(vj, c)) {
+              vj_potential = std::max(vj_potential, c.score);
+            }
+          }
+        }
+
+        for (int depth = 0; depth < config_.search_depth && !placed; ++depth) {
+          double best_delta = -std::numeric_limits<double>::infinity();
+          size_t best_victim = 0;
+          const CellChoice* best_new_cell = nullptr;
+          bool enables_placement = false;
+
+          for (size_t vi = 0; vi < vjobs.size(); ++vi) {
+            VirtualJob& victim = vjobs[vi];
+            if (vi == qi || !victim.cell.has_value()) {
+              continue;
+            }
+            const JobCells& vjc = CellsFor(victim.state->job, cluster);
+            for (const CellChoice& alt : vjc.choices) {
+              if (alt.cell == *victim.cell) {
+                continue;
+              }
+              // The move must shrink usage of some type (downscale or exchange).
+              const bool frees_capacity =
+                  alt.cell.gpu_type != victim.cell->gpu_type || alt.cell.ngpus < victim.cell->ngpus;
+              if (!frees_capacity) {
+                continue;
+              }
+              FreeMap f2 = trial_free;
+              Give(*victim.cell, f2);
+              if (!Fits(alt.cell, f2) || !meets_deadline(victim, alt)) {
+                continue;
+              }
+              Take(alt.cell, f2);
+              const CellChoice* mine = best_fitting(vj, f2);
+              const bool enables = mine != nullptr;
+              const double delta = alt.score - victim.score + (enables ? mine->score : 0.0);
+              // Prefer placement-enabling moves strictly; among progress moves
+              // take the least-damaging, but never dig deeper than the placed
+              // job could pay back.
+              if (!enables &&
+                  cumulative_delta + delta + vj_potential <= 0.0) {
+                continue;
+              }
+              if ((enables && !enables_placement) ||
+                  ((enables == enables_placement) && delta > best_delta)) {
+                best_delta = delta;
+                best_victim = vi;
+                best_new_cell = &alt;
+                enables_placement = enables;
+              }
+            }
+          }
+
+          if (best_new_cell == nullptr ||
+              (enables_placement && cumulative_delta + best_delta <= 0.0)) {
+            break;  // no move, or completing the chain would lower throughput
+          }
+          VirtualJob& victim = vjobs[best_victim];
+          saved.emplace_back(best_victim, victim.cell);
+          Give(*victim.cell, trial_free);
+          Take(best_new_cell->cell, trial_free);
+          cumulative_delta += best_new_cell->score - victim.score;
+          victim.cell = best_new_cell->cell;
+          victim.score = best_new_cell->score;
+
+          if (const CellChoice* mine = best_fitting(vj, trial_free)) {
+            if (cumulative_delta + mine->score > 0.0) {
+              vj.cell = mine->cell;
+              vj.score = mine->score;
+              vj.opportunistic = some_job_pending;
+              Take(mine->cell, trial_free);
+              placed = true;
+            }
+          }
+        }
+
+        if (placed) {
+          free = trial_free;
+        } else {
+          // Roll back all speculative moves.
+          for (auto it = saved.rbegin(); it != saved.rend(); ++it) {
+            VirtualJob& victim = vjobs[it->first];
+            victim.cell = it->second;
+            const JobCells& vjc = CellsFor(victim.state->job, cluster);
+            victim.score = 0.0;
+            for (const CellChoice& c : vjc.choices) {
+              if (victim.cell.has_value() && c.cell == *victim.cell) {
+                victim.score = c.score;
+                break;
+              }
+            }
           }
         }
       }
 
-      for (int depth = 0; depth < config_.search_depth && !placed; ++depth) {
-        double best_delta = -std::numeric_limits<double>::infinity();
-        size_t best_victim = 0;
-        const CellChoice* best_new_cell = nullptr;
-        bool enables_placement = false;
-
-        for (size_t vi = 0; vi < vjobs.size(); ++vi) {
-          VirtualJob& victim = vjobs[vi];
-          if (vi == qi || !victim.cell.has_value()) {
-            continue;
-          }
-          const JobCells& vjc = CellsFor(victim.state->job, cluster);
-          for (const CellChoice& alt : vjc.choices) {
-            if (alt.cell == *victim.cell) {
-              continue;
-            }
-            // The move must shrink usage of some type (downscale or exchange).
-            const bool frees_capacity =
-                alt.cell.gpu_type != victim.cell->gpu_type || alt.cell.ngpus < victim.cell->ngpus;
-            if (!frees_capacity) {
-              continue;
-            }
-            FreeMap f2 = trial_free;
-            Give(*victim.cell, f2);
-            if (!Fits(alt.cell, f2) || !meets_deadline(victim, alt)) {
-              continue;
-            }
-            Take(alt.cell, f2);
-            const CellChoice* mine = best_fitting(vj, f2);
-            const bool enables = mine != nullptr;
-            const double delta = alt.score - victim.score + (enables ? mine->score : 0.0);
-            // Prefer placement-enabling moves strictly; among progress moves
-            // take the least-damaging, but never dig deeper than the placed
-            // job could pay back.
-            if (!enables &&
-                cumulative_delta + delta + vj_potential <= 0.0) {
-              continue;
-            }
-            if ((enables && !enables_placement) ||
-                ((enables == enables_placement) && delta > best_delta)) {
-              best_delta = delta;
-              best_victim = vi;
-              best_new_cell = &alt;
-              enables_placement = enables;
-            }
-          }
+      if (!placed) {
+        some_job_pending = true;
+        if (!config_.opportunistic) {
+          break;  // strict head-of-line blocking without opportunistic execution
         }
-
-        if (best_new_cell == nullptr ||
-            (enables_placement && cumulative_delta + best_delta <= 0.0)) {
-          break;  // no move, or completing the chain would lower throughput
-        }
-        VirtualJob& victim = vjobs[best_victim];
-        saved.emplace_back(best_victim, victim.cell);
-        Give(*victim.cell, trial_free);
-        Take(best_new_cell->cell, trial_free);
-        cumulative_delta += best_new_cell->score - victim.score;
-        victim.cell = best_new_cell->cell;
-        victim.score = best_new_cell->score;
-
-        if (const CellChoice* mine = best_fitting(vj, trial_free)) {
-          if (cumulative_delta + mine->score > 0.0) {
-            vj.cell = mine->cell;
-            vj.score = mine->score;
-            vj.opportunistic = some_job_pending;
-            Take(mine->cell, trial_free);
-            placed = true;
-          }
-        }
-      }
-
-      if (placed) {
-        free = trial_free;
-      } else {
-        // Roll back all speculative moves.
-        for (auto it = saved.rbegin(); it != saved.rend(); ++it) {
-          VirtualJob& victim = vjobs[it->first];
-          victim.cell = it->second;
-          const JobCells& vjc = CellsFor(victim.state->job, cluster);
-          victim.score = 0.0;
-          for (const CellChoice& c : vjc.choices) {
-            if (victim.cell.has_value() && c.cell == *victim.cell) {
-              victim.score = c.score;
-              break;
-            }
-          }
-        }
-      }
-    }
-
-    if (!placed) {
-      some_job_pending = true;
-      if (!config_.opportunistic) {
-        break;  // strict head-of-line blocking without opportunistic execution
       }
     }
   }
 
   // --- Pending-job preemption of opportunistic jobs (§6.1) ------------------
   if (config_.opportunistic && some_job_pending) {
+    CRIUS_TRACE_SPAN("sched.preempt_opportunistic");
     for (size_t qi : queued_order) {
       VirtualJob& vj = vjobs[qi];
       if (vj.cell.has_value() || is_dropped(vj.state->job.id)) {
@@ -437,6 +455,8 @@ std::pair<ScheduleDecision, double> CriusScheduler::ScheduleOnce(
   // --- Upscale phase: feed leftover capacity back (Algorithm 1 line 11) -----
   // kMaxThroughput picks the globally best relative gain; kMaxMinFairness
   // water-fills, upgrading the worst-off placed job first.
+  CRIUS_TRACE_SPAN("sched.upscale");
+  int upscale_moves = 0;
   for (int moves = 0; moves < config_.max_upscale_moves; ++moves) {
     double best_rank = config_.objective == CriusObjective::kMaxThroughput
                            ? config_.move_gain_threshold
@@ -484,7 +504,9 @@ std::pair<ScheduleDecision, double> CriusScheduler::ScheduleOnce(
     Take(best_cell->cell, free);
     vj.cell = best_cell->cell;
     vj.score = best_cell->score;
+    ++upscale_moves;
   }
+  CRIUS_HISTOGRAM_RECORD("sched.upscale_moves", static_cast<double>(upscale_moves));
 
   // --- Emit ------------------------------------------------------------------
   double total_score = 0.0;

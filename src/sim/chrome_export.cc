@@ -1,0 +1,135 @@
+#include "src/sim/chrome_export.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <vector>
+
+namespace crius {
+
+namespace {
+
+constexpr double kUsPerSecond = 1e6;
+
+std::string RoundArgs(const ThroughputSample& s) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "{\"running\": %d, \"queued\": %d, \"busy_gpus\": %d}", s.running_jobs,
+                s.queued_jobs, s.busy_gpus);
+  return buf;
+}
+
+}  // namespace
+
+void AppendSimTrace(const SimResult& result, TraceRecorder& recorder) {
+  // Observed horizon: the latest event, sample, or job time.
+  double end = 0.0;
+  for (const SimEvent& e : result.events) {
+    end = std::max(end, e.time);
+  }
+  for (const ThroughputSample& s : result.timeline) {
+    end = std::max(end, s.time);
+  }
+  for (const JobRecord& r : result.jobs) {
+    end = std::max({end, r.submit, r.finish, r.last_event});
+  }
+
+  // --- Scheduler-round track (one span per round sample) --------------------
+  if (!result.timeline.empty()) {
+    const int rounds = recorder.Track(TraceRecorder::kSimPid, "scheduler rounds");
+    for (size_t i = 0; i < result.timeline.size(); ++i) {
+      const ThroughputSample& s = result.timeline[i];
+      const double next =
+          i + 1 < result.timeline.size() ? result.timeline[i + 1].time : end;
+      recorder.CompleteEvent(rounds, "round " + std::to_string(i), s.time * kUsPerSecond,
+                             std::max(0.0, next - s.time) * kUsPerSecond, RoundArgs(s));
+    }
+  }
+
+  // --- Cluster counter series ------------------------------------------------
+  if (!result.timeline.empty()) {
+    const int cluster = recorder.Track(TraceRecorder::kSimPid, "cluster");
+    for (const ThroughputSample& s : result.timeline) {
+      const double ts = s.time * kUsPerSecond;
+      recorder.CounterEvent(cluster, "running_jobs", ts, s.running_jobs);
+      recorder.CounterEvent(cluster, "queued_jobs", ts, s.queued_jobs);
+      recorder.CounterEvent(cluster, "busy_gpus", ts, s.busy_gpus);
+      recorder.CounterEvent(cluster, "normalized_throughput", ts, s.normalized_throughput);
+    }
+  }
+
+  // --- Per-job tracks (reconstructed from the event log) --------------------
+  if (result.events.empty()) {
+    return;  // record_events was off; only the aggregate tracks exist
+  }
+  std::map<int64_t, std::vector<const SimEvent*>> by_job;
+  for (const SimEvent& e : result.events) {
+    by_job[e.job_id].push_back(&e);
+  }
+  for (const JobRecord& r : result.jobs) {
+    const int track = recorder.Track(TraceRecorder::kSimPid, "job " + std::to_string(r.id));
+    double open_since = r.submit;
+    bool open = true;
+    std::string span_name = "queued";
+    std::string span_args;
+    auto close_span = [&](double t) {
+      if (open && t > open_since) {
+        recorder.CompleteEvent(track, span_name, open_since * kUsPerSecond,
+                               (t - open_since) * kUsPerSecond, span_args);
+      }
+    };
+    for (const SimEvent* e : by_job[r.id]) {
+      switch (e->kind) {
+        case SimEvent::Kind::kStart:
+        case SimEvent::Kind::kRestart:
+          close_span(e->time);
+          if (e->kind == SimEvent::Kind::kRestart) {
+            recorder.InstantEvent(track, "restart", e->time * kUsPerSecond);
+          }
+          open = true;
+          open_since = e->time;
+          span_name = "run " + e->placement;
+          span_args = "{\"placement\": \"" + e->placement + "\"}";
+          break;
+        case SimEvent::Kind::kPreempt:
+          close_span(e->time);
+          recorder.InstantEvent(track, "preempt", e->time * kUsPerSecond);
+          open = true;
+          open_since = e->time;
+          span_name = "queued";
+          span_args.clear();
+          break;
+        case SimEvent::Kind::kFinish:
+          close_span(e->time);
+          open = false;
+          break;
+        case SimEvent::Kind::kDrop:
+          close_span(e->time);
+          recorder.InstantEvent(track, "drop", e->time * kUsPerSecond);
+          open = false;
+          break;
+      }
+    }
+    // Jobs still live at the horizon keep their open span to the end.
+    close_span(end);
+  }
+}
+
+void WriteSimChromeTrace(const SimResult& result, std::ostream& out) {
+  TraceRecorder recorder;
+  AppendSimTrace(result, recorder);
+  recorder.WriteJson(out);
+}
+
+bool WriteSimChromeTraceFile(const SimResult& result, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return false;
+  }
+  WriteSimChromeTrace(result, out);
+  return out.good();
+}
+
+}  // namespace crius

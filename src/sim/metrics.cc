@@ -49,6 +49,10 @@ void SimResult::Finalize() {
     } else {
       ++unfinished_jobs;
     }
+    if (!r.finished && r.last_event > 0.0) {
+      // Dropped / unfinished jobs extend the activity horizon too.
+      makespan = std::max(makespan, r.last_event);
+    }
     if (r.had_deadline) {
       ++deadline_total;
       if (r.deadline_met) {

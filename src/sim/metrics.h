@@ -23,6 +23,10 @@ struct JobRecord {
   // Standalone runtime at the requested shape's ground-truth optimal plan;
   // jct()/ideal_duration is the job's slowdown (finish-time fairness).
   double ideal_duration = 0.0;
+  // Time of the job's last observed event: finish for finished jobs, the drop
+  // time for dropped jobs, the simulation horizon for jobs still live at the
+  // end. -1 when the simulator never observed the job (hand-built records).
+  double last_event = -1.0;
   int restarts = 0;
   bool finished = false;
   bool dropped = false;
@@ -72,6 +76,8 @@ struct SimResult {
   double avg_jct = 0.0;
   double median_jct = 0.0;
   double max_jct = 0.0;
+  // Sentinel semantics: avg_queue_time and avg_restarts average over finished
+  // jobs only and read 0.0 (never NaN) when no job finished.
   double avg_queue_time = 0.0;
   double avg_throughput = 0.0;
   double peak_throughput = 0.0;
@@ -80,6 +86,9 @@ struct SimResult {
   int finished_jobs = 0;
   int dropped_jobs = 0;
   int unfinished_jobs = 0;
+  // Latest finish time, folded with dropped/unfinished jobs' last-event times,
+  // so a run where nothing finishes (e.g. everything deadline-dropped) still
+  // reports the horizon of activity instead of 0.
   double makespan = 0.0;
   // Mean slowdown (jct / ideal) and Jain's fairness index over the finished
   // jobs' 1/slowdown values; 1.0 = perfectly even service.

@@ -4,11 +4,14 @@
 #include <cmath>
 #include <limits>
 #include <map>
+#include <sstream>
 
 #include "src/core/cell.h"
 #include "src/util/check.h"
+#include "src/util/counters.h"
 #include "src/util/logging.h"
 #include "src/util/rng.h"
+#include "src/util/trace.h"
 
 namespace crius {
 
@@ -24,7 +27,25 @@ struct SimJob {
   double schedulable_at = 0.0;  // submit + profiling delay
   double reference_throughput = 0.0;
   bool started_once = false;
+  // Last simulation time the job's state changed (JobRecord::last_event).
+  double last_event = -1.0;
 };
+
+const char* CounterNameFor(SimEvent::Kind kind) {
+  switch (kind) {
+    case SimEvent::Kind::kStart:
+      return "sim.starts";
+    case SimEvent::Kind::kRestart:
+      return "sim.restarts";
+    case SimEvent::Kind::kPreempt:
+      return "sim.preempts";
+    case SimEvent::Kind::kFinish:
+      return "sim.finishes";
+    case SimEvent::Kind::kDrop:
+      return "sim.drops";
+  }
+  return "sim.events";
+}
 
 }  // namespace
 
@@ -37,6 +58,9 @@ SimResult Simulator::Run(Scheduler& scheduler, PerformanceOracle& oracle,
   SimResult result;
   result.scheduler = scheduler.name();
 
+  CRIUS_TRACE_SPAN_ARGS("sim.run", "{\"jobs\": " + std::to_string(trace.size()) + "}");
+  CRIUS_COUNTER_INC("sim.runs");
+
   std::vector<SimJob> jobs(trace.size());
   for (size_t i = 0; i < trace.size(); ++i) {
     jobs[i].state.job = trace[i];
@@ -44,6 +68,7 @@ SimResult Simulator::Run(Scheduler& scheduler, PerformanceOracle& oracle,
     double delay = 0.0;
     if (config_.charge_profiling) {
       delay = scheduler.ProfilingDelay(trace[i], cluster);
+      CRIUS_HISTOGRAM_RECORD("sim.profile_delay_s", delay);
     }
     jobs[i].schedulable_at = trace[i].submit_time + delay;
     jobs[i].reference_throughput = ReferenceThroughput(oracle, cluster, trace[i]);
@@ -79,10 +104,12 @@ SimResult Simulator::Run(Scheduler& scheduler, PerformanceOracle& oracle,
     return from + sj.state.remaining_iters() * sj.state.iter_time;
   };
 
-  auto record = [&](double time, SimEvent::Kind kind, int64_t job_id,
+  auto record = [&](SimJob& sj, double time, SimEvent::Kind kind,
                     std::string placement = "") {
+    CounterRegistry::Global().GetCounter(CounterNameFor(kind)).Add(1);
+    sj.last_event = time;
     if (config_.record_events) {
-      result.events.push_back(SimEvent{time, kind, job_id, std::move(placement)});
+      result.events.push_back(SimEvent{time, kind, sj.state.job.id, std::move(placement)});
     }
   };
 
@@ -93,7 +120,7 @@ SimResult Simulator::Run(Scheduler& scheduler, PerformanceOracle& oracle,
       SimJob& sj = jobs[static_cast<size_t>(id)];
       if (sj.state.phase == JobPhase::kQueued) {
         sj.state.phase = JobPhase::kDropped;
-        record(now, SimEvent::Kind::kDrop, id);
+        record(sj, now, SimEvent::Kind::kDrop);
       }
     }
 
@@ -124,7 +151,7 @@ SimResult Simulator::Run(Scheduler& scheduler, PerformanceOracle& oracle,
         sj.state.nstages = 0;
         sj.state.iter_time = 0.0;
         if (it == decision.assignments.end()) {
-          record(now, SimEvent::Kind::kPreempt, sj.state.job.id);
+          record(sj, now, SimEvent::Kind::kPreempt);
         }
       }
       if (it != decision.assignments.end()) {
@@ -177,15 +204,16 @@ SimResult Simulator::Run(Scheduler& scheduler, PerformanceOracle& oracle,
         restart_cost += 2.0 * GetOpGraph(sj.state.job.spec).TotalParamBytes() /
                         config_.checkpoint_bandwidth;
       }
+      CRIUS_HISTOGRAM_RECORD("sim.restart_cost_s", restart_cost);
       sj.state.blocked_until = now + restart_cost;
       const Cell placement{a.type, a.ngpus, std::max(1, a.nstages)};
       if (!sj.started_once) {
         sj.started_once = true;
         sj.state.first_start = now;
-        record(now, SimEvent::Kind::kStart, sj.state.job.id, placement.ToString());
+        record(sj, now, SimEvent::Kind::kStart, placement.ToString());
       } else {
         ++sj.state.num_restarts;
-        record(now, SimEvent::Kind::kRestart, sj.state.job.id, placement.ToString());
+        record(sj, now, SimEvent::Kind::kRestart, placement.ToString());
       }
     }
   };
@@ -203,6 +231,10 @@ SimResult Simulator::Run(Scheduler& scheduler, PerformanceOracle& oracle,
     if (visible.empty()) {
       return;
     }
+    CRIUS_TRACE_SPAN_ARGS("sim.schedule",
+                          "{\"t\": " + std::to_string(now) +
+                              ", \"visible_jobs\": " + std::to_string(visible.size()) + "}");
+    CRIUS_COUNTER_INC("sim.sched_invocations");
     const ScheduleDecision decision = scheduler.Schedule(now, visible, cluster);
     apply_decision(now, decision);
   };
@@ -253,7 +285,7 @@ SimResult Simulator::Run(Scheduler& scheduler, PerformanceOracle& oracle,
         sj.alloc = Allocation{};
         sj.state.phase = JobPhase::kFinished;
         sj.state.finish_time = now;
-        record(now, SimEvent::Kind::kFinish, sj.state.job.id);
+        record(sj, now, SimEvent::Kind::kFinish);
         departed = true;
       }
     }
@@ -266,8 +298,13 @@ SimResult Simulator::Run(Scheduler& scheduler, PerformanceOracle& oracle,
       run_scheduler(now);
       sample_throughput(now);
       next_round += config_.schedule_interval;
-      if (config_.verbose) {
-        CRIUS_LOG(kInfo) << scheduler.name() << " t=" << now << " live=" << live;
+      // Per-round chatter: kInfo when the caller asked for it, kDebug
+      // otherwise so CRIUS_LOG_LEVEL=debug surfaces it without a code change.
+      {
+        std::ostringstream round_msg;
+        round_msg << scheduler.name() << " t=" << now << " live=" << live;
+        LogMessage(config_.verbose ? LogLevel::kInfo : LogLevel::kDebug,
+                   round_msg.str());
       }
     }
 
@@ -280,6 +317,12 @@ SimResult Simulator::Run(Scheduler& scheduler, PerformanceOracle& oracle,
   }
 
   // --- Records -----------------------------------------------------------------
+  for (SimJob& sj : jobs) {
+    // Jobs still live when the simulation stopped were last observed now.
+    if (sj.state.phase == JobPhase::kQueued || sj.state.phase == JobPhase::kRunning) {
+      sj.last_event = now;
+    }
+  }
   for (const SimJob& sj : jobs) {
     JobRecord r;
     r.id = sj.state.job.id;
@@ -289,6 +332,7 @@ SimResult Simulator::Run(Scheduler& scheduler, PerformanceOracle& oracle,
     r.ideal_duration = static_cast<double>(sj.state.job.iterations) *
                        static_cast<double>(sj.state.job.spec.global_batch) /
                        sj.reference_throughput;
+    r.last_event = sj.last_event;
     r.restarts = sj.state.num_restarts;
     r.finished = sj.state.phase == JobPhase::kFinished;
     r.dropped = sj.state.phase == JobPhase::kDropped;

@@ -1,0 +1,232 @@
+#include "src/util/counters.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "src/util/table.h"
+
+namespace crius {
+
+int Histogram::BucketIndex(double value) {
+  if (!(value > 0.0)) {
+    return 0;  // zero / negative / NaN underflow bucket
+  }
+  const double exp = std::log10(value);
+  const int index =
+      1 + static_cast<int>(std::floor((exp - static_cast<double>(kMinExp)) *
+                                      static_cast<double>(kBucketsPerDecade)));
+  return std::clamp(index, 0, kNumBuckets - 1);
+}
+
+double Histogram::BucketLower(int index) {
+  // Inverse of BucketIndex for the regular buckets [1, kNumBuckets - 1).
+  const double exp = static_cast<double>(kMinExp) +
+                     static_cast<double>(index - 1) / static_cast<double>(kBucketsPerDecade);
+  return std::pow(10.0, exp);
+}
+
+void Histogram::Record(double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (buckets_.empty()) {
+    buckets_.assign(static_cast<size_t>(kNumBuckets), 0);
+  }
+  stats_.Add(value);
+  ++buckets_[static_cast<size_t>(BucketIndex(value))];
+}
+
+size_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_.count();
+}
+
+double Histogram::PercentileLocked(double p) const {
+  const size_t n = stats_.count();
+  if (n == 0) {
+    return 0.0;
+  }
+  // Same rank convention as stats.h's Percentile (linear in [0, n-1]).
+  const double rank = std::clamp(p, 0.0, 100.0) / 100.0 * static_cast<double>(n - 1);
+  uint64_t cum = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const uint64_t in_bucket = buckets_[static_cast<size_t>(i)];
+    if (in_bucket == 0) {
+      continue;
+    }
+    if (static_cast<double>(cum + in_bucket) > rank) {
+      double value;
+      if (i == 0 || i == kNumBuckets - 1) {
+        value = i == 0 ? stats_.min() : stats_.max();
+      } else {
+        // Geometric interpolation by rank position within the bucket.
+        const double lower = BucketLower(i);
+        const double upper = BucketLower(i + 1);
+        const double frac =
+            std::clamp((rank - static_cast<double>(cum)) / static_cast<double>(in_bucket),
+                       0.0, 1.0);
+        value = lower * std::pow(upper / lower, frac);
+      }
+      return std::clamp(value, stats_.min(), stats_.max());
+    }
+    cum += in_bucket;
+  }
+  return stats_.max();
+}
+
+double Histogram::Percentile(double p) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return PercentileLocked(p);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  HistogramSnapshot s;
+  s.count = stats_.count();
+  s.sum = stats_.sum();
+  s.mean = stats_.mean();
+  s.min = stats_.min();
+  s.max = stats_.max();
+  s.p50 = PercentileLocked(50.0);
+  s.p95 = PercentileLocked(95.0);
+  s.p99 = PercentileLocked(99.0);
+  return s;
+}
+
+void Histogram::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = RunningStats{};
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+}
+
+CounterRegistry& CounterRegistry::Global() {
+  static CounterRegistry* registry = new CounterRegistry();
+  return *registry;
+}
+
+Counter& CounterRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Counter>();
+  }
+  return *slot;
+}
+
+Histogram& CounterRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>();
+  }
+  return *slot;
+}
+
+int64_t CounterRegistry::CounterValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+HistogramSnapshot CounterRegistry::HistogramValues(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? HistogramSnapshot{} : it->second->Snapshot();
+}
+
+std::vector<std::string> CounterRegistry::CounterNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+std::vector<std::string> CounterRegistry::HistogramNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(histograms_.size());
+  for (const auto& [name, hist] : histograms_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+void CounterRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) {
+    counter->Reset();
+  }
+  for (auto& [name, hist] : histograms_) {
+    hist->Reset();
+  }
+}
+
+bool CounterRegistry::Empty() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) {
+    if (counter->value() != 0) {
+      return false;
+    }
+  }
+  for (const auto& [name, hist] : histograms_) {
+    if (hist->count() != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string CounterRegistry::DumpTable() const {
+  // Snapshot under the lock, render outside it (Table is self-contained).
+  std::vector<std::pair<std::string, int64_t>> counter_rows;
+  std::vector<std::pair<std::string, HistogramSnapshot>> hist_rows;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, counter] : counters_) {
+      if (counter->value() != 0) {
+        counter_rows.emplace_back(name, counter->value());
+      }
+    }
+    for (const auto& [name, hist] : histograms_) {
+      if (hist->count() != 0) {
+        hist_rows.emplace_back(name, hist->Snapshot());
+      }
+    }
+  }
+
+  std::string out;
+  Table counters_table("Counters");
+  counters_table.SetHeader({"counter", "value"});
+  for (const auto& [name, value] : counter_rows) {
+    counters_table.AddRow({name, Table::FmtInt(value)});
+  }
+  if (!counter_rows.empty()) {
+    out += counters_table.Render();
+  }
+
+  Table hist_table("Histograms");
+  hist_table.SetHeader({"histogram", "count", "mean", "min", "max", "p50", "p95", "p99"});
+  for (const auto& [name, s] : hist_rows) {
+    hist_table.AddRow({name, Table::FmtInt(static_cast<int64_t>(s.count)), Table::Fmt(s.mean, 3),
+                       Table::Fmt(s.min, 3), Table::Fmt(s.max, 3), Table::Fmt(s.p50, 3),
+                       Table::Fmt(s.p95, 3), Table::Fmt(s.p99, 3)});
+  }
+  if (!hist_rows.empty()) {
+    if (!out.empty()) {
+      out += "\n";
+    }
+    out += hist_table.Render();
+  }
+  if (out.empty()) {
+    out = "(no counters recorded)\n";
+  }
+  return out;
+}
+
+void CounterRegistry::PrintTable() const {
+  std::fputs(DumpTable().c_str(), stdout);
+}
+
+}  // namespace crius

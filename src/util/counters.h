@@ -1,0 +1,168 @@
+// Process-wide registry of named counters and streaming histograms.
+//
+// Hot paths record domain telemetry through the macros:
+//
+//   CRIUS_COUNTER_INC("sched.cells_considered");
+//   CRIUS_COUNTER_ADD("sim.restarts", 2);
+//   CRIUS_HISTOGRAM_RECORD("explorer.plans_enumerated", n);
+//   CRIUS_SCOPED_TIMER_MS("sched.round_ms");   // wall time of the scope
+//
+// Counters are relaxed atomic adds; histograms are log-bucketed streaming
+// accumulators (count/sum/min/max plus interpolated percentiles) built on
+// RunningStats from src/util/stats.h. Each macro resolves its registry entry
+// once (function-local static), so steady-state cost is one atomic add or one
+// short mutex-guarded bucket increment. DumpTable() renders everything
+// through src/util/table.h; Reset() zeroes values between tests without
+// invalidating cached entry pointers.
+
+#ifndef SRC_UTIL_COUNTERS_H_
+#define SRC_UTIL_COUNTERS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/util/stats.h"
+
+namespace crius {
+
+class Counter {
+ public:
+  void Add(int64_t delta = 1) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+struct HistogramSnapshot {
+  size_t count = 0;
+  double sum = 0.0;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+// Streaming histogram over log-scaled fixed buckets spanning [1e-9, 1e12).
+// Percentiles are geometric interpolations within the hit bucket, clamped to
+// the exact observed [min, max]; relative error is bounded by the bucket
+// width (10^(1/kBucketsPerDecade) - 1, ~7.5%).
+class Histogram {
+ public:
+  void Record(double value);
+
+  size_t count() const;
+  // Interpolated percentile, p in [0, 100]; 0 when empty.
+  double Percentile(double p) const;
+  HistogramSnapshot Snapshot() const;
+  void Reset();
+
+ private:
+  static constexpr int kBucketsPerDecade = 32;
+  static constexpr int kMinExp = -9;  // first bucket lower bound 1e-9
+  static constexpr int kMaxExp = 12;  // values >= 1e12 land in the overflow bucket
+  static constexpr int kNumBuckets = (kMaxExp - kMinExp) * kBucketsPerDecade + 2;
+
+  static int BucketIndex(double value);
+  static double BucketLower(int index);
+
+  double PercentileLocked(double p) const;
+
+  mutable std::mutex mu_;
+  RunningStats stats_;
+  std::vector<uint64_t> buckets_;  // lazily sized to kNumBuckets
+};
+
+class CounterRegistry {
+ public:
+  // The process-wide registry the macros write to.
+  static CounterRegistry& Global();
+
+  // Finds or creates an entry. References stay valid for the registry's
+  // lifetime (Reset() zeroes values, never erases entries).
+  Counter& GetCounter(const std::string& name);
+  Histogram& GetHistogram(const std::string& name);
+
+  // Snapshot access (0 / empty when the name was never registered).
+  int64_t CounterValue(const std::string& name) const;
+  HistogramSnapshot HistogramValues(const std::string& name) const;
+  std::vector<std::string> CounterNames() const;
+  std::vector<std::string> HistogramNames() const;
+
+  // Zeroes every counter and histogram.
+  void Reset();
+
+  // True when nothing has been recorded since construction/Reset.
+  bool Empty() const;
+
+  // Renders one table of counters and one of histogram summaries.
+  std::string DumpTable() const;
+  void PrintTable() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+namespace counters_internal {
+
+// Records the scope's wall time in milliseconds into a histogram.
+class ScopedTimerMs {
+ public:
+  explicit ScopedTimerMs(Histogram& hist)
+      : hist_(hist), t0_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimerMs() {
+    const double ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0_)
+            .count();
+    hist_.Record(ms);
+  }
+  ScopedTimerMs(const ScopedTimerMs&) = delete;
+  ScopedTimerMs& operator=(const ScopedTimerMs&) = delete;
+
+ private:
+  Histogram& hist_;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+}  // namespace counters_internal
+
+}  // namespace crius
+
+#define CRIUS_COUNTERS_CAT_(a, b) a##b
+#define CRIUS_COUNTERS_CAT(a, b) CRIUS_COUNTERS_CAT_(a, b)
+
+#define CRIUS_COUNTER_ADD(name, delta)                       \
+  do {                                                       \
+    static ::crius::Counter& crius_counter_entry_ =          \
+        ::crius::CounterRegistry::Global().GetCounter(name); \
+    crius_counter_entry_.Add(delta);                         \
+  } while (0)
+
+#define CRIUS_COUNTER_INC(name) CRIUS_COUNTER_ADD(name, 1)
+
+#define CRIUS_HISTOGRAM_RECORD(name, value)                    \
+  do {                                                         \
+    static ::crius::Histogram& crius_histogram_entry_ =        \
+        ::crius::CounterRegistry::Global().GetHistogram(name); \
+    crius_histogram_entry_.Record(value);                      \
+  } while (0)
+
+#define CRIUS_SCOPED_TIMER_MS(name)                                         \
+  static ::crius::Histogram& CRIUS_COUNTERS_CAT(crius_timer_hist_,          \
+                                                __LINE__) =                 \
+      ::crius::CounterRegistry::Global().GetHistogram(name);                \
+  ::crius::counters_internal::ScopedTimerMs CRIUS_COUNTERS_CAT(             \
+      crius_timer_, __LINE__)(CRIUS_COUNTERS_CAT(crius_timer_hist_, __LINE__))
+
+#endif  // SRC_UTIL_COUNTERS_H_

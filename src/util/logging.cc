@@ -1,12 +1,14 @@
 #include "src/util/logging.h"
 
+#include <algorithm>
+#include <cctype>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 
 namespace crius {
 
 namespace {
-
-LogLevel g_level = LogLevel::kWarning;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -24,21 +26,66 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
+// Seconds since the first logging call (a steady clock, so the stamp is
+// monotonic even if the wall clock steps).
+double ElapsedSeconds() {
+  static const std::chrono::steady_clock::time_point t0 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+LogLevel InitialLevel() {
+  ElapsedSeconds();  // latch the elapsed-time epoch at first use
+  if (const char* env = std::getenv("CRIUS_LOG_LEVEL")) {
+    if (const std::optional<LogLevel> parsed = ParseLogLevel(env)) {
+      return *parsed;
+    }
+  }
+  return LogLevel::kWarning;
+}
+
+LogLevel& MutableLevel() {
+  static LogLevel level = InitialLevel();
+  return level;
+}
+
 }  // namespace
 
+std::optional<LogLevel> ParseLogLevel(const std::string& name) {
+  std::string lower = name;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (lower == "debug") {
+    return LogLevel::kDebug;
+  }
+  if (lower == "info") {
+    return LogLevel::kInfo;
+  }
+  if (lower == "warning" || lower == "warn") {
+    return LogLevel::kWarning;
+  }
+  if (lower == "error") {
+    return LogLevel::kError;
+  }
+  if (lower == "off") {
+    return LogLevel::kOff;
+  }
+  return std::nullopt;
+}
+
 void SetLogLevel(LogLevel level) {
-  g_level = level;
+  MutableLevel() = level;
 }
 
 LogLevel GetLogLevel() {
-  return g_level;
+  return MutableLevel();
 }
 
 void LogMessage(LogLevel level, const std::string& message) {
-  if (level < g_level || level == LogLevel::kOff) {
+  if (level < MutableLevel() || level == LogLevel::kOff) {
     return;
   }
-  std::fprintf(stderr, "[crius %s] %s\n", LevelName(level), message.c_str());
+  std::fprintf(stderr, "[crius %s +%.3fs] %s\n", LevelName(level), ElapsedSeconds(),
+               message.c_str());
 }
 
 }  // namespace crius

@@ -1,9 +1,16 @@
 // Minimal leveled logging. The simulator and schedulers log through this so
 // that benches can silence per-round chatter while tests can turn it on.
+//
+// The startup threshold honors the CRIUS_LOG_LEVEL environment variable
+// (debug|info|warning|error|off, case-insensitive); unset or unparseable
+// values keep the kWarning default. Each emitted line is prefixed with the
+// level name and a monotonic elapsed-time stamp since the first log call:
+//   [crius INFO +12.345s] message
 
 #ifndef SRC_UTIL_LOGGING_H_
 #define SRC_UTIL_LOGGING_H_
 
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -17,9 +24,14 @@ enum class LogLevel {
   kOff = 4,
 };
 
-// Global threshold; messages below it are dropped. Default: kWarning.
+// Global threshold; messages below it are dropped. Default: kWarning, or
+// CRIUS_LOG_LEVEL when set at startup.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+// Parses a level name ("debug", "info", "warning"/"warn", "error", "off"),
+// case-insensitive; nullopt on anything else.
+std::optional<LogLevel> ParseLogLevel(const std::string& name);
 
 // Emits one line to stderr with a level prefix if `level` passes the threshold.
 void LogMessage(LogLevel level, const std::string& message);

@@ -1,0 +1,191 @@
+// Structured tracing with Chrome trace_event JSON export.
+//
+// A process-wide TraceRecorder collects three event kinds:
+//   * scoped spans      -- CRIUS_TRACE_SPAN("estimator.grid_sample") opens an
+//                          RAII span on the current thread; nesting is
+//                          preserved. The span's subsystem track is derived
+//                          from the name prefix before the first '.'.
+//   * instant events    -- CRIUS_TRACE_INSTANT("sched.drop")
+//   * counter samples   -- CRIUS_TRACE_COUNTER("sched.free_gpus", 12)
+//
+// The export is Chrome trace_event-format JSON, loadable in chrome://tracing
+// or https://ui.perfetto.dev. Tracks are (pid, tid) pairs named through
+// metadata events: live spans land on per-subsystem tracks under the
+// "crius (real time)" process; offline converters (src/sim/chrome_export)
+// append per-job and per-round tracks under a "simulation (sim time)" process
+// whose timestamps are simulated seconds.
+//
+// Cost model: recording is off by default. Every macro first does one relaxed
+// atomic load; when disabled nothing else happens, so instrumented hot paths
+// run at full speed (defining CRIUS_TRACE_DISABLED additionally compiles the
+// macros away entirely). Event content is deterministic in structure --
+// wall-clock time appears only in the export's metadata block -- so tests can
+// golden-check the JSON.
+
+#ifndef SRC_UTIL_TRACE_H_
+#define SRC_UTIL_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace crius {
+
+class TraceRecorder {
+ public:
+  // Process ids of the exported tracks. Live spans carry real microseconds
+  // since the recorder epoch; sim tracks carry simulated seconds * 1e6.
+  static constexpr int kRealtimePid = 1;
+  static constexpr int kSimPid = 2;
+
+  TraceRecorder();
+
+  // The process-wide recorder the macros write to.
+  static TraceRecorder& Global();
+
+  // Toggles macro-path recording. Explicit-timestamp events (below) are
+  // always accepted so offline converters work on a disabled recorder.
+  void SetEnabled(bool enabled) { enabled_.store(enabled, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Registers (or looks up) the track `name` under process `pid`; returns its
+  // tid. Track registration order is deterministic in recording order.
+  int Track(int pid, const std::string& name);
+
+  // --- Macro path: real-time events on the calling thread -------------------
+  // `args_json`, when non-empty, must be a complete JSON object ("{...}").
+  void BeginSpan(const char* name, std::string args_json = {});
+  void EndSpan();
+  void Instant(const std::string& name, std::string args_json = {});
+  void CounterSample(const std::string& name, double value);
+
+  // --- Explicit-timestamp events (offline conversion; always recorded) ------
+  void CompleteEvent(int track, std::string name, double ts_us, double dur_us,
+                     std::string args_json = {});
+  void InstantEvent(int track, std::string name, double ts_us, std::string args_json = {});
+  void CounterEvent(int track, std::string name, double ts_us, double value);
+
+  // Drops all events and tracks and restarts the epoch.
+  void Clear();
+
+  // Number of recorded events (metadata excluded).
+  size_t size() const;
+
+  // Writes the full trace as Chrome trace_event JSON.
+  void WriteJson(std::ostream& out) const;
+  bool WriteJsonFile(const std::string& path) const;
+
+ private:
+  struct Event {
+    char phase = 'X';  // 'X' complete, 'i' instant, 'C' counter
+    int track = 0;
+    double ts_us = 0.0;
+    double dur_us = 0.0;  // complete events only
+    std::string name;
+    std::string args_json;  // complete JSON object, may be empty
+  };
+  struct TrackInfo {
+    int pid = kRealtimePid;
+    int tid = 0;
+    std::string name;
+  };
+  struct SpanFrame {
+    int track = 0;
+    double t0_us = 0.0;
+    std::string name;
+    std::string args_json;
+  };
+
+  double NowUs() const;
+  int TrackLocked(int pid, const std::string& name);
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<Event> events_;
+  std::vector<TrackInfo> tracks_;
+  std::map<std::pair<int, std::string>, int> track_ids_;
+  std::map<std::thread::id, std::vector<SpanFrame>> span_stacks_;
+};
+
+namespace trace_internal {
+
+// RAII span bound to the global recorder; captures enablement at entry so a
+// mid-span toggle cannot unbalance the stack.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) {
+    TraceRecorder& rec = TraceRecorder::Global();
+    if (rec.enabled()) {
+      active_ = true;
+      rec.BeginSpan(name);
+    }
+  }
+  ScopedSpan(const char* name, std::string args_json) {
+    TraceRecorder& rec = TraceRecorder::Global();
+    if (rec.enabled()) {
+      active_ = true;
+      rec.BeginSpan(name, std::move(args_json));
+    }
+  }
+  ~ScopedSpan() {
+    if (active_) {
+      TraceRecorder::Global().EndSpan();
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  bool active_ = false;
+};
+
+}  // namespace trace_internal
+
+}  // namespace crius
+
+#define CRIUS_TRACE_CAT_(a, b) a##b
+#define CRIUS_TRACE_CAT(a, b) CRIUS_TRACE_CAT_(a, b)
+
+#ifdef CRIUS_TRACE_DISABLED
+
+#define CRIUS_TRACE_SPAN(name) \
+  do {                         \
+  } while (0)
+#define CRIUS_TRACE_SPAN_ARGS(name, args_json) \
+  do {                                         \
+  } while (0)
+#define CRIUS_TRACE_INSTANT(name) \
+  do {                            \
+  } while (0)
+#define CRIUS_TRACE_COUNTER(name, value) \
+  do {                                   \
+  } while (0)
+
+#else
+
+#define CRIUS_TRACE_SPAN(name) \
+  ::crius::trace_internal::ScopedSpan CRIUS_TRACE_CAT(crius_trace_span_, __LINE__)(name)
+#define CRIUS_TRACE_SPAN_ARGS(name, args_json) \
+  ::crius::trace_internal::ScopedSpan CRIUS_TRACE_CAT(crius_trace_span_, __LINE__)(name, args_json)
+#define CRIUS_TRACE_INSTANT(name)                            \
+  do {                                                       \
+    if (::crius::TraceRecorder::Global().enabled()) {        \
+      ::crius::TraceRecorder::Global().Instant(name);        \
+    }                                                        \
+  } while (0)
+#define CRIUS_TRACE_COUNTER(name, value)                         \
+  do {                                                           \
+    if (::crius::TraceRecorder::Global().enabled()) {            \
+      ::crius::TraceRecorder::Global().CounterSample(name, value); \
+    }                                                            \
+  } while (0)
+
+#endif  // CRIUS_TRACE_DISABLED
+
+#endif  // SRC_UTIL_TRACE_H_

@@ -95,6 +95,52 @@ TEST(SimResultTest, EmptyResultIsZeroed) {
   EXPECT_EQ(result.finished_jobs, 0);
 }
 
+TEST(SimResultTest, MakespanCoversAllDroppedTrace) {
+  // Regression: a run where every job is dropped used to report makespan 0
+  // even though the cluster was active until the last drop.
+  SimResult result;
+  for (int i = 0; i < 3; ++i) {
+    JobRecord r;
+    r.id = i;
+    r.submit = 10.0 * i;
+    r.dropped = true;
+    r.last_event = 100.0 + 50.0 * i;  // drop time
+    result.jobs.push_back(r);
+  }
+  result.Finalize();
+  EXPECT_EQ(result.finished_jobs, 0);
+  EXPECT_EQ(result.dropped_jobs, 3);
+  EXPECT_DOUBLE_EQ(result.makespan, 200.0);
+  // Finished-only averages stay at their NaN-free sentinel.
+  EXPECT_DOUBLE_EQ(result.avg_jct, 0.0);
+  EXPECT_DOUBLE_EQ(result.avg_queue_time, 0.0);
+  EXPECT_DOUBLE_EQ(result.avg_restarts, 0.0);
+}
+
+TEST(SimResultTest, MakespanFoldsUnfinishedJobs) {
+  SimResult result;
+  result.jobs.push_back(Finished(0, 0.0, 1.0, 50.0));
+  JobRecord live;  // still running at the simulation horizon
+  live.id = 1;
+  live.first_start = 10.0;
+  live.last_event = 500.0;
+  result.jobs.push_back(live);
+  result.Finalize();
+  EXPECT_DOUBLE_EQ(result.makespan, 500.0);
+}
+
+TEST(SimResultTest, MakespanIgnoresUnobservedRecords) {
+  // Hand-built records default last_event to -1; they must not drag the
+  // makespan below the finished jobs' horizon.
+  SimResult result;
+  result.jobs.push_back(Finished(0, 0.0, 1.0, 80.0));
+  JobRecord unseen;
+  unseen.id = 1;
+  result.jobs.push_back(unseen);
+  result.Finalize();
+  EXPECT_DOUBLE_EQ(result.makespan, 80.0);
+}
+
 TEST(SimResultTest, QueueTimeClampedNonNegative) {
   SimResult result;
   JobRecord r = Finished(0, 10.0, 5.0, 50.0);  // started "before" submit

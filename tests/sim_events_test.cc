@@ -1,10 +1,16 @@
-// Tests for the simulator's event log (SimConfig::record_events).
+// Tests for the simulator's event log (SimConfig::record_events), its CSV
+// export, and the Chrome-trace conversion.
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "src/sched/baselines.h"
 #include "src/sched/crius_sched.h"
+#include "src/sim/chrome_export.h"
 #include "src/sim/simulator.h"
+#include "src/sim/trace_io.h"
+#include "tests/trace_json_util.h"
 
 namespace crius {
 namespace {
@@ -105,12 +111,83 @@ TEST(SimEventsTest, DropEventsForDeadlineRejects) {
   SimConfig config;
   config.record_events = true;
   Simulator sim(cluster, config);
-  TrainingJob hopeless = MakeJob(0, 0.0, 100000000);
+  // Submitted after t=0 so the drop lands at a positive round time.
+  TrainingJob hopeless = MakeJob(0, 10.0, 100000000);
   hopeless.deadline = 30.0;
   const SimResult r = sim.Run(sched, oracle, {hopeless});
   EXPECT_EQ(r.dropped_jobs, 1);
   EXPECT_EQ(CountKind(r, SimEvent::Kind::kDrop, 0), 1);
   EXPECT_EQ(CountKind(r, SimEvent::Kind::kStart, 0), 0);
+  // Even with nothing finished, the drop marks cluster activity (makespan
+  // regression: it used to stay 0 for all-dropped traces).
+  EXPECT_GT(r.makespan, 0.0);
+}
+
+TEST(SimEventsTest, EventsCsvRoundsTripAllRows) {
+  Cluster cluster = MakeMotivationCluster();
+  PerformanceOracle oracle(cluster, 42);
+  CriusScheduler sched(&oracle, CriusConfig{});
+  SimConfig config;
+  config.record_events = true;
+  Simulator sim(cluster, config);
+  std::vector<TrainingJob> trace;
+  for (int i = 0; i < 3; ++i) {
+    trace.push_back(MakeJob(i, i * 60.0, 150, 2, i % 2 ? GpuType::kV100 : GpuType::kA100));
+  }
+  const SimResult r = sim.Run(sched, oracle, trace);
+  ASSERT_FALSE(r.events.empty());
+
+  std::ostringstream out;
+  WriteEventsCsv(r, out);
+  const std::string csv = out.str();
+  // Header plus one line per event, each carrying the event's kind name.
+  size_t lines = 0;
+  for (char c : csv) {
+    lines += c == '\n' ? 1 : 0;
+  }
+  EXPECT_EQ(lines, r.events.size() + 1);
+  EXPECT_EQ(csv.compare(0, 5, "time,"), 0);
+  for (const SimEvent& e : r.events) {
+    EXPECT_NE(csv.find(SimEvent::KindName(e.kind)), std::string::npos);
+  }
+}
+
+TEST(SimEventsTest, ChromeExportIsValidJsonWithJobTracks) {
+  Cluster cluster = MakeMotivationCluster();
+  PerformanceOracle oracle(cluster, 42);
+  CriusScheduler sched(&oracle, CriusConfig{});
+  SimConfig config;
+  config.record_events = true;
+  Simulator sim(cluster, config);
+  std::vector<TrainingJob> trace;
+  for (int i = 0; i < 3; ++i) {
+    trace.push_back(MakeJob(i, i * 60.0, 150, 2, i % 2 ? GpuType::kV100 : GpuType::kA100));
+  }
+  const SimResult r = sim.Run(sched, oracle, trace);
+
+  std::ostringstream out;
+  WriteSimChromeTrace(r, out);
+  const std::string json = out.str();
+  EXPECT_TRUE(test::IsValidJson(json));
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NE(json.find("job " + std::to_string(i)), std::string::npos) << "job " << i;
+  }
+  EXPECT_NE(json.find("scheduler rounds"), std::string::npos);
+  EXPECT_NE(json.find("busy_gpus"), std::string::npos);
+}
+
+TEST(SimEventsTest, ChromeExportWithoutEventsStillValid) {
+  // With record_events off, only the round/counter tracks are emitted.
+  Cluster cluster = MakeMotivationCluster();
+  PerformanceOracle oracle(cluster, 42);
+  FcfsScheduler sched(&oracle);
+  Simulator sim(cluster, SimConfig{});
+  const SimResult r = sim.Run(sched, oracle, {MakeJob(0, 0.0, 10)});
+  ASSERT_TRUE(r.events.empty());
+  std::ostringstream out;
+  WriteSimChromeTrace(r, out);
+  EXPECT_TRUE(test::IsValidJson(out.str()));
+  EXPECT_EQ(out.str().find("job 0"), std::string::npos);
 }
 
 TEST(SimEventsTest, KindNamesAreStable) {

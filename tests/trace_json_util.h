@@ -1,0 +1,222 @@
+// Minimal JSON checker for trace-export tests.
+//
+// Not a general parser: it validates syntax (balanced structures, legal
+// scalars, string escapes) via recursive descent and discards the values.
+// Enough to prove the Chrome-trace writer emits well-formed JSON without
+// pulling a JSON library into the build.
+
+#ifndef TESTS_TRACE_JSON_UTIL_H_
+#define TESTS_TRACE_JSON_UTIL_H_
+
+#include <cctype>
+#include <string>
+
+namespace crius {
+namespace test {
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  // True when the whole input is exactly one valid JSON value.
+  bool Valid() {
+    pos_ = 0;
+    ok_ = true;
+    SkipWs();
+    Value();
+    SkipWs();
+    return ok_ && pos_ == text_.size();
+  }
+
+ private:
+  void Fail() { ok_ = false; }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  bool Consume(char c) {
+    if (Peek() != c) {
+      return false;
+    }
+    ++pos_;
+    return true;
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  void Value() {
+    if (!ok_) {
+      return;
+    }
+    switch (Peek()) {
+      case '{':
+        Object();
+        return;
+      case '[':
+        Array();
+        return;
+      case '"':
+        String();
+        return;
+      case 't':
+        Literal("true");
+        return;
+      case 'f':
+        Literal("false");
+        return;
+      case 'n':
+        Literal("null");
+        return;
+      default:
+        Number();
+        return;
+    }
+  }
+
+  void Object() {
+    Consume('{');
+    SkipWs();
+    if (Consume('}')) {
+      return;
+    }
+    while (ok_) {
+      SkipWs();
+      String();
+      SkipWs();
+      if (!Consume(':')) {
+        Fail();
+        return;
+      }
+      SkipWs();
+      Value();
+      SkipWs();
+      if (Consume('}')) {
+        return;
+      }
+      if (!Consume(',')) {
+        Fail();
+        return;
+      }
+    }
+  }
+
+  void Array() {
+    Consume('[');
+    SkipWs();
+    if (Consume(']')) {
+      return;
+    }
+    while (ok_) {
+      SkipWs();
+      Value();
+      SkipWs();
+      if (Consume(']')) {
+        return;
+      }
+      if (!Consume(',')) {
+        Fail();
+        return;
+      }
+    }
+  }
+
+  void String() {
+    if (!Consume('"')) {
+      Fail();
+      return;
+    }
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        Fail();  // control characters must be escaped
+        return;
+      }
+      if (c == '\\') {
+        if (pos_ >= text_.size()) {
+          break;
+        }
+        const char e = text_[pos_++];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            if (pos_ >= text_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(text_[pos_]))) {
+              Fail();
+              return;
+            }
+            ++pos_;
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' && e != 'n' &&
+                   e != 'r' && e != 't') {
+          Fail();
+          return;
+        }
+      }
+    }
+    Fail();  // unterminated string
+  }
+
+  void Number() {
+    const size_t start = pos_;
+    Consume('-');
+    if (!std::isdigit(static_cast<unsigned char>(Peek()))) {
+      Fail();
+      return;
+    }
+    while (std::isdigit(static_cast<unsigned char>(Peek()))) {
+      ++pos_;
+    }
+    if (Consume('.')) {
+      if (!std::isdigit(static_cast<unsigned char>(Peek()))) {
+        Fail();
+        return;
+      }
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) {
+        ++pos_;
+      }
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      ++pos_;
+      if (Peek() == '+' || Peek() == '-') {
+        ++pos_;
+      }
+      if (!std::isdigit(static_cast<unsigned char>(Peek()))) {
+        Fail();
+        return;
+      }
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) {
+        ++pos_;
+      }
+    }
+    if (pos_ == start) {
+      Fail();
+    }
+  }
+
+  void Literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p) {
+      if (!Consume(*p)) {
+        Fail();
+        return;
+      }
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+inline bool IsValidJson(const std::string& text) {
+  return JsonChecker(text).Valid();
+}
+
+}  // namespace test
+}  // namespace crius
+
+#endif  // TESTS_TRACE_JSON_UTIL_H_

@@ -1,0 +1,148 @@
+// Tests for the process-wide trace recorder (src/util/trace.h).
+
+#include "src/util/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "tests/trace_json_util.h"
+
+namespace crius {
+namespace {
+
+class TraceRecorderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TraceRecorder::Global().Clear();
+    TraceRecorder::Global().SetEnabled(true);
+  }
+  void TearDown() override {
+    TraceRecorder::Global().SetEnabled(false);
+    TraceRecorder::Global().Clear();
+  }
+};
+
+std::string Json() {
+  std::ostringstream out;
+  TraceRecorder::Global().WriteJson(out);
+  return out.str();
+}
+
+TEST_F(TraceRecorderTest, DisabledMacrosRecordNothing) {
+  TraceRecorder::Global().SetEnabled(false);
+  {
+    CRIUS_TRACE_SPAN("test.span");
+    CRIUS_TRACE_INSTANT("test.instant");
+    CRIUS_TRACE_COUNTER("test.counter", 3.0);
+  }
+  EXPECT_EQ(TraceRecorder::Global().size(), 0u);
+}
+
+TEST_F(TraceRecorderTest, SpanNestingClosesInnerFirst) {
+  {
+    CRIUS_TRACE_SPAN("outer.root");
+    {
+      CRIUS_TRACE_SPAN("outer.child");
+    }
+  }
+  EXPECT_EQ(TraceRecorder::Global().size(), 2u);
+  const std::string json = Json();
+  // Inner span completes (and is appended) before the outer one.
+  EXPECT_LT(json.find("outer.child"), json.find("outer.root"));
+  EXPECT_TRUE(test::IsValidJson(json)) << json;
+}
+
+TEST_F(TraceRecorderTest, SpanArgsAndInstantAndCounterAppearInJson) {
+  {
+    CRIUS_TRACE_SPAN_ARGS("sched.round", "{\"jobs\": 7}");
+    CRIUS_TRACE_INSTANT("sched.drop");
+    CRIUS_TRACE_COUNTER("sched.free_gpus", 12.0);
+  }
+  const std::string json = Json();
+  EXPECT_TRUE(test::IsValidJson(json)) << json;
+  EXPECT_NE(json.find("\"jobs\": 7"), std::string::npos);
+  EXPECT_NE(json.find("sched.drop"), std::string::npos);
+  EXPECT_NE(json.find("sched.free_gpus"), std::string::npos);
+  EXPECT_NE(json.find("displayTimeUnit"), std::string::npos);
+}
+
+TEST_F(TraceRecorderTest, NamesAreEscapedIntoValidJson) {
+  TraceRecorder& rec = TraceRecorder::Global();
+  const int track = rec.Track(TraceRecorder::kSimPid, "weird \"track\"\n\t\\");
+  rec.CompleteEvent(track, "name with \"quotes\" and \\backslash\\", 0.0, 1.0);
+  EXPECT_TRUE(test::IsValidJson(Json())) << Json();
+}
+
+TEST_F(TraceRecorderTest, ExplicitEventsWorkWhileDisabled) {
+  TraceRecorder& rec = TraceRecorder::Global();
+  rec.SetEnabled(false);
+  const int track = rec.Track(TraceRecorder::kSimPid, "job 0");
+  rec.CompleteEvent(track, "run", 0.0, 1e6);
+  rec.InstantEvent(track, "restart", 5e5);
+  rec.CounterEvent(track, "busy_gpus", 0.0, 8.0);
+  EXPECT_EQ(rec.size(), 3u);
+  EXPECT_TRUE(test::IsValidJson(Json()));
+}
+
+TEST_F(TraceRecorderTest, TrackIdsAreStablePerProcessAndName) {
+  TraceRecorder& rec = TraceRecorder::Global();
+  const int a = rec.Track(TraceRecorder::kSimPid, "job 1");
+  const int b = rec.Track(TraceRecorder::kSimPid, "job 2");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, rec.Track(TraceRecorder::kSimPid, "job 1"));
+  // The same name under the other process is a distinct track.
+  EXPECT_NE(a, rec.Track(TraceRecorder::kRealtimePid, "job 1"));
+}
+
+TEST_F(TraceRecorderTest, ClearDropsEverything) {
+  {
+    CRIUS_TRACE_SPAN("x.y");
+  }
+  ASSERT_EQ(TraceRecorder::Global().size(), 1u);
+  TraceRecorder::Global().Clear();
+  EXPECT_EQ(TraceRecorder::Global().size(), 0u);
+  EXPECT_TRUE(test::IsValidJson(Json()));
+}
+
+TEST_F(TraceRecorderTest, UnbalancedEndSpanIsDropped) {
+  TraceRecorder::Global().EndSpan();  // no matching BeginSpan
+  EXPECT_EQ(TraceRecorder::Global().size(), 0u);
+}
+
+TEST_F(TraceRecorderTest, ThreadSafetySmoke) {
+  constexpr int kThreads = 8;
+  constexpr int kSpans = 200;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([] {
+      for (int i = 0; i < kSpans; ++i) {
+        CRIUS_TRACE_SPAN("smoke.outer");
+        CRIUS_TRACE_SPAN("smoke.inner");
+      }
+    });
+  }
+  for (std::thread& w : workers) {
+    w.join();
+  }
+  EXPECT_EQ(TraceRecorder::Global().size(),
+            static_cast<size_t>(kThreads) * kSpans * 2);
+  EXPECT_TRUE(test::IsValidJson(Json()));
+}
+
+TEST(JsonCheckerTest, RejectsMalformedDocuments) {
+  EXPECT_TRUE(test::IsValidJson("{\"a\": [1, 2.5, -3e-2, \"x\", true, null]}"));
+  EXPECT_FALSE(test::IsValidJson(""));
+  EXPECT_FALSE(test::IsValidJson("{"));
+  EXPECT_FALSE(test::IsValidJson("{\"a\": }"));
+  EXPECT_FALSE(test::IsValidJson("[1, 2,]"));
+  EXPECT_FALSE(test::IsValidJson("\"unterminated"));
+  EXPECT_FALSE(test::IsValidJson("{\"a\": 1} trailing"));
+  EXPECT_FALSE(test::IsValidJson("{\"a\": 01x}"));
+}
+
+}  // namespace
+}  // namespace crius

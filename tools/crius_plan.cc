@@ -16,8 +16,10 @@
 #include "src/runtime/gantt.h"
 #include "src/runtime/pipeline_engine.h"
 #include "src/util/check.h"
+#include "src/util/counters.h"
 #include "src/util/flags.h"
 #include "src/util/table.h"
+#include "src/util/trace.h"
 
 namespace crius {
 namespace {
@@ -50,6 +52,8 @@ int Run(int argc, const char* const* argv) {
   int64_t batch = 0;
   int64_t seed = 42;
   std::string chrome_trace;
+  std::string trace_json;
+  bool counters = false;
 
   FlagSet flags("crius_plan", "Inspect adaptive parallelization of one job");
   flags.String("model", &model_name, "model name, e.g. BERT-2.6B, WRes-4.0B, MoE-10B");
@@ -61,8 +65,15 @@ int Run(int argc, const char* const* argv) {
   flags.Int("seed", &seed, "profiling-noise seed");
   flags.String("chrome-trace", &chrome_trace,
                "write one iteration of the best plan as Chrome-trace JSON");
+  flags.String("trace-json", &trace_json,
+               "write a Chrome trace of the planning pipeline itself to this file");
+  flags.Bool("counters", &counters, "print the process-wide counter/histogram table");
   if (!flags.Parse(argc, argv)) {
     return 1;
+  }
+
+  if (!trace_json.empty()) {
+    TraceRecorder::Global().SetEnabled(true);
   }
 
   const GpuType type = ParseGpuType(type_name);
@@ -126,6 +137,15 @@ int Run(int argc, const char* const* argv) {
     WriteChromeTrace(trace, best->plan, out);
     std::printf("\nChrome trace written to %s (open in chrome://tracing)\n",
                 chrome_trace.c_str());
+  }
+  if (!trace_json.empty()) {
+    CRIUS_CHECK_MSG(TraceRecorder::Global().WriteJsonFile(trace_json),
+                    "cannot write " << trace_json);
+    std::printf("Planning trace written to %s (load in chrome://tracing or ui.perfetto.dev)\n",
+                trace_json.c_str());
+  }
+  if (counters) {
+    CounterRegistry::Global().PrintTable();
   }
   return 0;
 }

@@ -15,12 +15,15 @@
 
 #include "src/sched/baselines.h"
 #include "src/sched/crius_sched.h"
+#include "src/sim/chrome_export.h"
 #include "src/sim/simulator.h"
 #include "src/sim/trace.h"
 #include "src/sim/trace_io.h"
 #include "src/util/check.h"
+#include "src/util/counters.h"
 #include "src/util/flags.h"
 #include "src/util/table.h"
+#include "src/util/trace.h"
 
 namespace crius {
 namespace {
@@ -111,6 +114,8 @@ int Run(int argc, const char* const* argv) {
   std::string jobs_csv;
   std::string timeline_csv;
   std::string events_csv;
+  std::string trace_json;
+  bool counters = false;
 
   FlagSet flags("crius_sim", "Run a Crius cluster-scheduling simulation");
   flags.String("cluster", &cluster_spec,
@@ -135,8 +140,15 @@ int Run(int argc, const char* const* argv) {
   flags.String("jobs-csv", &jobs_csv, "write per-job records to this CSV");
   flags.String("timeline-csv", &timeline_csv, "write the throughput timeline to this CSV");
   flags.String("events-csv", &events_csv, "write the scheduling-event log to this CSV");
+  flags.String("trace-json", &trace_json,
+               "write a Chrome trace (chrome://tracing / Perfetto) to this file");
+  flags.Bool("counters", &counters, "print the process-wide counter/histogram table");
   if (!flags.Parse(argc, argv)) {
     return 1;
+  }
+
+  if (!trace_json.empty()) {
+    TraceRecorder::Global().SetEnabled(true);
   }
 
   Cluster cluster = MakeCluster(cluster_spec);
@@ -170,7 +182,8 @@ int Run(int argc, const char* const* argv) {
   SimConfig sim_config;
   sim_config.charge_profiling = !no_profiling_cost;
   sim_config.execution_jitter = execution_jitter;
-  sim_config.record_events = !events_csv.empty();
+  // Any export that reconstructs per-job activity needs the event log.
+  sim_config.record_events = !events_csv.empty() || !trace_json.empty() || counters;
   Simulator sim(cluster, sim_config);
   const SimResult result = sim.Run(*scheduler, oracle, trace);
 
@@ -205,6 +218,16 @@ int Run(int argc, const char* const* argv) {
   if (!events_csv.empty()) {
     CRIUS_CHECK_MSG(WriteEventsCsvFile(result, events_csv), "cannot write " << events_csv);
     std::printf("Event log written to %s\n", events_csv.c_str());
+  }
+  if (!trace_json.empty()) {
+    AppendSimTrace(result, TraceRecorder::Global());
+    CRIUS_CHECK_MSG(TraceRecorder::Global().WriteJsonFile(trace_json),
+                    "cannot write " << trace_json);
+    std::printf("Chrome trace written to %s (load in chrome://tracing or ui.perfetto.dev)\n",
+                trace_json.c_str());
+  }
+  if (counters) {
+    CounterRegistry::Global().PrintTable();
   }
   return 0;
 }
