@@ -27,8 +27,8 @@ int main() {
   SimConfig simulation;  // jitter-free
 
   Table table("Fig. 14 Physical-testbed comparison (244-job Philly trace)");
-  table.SetHeader({"scheduler", "avg JCT", "vs Crius", "avg queue", "vs Crius",
-                   "avg thr", "peak thr", "finished", "restarts"});
+  table.SetHeader({"scheduler", "avg JCT", "p95 JCT", "p99 JCT", "vs Crius", "avg queue",
+                   "p99 queue", "vs Crius", "avg thr", "peak thr", "finished", "restarts"});
 
   struct Row {
     SimResult physical;
@@ -47,8 +47,9 @@ int main() {
   const SimResult& crius = rows.back().physical;
   for (const Row& row : rows) {
     const SimResult& r = row.physical;
-    table.AddRow({r.scheduler, Minutes(r.avg_jct), Ratio(r.avg_jct, crius.avg_jct),
-                  Minutes(r.avg_queue_time), Ratio(r.avg_queue_time, crius.avg_queue_time),
+    table.AddRow({r.scheduler, Minutes(r.avg_jct), Minutes(r.p95_jct), Minutes(r.p99_jct),
+                  Ratio(r.avg_jct, crius.avg_jct), Minutes(r.avg_queue_time),
+                  Minutes(r.p99_queue_time), Ratio(r.avg_queue_time, crius.avg_queue_time),
                   Table::Fmt(r.avg_throughput, 1), Table::Fmt(r.peak_throughput, 1),
                   Table::FmtInt(r.finished_jobs), Table::Fmt(r.avg_restarts, 2)});
   }

@@ -1,0 +1,42 @@
+#include "src/fault/checkpoint.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace crius {
+
+double YoungDalyInterval(double mtbf_seconds, double cost_seconds) {
+  CRIUS_CHECK_MSG(mtbf_seconds > 0.0 && cost_seconds > 0.0,
+                  "Young/Daly needs positive MTBF and checkpoint cost");
+  return std::sqrt(2.0 * mtbf_seconds * cost_seconds);
+}
+
+double CheckpointOverheadFactor(double interval, double cost) {
+  if (interval <= 0.0) {
+    return 1.0;
+  }
+  CRIUS_CHECK_MSG(cost >= 0.0, "negative checkpoint cost");
+  return 1.0 + cost / interval;
+}
+
+double PreservedProgress(double interval, double progress_seconds) {
+  if (interval <= 0.0 || progress_seconds <= 0.0) {
+    return 0.0;
+  }
+  return std::floor(progress_seconds / interval) * interval;
+}
+
+double EffectiveCheckpointInterval(const CheckpointConfig& config, double node_mtbf_seconds,
+                                   int num_nodes) {
+  CRIUS_CHECK_MSG(config.interval >= 0.0, "negative checkpoint interval");
+  CRIUS_CHECK_MSG(config.cost >= 0.0, "negative checkpoint cost");
+  if (config.young_daly && node_mtbf_seconds > 0.0 && config.cost > 0.0) {
+    const double job_mtbf = node_mtbf_seconds / static_cast<double>(std::max(1, num_nodes));
+    return YoungDalyInterval(job_mtbf, config.cost);
+  }
+  return config.interval;
+}
+
+}  // namespace crius

@@ -1,0 +1,50 @@
+// Checkpoint model: what a failure actually costs.
+//
+// Without checkpoints a failure throws away everything since the job's last
+// (re)start. With periodic checkpoints a failure only loses the work since the
+// last completed checkpoint, at the price of a steady-state overhead of one
+// checkpoint write per interval. The optimal interval balancing the two is the
+// classic Young/Daly first-order optimum sqrt(2 * MTBF * cost), which the
+// simulator can derive per job from the configured node MTBF and the job's
+// node span.
+
+#ifndef SRC_FAULT_CHECKPOINT_H_
+#define SRC_FAULT_CHECKPOINT_H_
+
+namespace crius {
+
+struct CheckpointConfig {
+  // Seconds of progress between checkpoints; 0 disables periodic checkpoints
+  // (a failure then loses the whole run segment).
+  double interval = 0.0;
+  // Seconds to write one checkpoint (stalls training).
+  double cost = 30.0;
+  // Derive the interval per job as YoungDalyInterval(job MTBF, cost) instead
+  // of the fixed `interval`; falls back to `interval` when no MTBF is known.
+  bool young_daly = false;
+};
+
+// First-order optimal checkpoint interval sqrt(2 * mtbf * cost). Requires
+// mtbf > 0 and cost > 0.
+double YoungDalyInterval(double mtbf_seconds, double cost_seconds);
+
+// Steady-state slowdown factor of periodic checkpointing: every `interval`
+// seconds of progress additionally pays `cost` seconds, so wall time runs
+// (1 + cost / interval) slower. 1.0 when checkpointing is disabled
+// (interval <= 0).
+double CheckpointOverheadFactor(double interval, double cost);
+
+// Progress surviving a failure: of `progress_seconds` of useful work since the
+// segment start, the part covered by completed checkpoints. 0 when
+// checkpointing is disabled.
+double PreservedProgress(double interval, double progress_seconds);
+
+// The interval a job spanning `num_nodes` nodes should run with, given the
+// per-node MTBF (seconds; 0 = unknown). Resolves young_daly against the job's
+// effective MTBF (node MTBF / nodes spanned).
+double EffectiveCheckpointInterval(const CheckpointConfig& config, double node_mtbf_seconds,
+                                   int num_nodes);
+
+}  // namespace crius
+
+#endif  // SRC_FAULT_CHECKPOINT_H_

@@ -1,0 +1,142 @@
+#include "src/fault/failure_injector.h"
+
+#include <algorithm>
+#include <string>
+
+#include "src/util/check.h"
+#include "src/util/rng.h"
+#include "src/util/units.h"
+
+namespace crius {
+
+const char* FailureEvent::KindName(FailureKind kind) {
+  switch (kind) {
+    case FailureKind::kNodeFail:
+      return "node_fail";
+    case FailureKind::kNodeRecover:
+      return "node_recover";
+    case FailureKind::kGpuFail:
+      return "gpu_fail";
+    case FailureKind::kGpuRecover:
+      return "gpu_recover";
+    case FailureKind::kStragglerStart:
+      return "straggler_start";
+    case FailureKind::kStragglerEnd:
+      return "straggler_end";
+  }
+  return "?";
+}
+
+void SortFailureSchedule(std::vector<FailureEvent>& events) {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FailureEvent& a, const FailureEvent& b) {
+                     if (a.time != b.time) {
+                       return a.time < b.time;
+                     }
+                     if (a.node_id != b.node_id) {
+                       return a.node_id < b.node_id;
+                     }
+                     return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+                   });
+}
+
+namespace {
+
+void ValidateConfig(const FailureInjectorConfig& c) {
+  CRIUS_CHECK_MSG(c.node_mtbf_hours >= 0.0, "negative node MTBF");
+  CRIUS_CHECK_MSG(c.gpu_mtbf_hours >= 0.0, "negative GPU MTBF");
+  CRIUS_CHECK_MSG(c.mttr_hours > 0.0, "MTTR must be positive");
+  CRIUS_CHECK_MSG(c.straggler_rate >= 0.0, "negative straggler rate");
+  CRIUS_CHECK_MSG(c.straggler_duration_hours > 0.0, "straggler duration must be positive");
+  CRIUS_CHECK_MSG(c.straggler_slowdown > 1.0, "straggler slowdown must exceed 1.0");
+  CRIUS_CHECK_MSG(!c.enabled() || c.horizon > 0.0,
+                  "failure injection enabled with no horizon");
+}
+
+// Alternating fail/repair lifecycle for one node: a node is either up or in
+// repair, so its own failures never overlap.
+void NodeFailures(const NodeInfo& node, const FailureInjectorConfig& c,
+                  std::vector<FailureEvent>& out) {
+  Rng rng(c.seed, "fault.node." + std::to_string(node.id));
+  const double fail_rate = 1.0 / (c.node_mtbf_hours * kHour);
+  const double repair_rate = 1.0 / (c.mttr_hours * kHour);
+  double t = 0.0;
+  while (true) {
+    t += rng.Exponential(fail_rate);
+    if (t >= c.horizon) {
+      return;
+    }
+    const double down_for = rng.Exponential(repair_rate);
+    out.push_back(FailureEvent{t, FailureKind::kNodeFail, node.id, 0, 1.0});
+    out.push_back(FailureEvent{t + down_for, FailureKind::kNodeRecover, node.id, 0, 1.0});
+    t += down_for;
+  }
+}
+
+// Single-GPU failures: the node's devices fail as a superposed Poisson process
+// (rate = gpus / MTBF); each failed device repairs independently, so
+// concurrent single-GPU failures on one node are possible.
+void GpuFailures(const NodeInfo& node, const FailureInjectorConfig& c,
+                 std::vector<FailureEvent>& out) {
+  Rng rng(c.seed, "fault.gpu." + std::to_string(node.id));
+  const double fail_rate =
+      static_cast<double>(node.total_gpus) / (c.gpu_mtbf_hours * kHour);
+  const double repair_rate = 1.0 / (c.mttr_hours * kHour);
+  double t = 0.0;
+  while (true) {
+    t += rng.Exponential(fail_rate);
+    if (t >= c.horizon) {
+      return;
+    }
+    const double down_for = rng.Exponential(repair_rate);
+    out.push_back(FailureEvent{t, FailureKind::kGpuFail, node.id, 1, 1.0});
+    out.push_back(FailureEvent{t + down_for, FailureKind::kGpuRecover, node.id, 1, 1.0});
+  }
+}
+
+// Straggler windows: sequential per node (a node is either slow or not).
+void StragglerWindows(const NodeInfo& node, const FailureInjectorConfig& c,
+                      std::vector<FailureEvent>& out) {
+  Rng rng(c.seed, "fault.straggler." + std::to_string(node.id));
+  const double start_rate = c.straggler_rate / kHour;
+  const double mean_duration = c.straggler_duration_hours * kHour;
+  double t = 0.0;
+  while (true) {
+    t += rng.Exponential(start_rate);
+    if (t >= c.horizon) {
+      return;
+    }
+    const double duration = rng.Exponential(1.0 / mean_duration);
+    const double excess = c.straggler_slowdown - 1.0;
+    const double factor = 1.0 + excess * rng.Uniform(0.5, 1.5);
+    out.push_back(FailureEvent{t, FailureKind::kStragglerStart, node.id, 0, factor});
+    out.push_back(FailureEvent{t + duration, FailureKind::kStragglerEnd, node.id, 0, 1.0});
+    t += duration;
+  }
+}
+
+}  // namespace
+
+std::vector<FailureEvent> GenerateFailureSchedule(const Cluster& cluster,
+                                                  const FailureInjectorConfig& config) {
+  ValidateConfig(config);
+  std::vector<FailureEvent> events;
+  if (!config.enabled()) {
+    return events;
+  }
+  for (const NodeInfo& node : cluster.nodes()) {
+    if (config.node_mtbf_hours > 0.0) {
+      NodeFailures(node, config, events);
+    }
+    if (config.gpu_mtbf_hours > 0.0) {
+      GpuFailures(node, config, events);
+    }
+    if (config.straggler_rate > 0.0) {
+      StragglerWindows(node, config, events);
+    }
+  }
+  SortFailureSchedule(events);
+  return events;
+}
+
+}  // namespace crius

@@ -1,0 +1,93 @@
+// Deterministic failure injection for cluster simulations.
+//
+// Real heterogeneous clusters lose GPUs, nodes, and links mid-training; a
+// reconfigurable scheduler should be able to re-derive a good plan against
+// whatever hardware survives. This module produces the churn: a seeded,
+// MTBF-driven schedule of node/GPU failures with exponential repair times and
+// straggler (slowdown) windows, generated up front as a plain event list so a
+// simulation under failures is exactly as reproducible as one without.
+//
+// Determinism contract: the schedule is a pure function of (cluster topology,
+// config). Every node draws from its own named RNG stream
+// ("fault.node.<id>" / "fault.gpu.<id>" / "fault.straggler.<id>"), disjoint
+// from every other stream in the repository, so enabling injection never
+// perturbs trace synthesis or profiling noise, and adding nodes never
+// reshuffles the failures of existing ones.
+
+#ifndef SRC_FAULT_FAILURE_INJECTOR_H_
+#define SRC_FAULT_FAILURE_INJECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/hw/cluster.h"
+
+namespace crius {
+
+enum class FailureKind : uint8_t {
+  kNodeFail,        // whole node becomes unallocatable; running jobs die
+  kNodeRecover,     // node returns to service
+  kGpuFail,         // `gpus` devices on the node fail (jobs on the node die)
+  kGpuRecover,      // `gpus` devices return to service
+  kStragglerStart,  // node runs at `slowdown` x iteration time
+  kStragglerEnd,    // node back to full speed
+};
+
+// One scripted change of cluster health.
+struct FailureEvent {
+  double time = 0.0;  // seconds since simulation start
+  FailureKind kind = FailureKind::kNodeFail;
+  int node_id = 0;
+  // GPU-granular events: device count affected (>= 1). 0 for node-level and
+  // straggler events.
+  int gpus = 0;
+  // Straggler windows: multiplicative iteration-time factor (> 1). 1.0 for
+  // failure/recovery events.
+  double slowdown = 1.0;
+
+  static const char* KindName(FailureKind kind);
+
+  bool operator==(const FailureEvent& other) const {
+    return time == other.time && kind == other.kind && node_id == other.node_id &&
+           gpus == other.gpus && slowdown == other.slowdown;
+  }
+};
+
+struct FailureInjectorConfig {
+  // Mean time between whole-node failures, per node (hours; 0 disables).
+  double node_mtbf_hours = 0.0;
+  // Mean time between single-GPU failures, per GPU (hours; 0 disables).
+  double gpu_mtbf_hours = 0.0;
+  // Mean time to repair a failure (hours).
+  double mttr_hours = 0.5;
+  // Expected straggler windows per node per hour (0 disables).
+  double straggler_rate = 0.0;
+  // Mean straggler-window length (hours).
+  double straggler_duration_hours = 0.5;
+  // Nominal straggler iteration-time factor; realized windows draw uniformly
+  // from [1 + 0.5*(f-1), 1 + 1.5*(f-1)].
+  double straggler_slowdown = 1.5;
+  // Events are generated with fail/start times in [0, horizon) seconds;
+  // recoveries may land past the horizon so every failure stays paired.
+  double horizon = 0.0;
+  uint64_t seed = 42;
+
+  bool enabled() const {
+    return node_mtbf_hours > 0.0 || gpu_mtbf_hours > 0.0 || straggler_rate > 0.0;
+  }
+};
+
+// Generates the failure schedule for `cluster` under `config`, sorted by
+// (time, node, kind). Same cluster + config => byte-identical schedule.
+// Aborts on nonsensical configs (negative rates, enabled rates with no
+// horizon).
+std::vector<FailureEvent> GenerateFailureSchedule(const Cluster& cluster,
+                                                  const FailureInjectorConfig& config);
+
+// Sorts `events` into the canonical (time, node, kind) order the simulator
+// expects; loaders use it so hand-written traces need not be pre-sorted.
+void SortFailureSchedule(std::vector<FailureEvent>& events);
+
+}  // namespace crius
+
+#endif  // SRC_FAULT_FAILURE_INJECTOR_H_

@@ -1,0 +1,130 @@
+#include "src/fault/fault_trace_io.h"
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace crius {
+
+namespace {
+
+// Splits one CSV line on commas (no quoting needed for this schema).
+std::vector<std::string> SplitCsv(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  for (char c : line) {
+    if (c == ',') {
+      fields.push_back(field);
+      field.clear();
+    } else if (c != '\r') {
+      field += c;
+    }
+  }
+  fields.push_back(field);
+  return fields;
+}
+
+double ParseDouble(const std::string& s, const char* what, int line_no) {
+  CRIUS_CHECK_MSG(!s.empty(), "failure trace line " << line_no << ": empty " << what);
+  size_t pos = 0;
+  double v = 0.0;
+  bool ok = true;
+  try {
+    v = std::stod(s, &pos);
+  } catch (const std::exception&) {
+    ok = false;
+  }
+  CRIUS_CHECK_MSG(ok && pos == s.size(),
+                  "failure trace line " << line_no << ": bad " << what << " '" << s << "'");
+  return v;
+}
+
+int64_t ParseInt(const std::string& s, const char* what, int line_no) {
+  const double v = ParseDouble(s, what, line_no);
+  CRIUS_CHECK_MSG(v == std::floor(v),
+                  "failure trace line " << line_no << ": non-integer " << what);
+  return static_cast<int64_t>(v);
+}
+
+FailureKind ParseKind(const std::string& s, int line_no) {
+  for (FailureKind k :
+       {FailureKind::kNodeFail, FailureKind::kNodeRecover, FailureKind::kGpuFail,
+        FailureKind::kGpuRecover, FailureKind::kStragglerStart, FailureKind::kStragglerEnd}) {
+    if (s == FailureEvent::KindName(k)) {
+      return k;
+    }
+  }
+  CRIUS_UNREACHABLE("failure trace line " + std::to_string(line_no) + ": unknown kind '" + s +
+                    "'");
+}
+
+}  // namespace
+
+void WriteFailureTraceCsv(const std::vector<FailureEvent>& events, std::ostream& out) {
+  // Shortest-round-trip precision: a saved schedule replays the exact same
+  // simulation the generating run saw.
+  const auto old_precision = out.precision(std::numeric_limits<double>::max_digits10);
+  out << "time,kind,node_id,gpus,slowdown\n";
+  for (const FailureEvent& e : events) {
+    out << e.time << ',' << FailureEvent::KindName(e.kind) << ',' << e.node_id << ','
+        << e.gpus << ',' << e.slowdown << '\n';
+  }
+  out.precision(old_precision);
+}
+
+bool WriteFailureTraceCsvFile(const std::vector<FailureEvent>& events,
+                              const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return false;
+  }
+  WriteFailureTraceCsv(events, out);
+  return out.good();
+}
+
+std::vector<FailureEvent> ReadFailureTraceCsv(std::istream& in) {
+  std::vector<FailureEvent> events;
+  std::string line;
+  int line_no = 0;
+  bool header_seen = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) {
+      continue;
+    }
+    if (!header_seen) {
+      header_seen = true;
+      CRIUS_CHECK_MSG(line.rfind("time,", 0) == 0, "failure trace missing header row");
+      continue;
+    }
+    const std::vector<std::string> f = SplitCsv(line);
+    CRIUS_CHECK_MSG(f.size() == 5, "failure trace line " << line_no
+                                                         << ": expected 5 fields, got "
+                                                         << f.size());
+    FailureEvent e;
+    e.time = ParseDouble(f[0], "time", line_no);
+    e.kind = ParseKind(f[1], line_no);
+    e.node_id = static_cast<int>(ParseInt(f[2], "node_id", line_no));
+    e.gpus = static_cast<int>(ParseInt(f[3], "gpus", line_no));
+    e.slowdown = ParseDouble(f[4], "slowdown", line_no);
+    CRIUS_CHECK_MSG(e.time >= 0.0, "failure trace line " << line_no << ": negative time");
+    CRIUS_CHECK_MSG(e.node_id >= 0, "failure trace line " << line_no << ": negative node_id");
+    CRIUS_CHECK_MSG(e.slowdown >= 1.0 || e.kind != FailureKind::kStragglerStart,
+                    "failure trace line " << line_no << ": straggler slowdown below 1.0");
+    events.push_back(e);
+  }
+  SortFailureSchedule(events);
+  return events;
+}
+
+std::vector<FailureEvent> ReadFailureTraceCsvFile(const std::string& path) {
+  std::ifstream in(path);
+  CRIUS_CHECK_MSG(in.is_open(), "cannot open failure trace " << path);
+  return ReadFailureTraceCsv(in);
+}
+
+}  // namespace crius

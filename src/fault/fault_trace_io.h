@@ -1,0 +1,37 @@
+// Failure-trace persistence (CSV), in the style of src/sim/trace_io.
+//
+// Injector-generated schedules can be saved, hand-edited, and replayed:
+// scripted scenarios ("node 3 dies at minute 10, comes back at minute 40")
+// are just small CSV files. Loaded schedules are re-sorted into canonical
+// order, so hand-written files need not be sorted.
+//
+// Failure-trace CSV columns:
+//   time,kind,node_id,gpus,slowdown
+// kind in {node_fail,node_recover,gpu_fail,gpu_recover,straggler_start,
+// straggler_end}. Header row required.
+
+#ifndef SRC_FAULT_FAULT_TRACE_IO_H_
+#define SRC_FAULT_FAULT_TRACE_IO_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/fault/failure_injector.h"
+
+namespace crius {
+
+// Serializes `events` as CSV (with header).
+void WriteFailureTraceCsv(const std::vector<FailureEvent>& events, std::ostream& out);
+bool WriteFailureTraceCsvFile(const std::vector<FailureEvent>& events,
+                              const std::string& path);
+
+// Parses a failure-trace CSV, returning the events in canonical order. Aborts
+// with a diagnostic on malformed rows (a corrupt fault scenario is an operator
+// error worth failing loudly on).
+std::vector<FailureEvent> ReadFailureTraceCsv(std::istream& in);
+std::vector<FailureEvent> ReadFailureTraceCsvFile(const std::string& path);
+
+}  // namespace crius
+
+#endif  // SRC_FAULT_FAULT_TRACE_IO_H_

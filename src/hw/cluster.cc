@@ -57,6 +57,70 @@ int Cluster::FreeGpus() const {
   return n;
 }
 
+int Cluster::UsableGpus(GpuType type) const {
+  const int ti = static_cast<int>(type);
+  return total_[ti] - failed_[ti];
+}
+
+int Cluster::UsableGpus() const {
+  return TotalGpus() - FailedGpus();
+}
+
+int Cluster::FailedGpus() const {
+  int n = 0;
+  for (int f : failed_) {
+    n += f;
+  }
+  return n;
+}
+
+int Cluster::MarkFailed(int node_id, int gpus) {
+  CRIUS_CHECK(node_id >= 0 && static_cast<size_t>(node_id) < nodes_.size());
+  NodeInfo& node = nodes_[node_id];
+  const int want = gpus <= 0 ? node.free_gpus : gpus;
+  const int take = std::min(want, node.free_gpus);
+  node.free_gpus -= take;
+  node.failed_gpus += take;
+  const int ti = static_cast<int>(node.type);
+  free_[ti] -= take;
+  failed_[ti] += take;
+  return take;
+}
+
+int Cluster::MarkRecovered(int node_id, int gpus) {
+  CRIUS_CHECK(node_id >= 0 && static_cast<size_t>(node_id) < nodes_.size());
+  NodeInfo& node = nodes_[node_id];
+  const int want = gpus <= 0 ? node.failed_gpus : gpus;
+  const int give = std::min(want, node.failed_gpus);
+  node.failed_gpus -= give;
+  node.free_gpus += give;
+  const int ti = static_cast<int>(node.type);
+  failed_[ti] -= give;
+  free_[ti] += give;
+  return give;
+}
+
+void Cluster::SetNodeSlowdown(int node_id, double factor) {
+  CRIUS_CHECK(node_id >= 0 && static_cast<size_t>(node_id) < nodes_.size());
+  CRIUS_CHECK_MSG(factor >= 1.0, "slowdown factor below 1.0");
+  nodes_[node_id].slowdown = factor;
+}
+
+double Cluster::NodeSlowdown(int node_id) const {
+  CRIUS_CHECK(node_id >= 0 && static_cast<size_t>(node_id) < nodes_.size());
+  return nodes_[node_id].slowdown;
+}
+
+double Cluster::MaxSlowdown(const Allocation& alloc) const {
+  double worst = 1.0;
+  for (const auto& [id, count] : alloc.node_gpus) {
+    (void)count;
+    CRIUS_CHECK(id >= 0 && static_cast<size_t>(id) < nodes_.size());
+    worst = std::max(worst, nodes_[id].slowdown);
+  }
+  return worst;
+}
+
 int Cluster::GpusPerNode(GpuType type) const {
   return gpus_per_node_[static_cast<int>(type)];
 }
@@ -89,8 +153,14 @@ std::optional<Allocation> Cluster::Allocate(GpuType type, int n) {
   std::stable_sort(candidates.begin(), candidates.end(), [&](int a, int b) {
     const NodeInfo& na = nodes_[a];
     const NodeInfo& nb = nodes_[b];
-    const bool fa = na.free_gpus == na.total_gpus;
-    const bool fb = nb.free_gpus == nb.total_gpus;
+    // Healthy nodes before stragglers: a grant avoids advertised slowdowns
+    // when capacity allows. No-op ordering when every node is at 1.0.
+    if (na.slowdown != nb.slowdown) {
+      return na.slowdown < nb.slowdown;
+    }
+    // "Fully free" = no allocations (failed devices don't count against it).
+    const bool fa = na.free_gpus == na.total_gpus - na.failed_gpus;
+    const bool fb = nb.free_gpus == nb.total_gpus - nb.failed_gpus;
     if (fa != fb) {
       return fa > fb;
     }
@@ -126,7 +196,7 @@ void Cluster::Release(const Allocation& alloc) {
     CRIUS_CHECK(id >= 0 && static_cast<size_t>(id) < nodes_.size());
     NodeInfo& node = nodes_[id];
     CRIUS_CHECK(node.type == alloc.type);
-    CRIUS_CHECK_MSG(node.free_gpus + count <= node.total_gpus,
+    CRIUS_CHECK_MSG(node.free_gpus + count <= node.total_gpus - node.failed_gpus,
                     "double release on node " << id);
     node.free_gpus += count;
     free_[ti] += count;

@@ -23,6 +23,12 @@ struct NodeInfo {
   GpuType type = GpuType::kA100;
   int total_gpus = 0;
   int free_gpus = 0;
+  // Devices currently failed (unallocatable). total = free + allocated + failed.
+  int failed_gpus = 0;
+  // Straggler factor the node advertises: realized iteration time of any job
+  // touching this node is multiplied by the worst factor it spans. 1.0 =
+  // healthy.
+  double slowdown = 1.0;
 };
 
 // A concrete grant of GPUs on specific nodes; all of one GPU type.
@@ -50,6 +56,12 @@ class Cluster {
   int TotalGpus() const;
   int FreeGpus() const;
 
+  // Physical capacity minus currently failed devices: the capacity schedulers
+  // may plan against. Equal to TotalGpus when the cluster is healthy.
+  int UsableGpus(GpuType type) const;
+  int UsableGpus() const;
+  int FailedGpus() const;
+
   // GPUs per node for `type`; 0 if the cluster has no such nodes.
   int GpusPerNode(GpuType type) const;
 
@@ -66,6 +78,26 @@ class Cluster {
   // Returns a previously granted allocation. Aborts on double release.
   void Release(const Allocation& alloc);
 
+  // --- Health state (src/fault degraded-mode support) ------------------------
+
+  // Marks up to `gpus` currently free devices on `node_id` as failed
+  // (`gpus` <= 0 fails every free device). Allocated devices cannot fail
+  // directly: the simulator kills the jobs holding them first, which frees
+  // them. Returns the number of devices actually failed.
+  int MarkFailed(int node_id, int gpus);
+
+  // Returns up to `gpus` failed devices on `node_id` to service (`gpus` <= 0
+  // recovers all). Returns the number of devices actually recovered.
+  int MarkRecovered(int node_id, int gpus);
+
+  // Sets the node's straggler factor (>= 1.0; 1.0 = healthy).
+  void SetNodeSlowdown(int node_id, double factor);
+  double NodeSlowdown(int node_id) const;
+
+  // Worst straggler factor across the nodes of `alloc` (synchronous training
+  // runs at the slowest node's pace). 1.0 for an empty allocation.
+  double MaxSlowdown(const Allocation& alloc) const;
+
   // Free GPU counts per type, indexed by static_cast<int>(GpuType).
   std::array<int, kNumGpuTypes> FreeByType() const;
 
@@ -75,6 +107,7 @@ class Cluster {
   std::vector<NodeInfo> nodes_;
   std::array<int, kNumGpuTypes> total_{};
   std::array<int, kNumGpuTypes> free_{};
+  std::array<int, kNumGpuTypes> failed_{};
   std::array<int, kNumGpuTypes> gpus_per_node_{};
 };
 

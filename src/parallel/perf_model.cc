@@ -183,6 +183,11 @@ PlanEval PerfModel::Evaluate(const JobContext& ctx, const ParallelPlan& plan) co
   return out;
 }
 
+double DegradedIterTime(double iter_time, double slowdown) {
+  CRIUS_CHECK_MSG(slowdown >= 1.0, "straggler slowdown below 1.0");
+  return iter_time * slowdown;
+}
+
 double PerfModel::DirectProfileGpuSeconds(const JobContext& ctx, const ParallelPlan& plan) const {
   const PlanEval ev = Evaluate(ctx, plan);
   const double iter = ev.feasible ? ev.iter_time : 0.0;  // OOM aborts after setup

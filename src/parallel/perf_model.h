@@ -117,6 +117,12 @@ class PerfModel {
   std::array<bool, kNumGpuTypes> has_type_{};
 };
 
+// Degraded-mode iteration time: the realized latency of a plan whose slowest
+// node advertises straggler factor `slowdown` (>= 1.0). Training is bulk-
+// synchronous, so every pipeline flush and gradient sync waits for the
+// straggler and the whole iteration stretches by its factor.
+double DegradedIterTime(double iter_time, double slowdown);
+
 // Kernel efficiency at `samples` per tensor-parallel group per microbatch.
 double BatchUtilization(ModelFamily family, double samples);
 

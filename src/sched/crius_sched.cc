@@ -154,7 +154,7 @@ std::pair<ScheduleDecision, double> CriusScheduler::ScheduleOnce(
 
   FreeMap free{};
   for (GpuType type : AllGpuTypes()) {
-    free[static_cast<int>(type)] = cluster.TotalGpus(type);
+    free[static_cast<int>(type)] = cluster.UsableGpus(type);
   }
 
   // --- Virtual state: running jobs keep their Cells ------------------------

@@ -35,7 +35,7 @@ ScheduleDecision ElasticFlowScheduler::Schedule(double now,
     if (!cluster.HasType(type)) {
       continue;
     }
-    const int capacity = cluster.TotalGpus(type);
+    const int capacity = cluster.UsableGpus(type);
     const int cap_pow2 = static_cast<int>(FloorPowerOfTwo(capacity));
 
     std::vector<PoolJob> pool;

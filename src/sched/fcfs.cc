@@ -11,7 +11,7 @@ ScheduleDecision FcfsScheduler::Schedule(double now, const std::vector<const Job
   ScheduleDecision decision;
   std::array<int, kNumGpuTypes> free{};
   for (GpuType type : AllGpuTypes()) {
-    free[static_cast<int>(type)] = cluster.TotalGpus(type);
+    free[static_cast<int>(type)] = cluster.UsableGpus(type);
   }
 
   // Running jobs are never touched.

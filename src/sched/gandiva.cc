@@ -17,7 +17,7 @@ ScheduleDecision GandivaScheduler::Schedule(double now,
   ScheduleDecision decision;
   std::array<int, kNumGpuTypes> free{};
   for (GpuType type : AllGpuTypes()) {
-    free[static_cast<int>(type)] = cluster.TotalGpus(type);
+    free[static_cast<int>(type)] = cluster.UsableGpus(type);
   }
 
   std::vector<const JobState*> queued;

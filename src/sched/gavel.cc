@@ -16,7 +16,7 @@ ScheduleDecision GavelScheduler::Schedule(double now, const std::vector<const Jo
   ScheduleDecision decision;
   std::array<int, kNumGpuTypes> free{};
   for (GpuType type : AllGpuTypes()) {
-    free[static_cast<int>(type)] = cluster.TotalGpus(type);
+    free[static_cast<int>(type)] = cluster.UsableGpus(type);
   }
 
   // Normalized dp-view throughput of `js` on `type`; 0 if it cannot launch,

@@ -63,7 +63,7 @@ ScheduleDecision TiresiasScheduler::Schedule(double now,
   // Preemptive gang admission in priority order at the requested shape.
   std::array<int, kNumGpuTypes> free{};
   for (GpuType type : AllGpuTypes()) {
-    free[static_cast<int>(type)] = cluster.TotalGpus(type);
+    free[static_cast<int>(type)] = cluster.UsableGpus(type);
   }
   for (const JobState* js : active) {
     const GpuType type = js->job.requested_type;

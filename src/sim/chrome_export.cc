@@ -56,6 +56,7 @@ void AppendSimTrace(const SimResult& result, TraceRecorder& recorder) {
       recorder.CounterEvent(cluster, "running_jobs", ts, s.running_jobs);
       recorder.CounterEvent(cluster, "queued_jobs", ts, s.queued_jobs);
       recorder.CounterEvent(cluster, "busy_gpus", ts, s.busy_gpus);
+      recorder.CounterEvent(cluster, "usable_gpus", ts, s.usable_gpus);
       recorder.CounterEvent(cluster, "normalized_throughput", ts, s.normalized_throughput);
     }
   }
@@ -64,9 +65,68 @@ void AppendSimTrace(const SimResult& result, TraceRecorder& recorder) {
   if (result.events.empty()) {
     return;  // record_events was off; only the aggregate tracks exist
   }
+  // Cluster-health kinds carry a *node* id in job_id and get their own track
+  // below; mixing them into the per-job reconstruction would corrupt the jobs
+  // whose ids collide with node ids.
   std::map<int64_t, std::vector<const SimEvent*>> by_job;
+  std::vector<const SimEvent*> health;
   for (const SimEvent& e : result.events) {
-    by_job[e.job_id].push_back(&e);
+    if (SimEvent::IsClusterKind(e.kind)) {
+      health.push_back(&e);
+    } else {
+      by_job[e.job_id].push_back(&e);
+    }
+  }
+
+  // --- Cluster-health track (node-down and straggler windows) ----------------
+  if (!health.empty()) {
+    const int track = recorder.Track(TraceRecorder::kSimPid, "cluster health");
+    // Per-node open window start times; -1 when the node is healthy.
+    std::map<int64_t, double> down_since;
+    std::map<int64_t, std::pair<double, std::string>> straggling_since;
+    for (const SimEvent* e : health) {
+      const std::string node = "node " + std::to_string(e->job_id);
+      switch (e->kind) {
+        case SimEvent::Kind::kNodeFail:
+          recorder.InstantEvent(track, node + " fail " + e->placement,
+                                e->time * kUsPerSecond);
+          down_since.emplace(e->job_id, e->time);  // keep the first failure time
+          break;
+        case SimEvent::Kind::kNodeRecover: {
+          const auto it = down_since.find(e->job_id);
+          if (it != down_since.end()) {
+            recorder.CompleteEvent(track, node + " down", it->second * kUsPerSecond,
+                                   (e->time - it->second) * kUsPerSecond);
+            down_since.erase(it);
+          }
+          break;
+        }
+        case SimEvent::Kind::kStragglerStart:
+          straggling_since[e->job_id] = {e->time, e->placement};
+          break;
+        case SimEvent::Kind::kStragglerEnd: {
+          const auto it = straggling_since.find(e->job_id);
+          if (it != straggling_since.end()) {
+            recorder.CompleteEvent(track, node + " straggler " + it->second.second,
+                                   it->second.first * kUsPerSecond,
+                                   (e->time - it->second.first) * kUsPerSecond);
+            straggling_since.erase(it);
+          }
+          break;
+        }
+        default:
+          break;
+      }
+    }
+    // Windows still open at the horizon.
+    for (const auto& [node_id, since] : down_since) {
+      recorder.CompleteEvent(track, "node " + std::to_string(node_id) + " down",
+                             since * kUsPerSecond, (end - since) * kUsPerSecond);
+    }
+    for (const auto& [node_id, open] : straggling_since) {
+      recorder.CompleteEvent(track, "node " + std::to_string(node_id) + " straggler " + open.second,
+                             open.first * kUsPerSecond, (end - open.first) * kUsPerSecond);
+    }
   }
   for (const JobRecord& r : result.jobs) {
     const int track = recorder.Track(TraceRecorder::kSimPid, "job " + std::to_string(r.id));
@@ -94,8 +154,11 @@ void AppendSimTrace(const SimResult& result, TraceRecorder& recorder) {
           span_args = "{\"placement\": \"" + e->placement + "\"}";
           break;
         case SimEvent::Kind::kPreempt:
+        case SimEvent::Kind::kFailureKill:
           close_span(e->time);
-          recorder.InstantEvent(track, "preempt", e->time * kUsPerSecond);
+          recorder.InstantEvent(
+              track, e->kind == SimEvent::Kind::kFailureKill ? "failure kill" : "preempt",
+              e->time * kUsPerSecond);
           open = true;
           open_since = e->time;
           span_name = "queued";
@@ -110,6 +173,8 @@ void AppendSimTrace(const SimResult& result, TraceRecorder& recorder) {
           recorder.InstantEvent(track, "drop", e->time * kUsPerSecond);
           open = false;
           break;
+        default:
+          break;  // cluster-health kinds were filtered out above
       }
     }
     // Jobs still live at the horizon keep their open span to the end.

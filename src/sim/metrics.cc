@@ -18,8 +18,30 @@ const char* SimEvent::KindName(Kind kind) {
       return "finish";
     case Kind::kDrop:
       return "drop";
+    case Kind::kFailureKill:
+      return "failure_kill";
+    case Kind::kNodeFail:
+      return "node_fail";
+    case Kind::kNodeRecover:
+      return "node_recover";
+    case Kind::kStragglerStart:
+      return "straggler_start";
+    case Kind::kStragglerEnd:
+      return "straggler_end";
   }
   return "?";
+}
+
+bool SimEvent::IsClusterKind(Kind kind) {
+  switch (kind) {
+    case Kind::kNodeFail:
+    case Kind::kNodeRecover:
+    case Kind::kStragglerStart:
+    case Kind::kStragglerEnd:
+      return true;
+    default:
+      return false;
+  }
 }
 
 void SimResult::Finalize() {
@@ -27,6 +49,8 @@ void SimResult::Finalize() {
   std::vector<double> queues;
   std::vector<double> slowdowns;
   double restarts = 0.0;
+  double sched_restarts_sum = 0.0;
+  double failure_restarts_sum = 0.0;
   int deadline_total = 0;
   int deadline_met = 0;
   finished_jobs = 0;
@@ -45,6 +69,8 @@ void SimResult::Finalize() {
         slowdowns.push_back(std::max(1.0, r.jct() / r.ideal_duration));
       }
       restarts += static_cast<double>(r.restarts);
+      sched_restarts_sum += static_cast<double>(r.sched_restarts);
+      failure_restarts_sum += static_cast<double>(r.failure_restarts);
       makespan = std::max(makespan, r.finish);
     } else {
       ++unfinished_jobs;
@@ -65,8 +91,15 @@ void SimResult::Finalize() {
     avg_jct = Mean(jcts);
     median_jct = Median(jcts);
     max_jct = Max(jcts);
+    p95_jct = Percentile(jcts, 95.0);
+    p99_jct = Percentile(jcts, 99.0);
     avg_queue_time = Mean(queues);
+    p50_queue_time = Median(queues);
+    p95_queue_time = Percentile(queues, 95.0);
+    p99_queue_time = Percentile(queues, 99.0);
     avg_restarts = restarts / static_cast<double>(finished_jobs);
+    avg_sched_restarts = sched_restarts_sum / static_cast<double>(finished_jobs);
+    avg_failure_restarts = failure_restarts_sum / static_cast<double>(finished_jobs);
   }
   deadline_ratio =
       deadline_total > 0 ? static_cast<double>(deadline_met) / deadline_total : 0.0;
@@ -98,6 +131,12 @@ void SimResult::Finalize() {
     if (cluster_gpus > 0) {
       avg_gpu_utilization = busy / static_cast<double>(timeline.size()) / cluster_gpus;
     }
+  }
+
+  goodput = total_gpu_seconds > 0.0 ? useful_gpu_seconds / total_gpu_seconds : 1.0;
+  if (!recovery_latencies.empty()) {
+    avg_recovery_latency = Mean(recovery_latencies);
+    p95_recovery_latency = Percentile(recovery_latencies, 95.0);
   }
 }
 

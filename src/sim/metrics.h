@@ -27,7 +27,12 @@ struct JobRecord {
   // time for dropped jobs, the simulation horizon for jobs still live at the
   // end. -1 when the simulator never observed the job (hand-built records).
   double last_event = -1.0;
+  // Total relaunches after the first start; the two components distinguish the
+  // scheduler's own placement changes from recoveries after a hardware
+  // failure (restarts == sched_restarts + failure_restarts).
   int restarts = 0;
+  int sched_restarts = 0;
+  int failure_restarts = 0;
   bool finished = false;
   bool dropped = false;
   bool had_deadline = false;
@@ -45,24 +50,37 @@ struct ThroughputSample {
   int queued_jobs = 0;
   // GPUs held by running jobs at sample time (all types).
   int busy_gpus = 0;
+  // Cluster capacity net of failed devices at sample time (the availability
+  // timeline under failure injection; equals total capacity when healthy).
+  int usable_gpus = 0;
 };
 
 // One scheduling-relevant event (recorded when SimConfig::record_events).
 struct SimEvent {
   enum class Kind : uint8_t {
-    kStart,      // first launch
-    kRestart,    // relaunched with a (possibly) different placement
-    kPreempt,    // lost its GPUs, back to the queue
+    kStart,        // first launch
+    kRestart,      // relaunched with a (possibly) different placement
+    kPreempt,      // lost its GPUs to a scheduling decision, back to the queue
     kFinish,
     kDrop,
+    kFailureKill,  // lost its GPUs to a hardware failure, back to the queue
+    // Cluster-health events (src/fault): job_id carries the *node* id.
+    kNodeFail,
+    kNodeRecover,
+    kStragglerStart,
+    kStragglerEnd,
   };
   double time = 0.0;
   Kind kind = Kind::kStart;
+  // Job id for job events; node id for cluster-health kinds (see IsClusterKind).
   int64_t job_id = 0;
-  // Placement at/after the event ("A40x8/P2", empty for preempt/finish/drop).
+  // Placement at/after the event ("A40x8/P2", empty for preempt/finish/drop;
+  // health detail like "A100x4" or "x1.62" for cluster kinds).
   std::string placement;
 
   static const char* KindName(Kind kind);
+  // True for the cluster-health kinds, whose job_id field holds a node id.
+  static bool IsClusterKind(Kind kind);
 };
 
 struct SimResult {
@@ -76,12 +94,22 @@ struct SimResult {
   double avg_jct = 0.0;
   double median_jct = 0.0;
   double max_jct = 0.0;
+  // Tail percentiles over finished jobs (p50 JCT == median_jct); 0 when
+  // nothing finished.
+  double p95_jct = 0.0;
+  double p99_jct = 0.0;
+  double p50_queue_time = 0.0;
+  double p95_queue_time = 0.0;
+  double p99_queue_time = 0.0;
   // Sentinel semantics: avg_queue_time and avg_restarts average over finished
   // jobs only and read 0.0 (never NaN) when no job finished.
   double avg_queue_time = 0.0;
   double avg_throughput = 0.0;
   double peak_throughput = 0.0;
   double avg_restarts = 0.0;
+  // avg_restarts split by cause (scheduler-initiated vs failure recovery).
+  double avg_sched_restarts = 0.0;
+  double avg_failure_restarts = 0.0;
   double deadline_ratio = 0.0;  // met / had_deadline (dropped jobs count unmet)
   int finished_jobs = 0;
   int dropped_jobs = 0;
@@ -101,7 +129,28 @@ struct SimResult {
   // simulator).
   int cluster_gpus = 0;
 
-  // Computes the aggregates from `jobs` and `timeline`.
+  // --- Fault accounting (set by the simulator; zero without injection) -------
+  // GPU-second ledger over every allocation segment: `total` counts the full
+  // hold time (compute + checkpoint/restart stalls), `useful` the part spent
+  // on iterations that survived to the end, `lost` the part rolled back by
+  // failures. total - useful - lost is restart/checkpoint overhead.
+  double total_gpu_seconds = 0.0;
+  double useful_gpu_seconds = 0.0;
+  double lost_gpu_seconds = 0.0;
+  // Hardware failure events applied and jobs killed by them.
+  int failure_events = 0;
+  int failure_kills = 0;
+  // Per-failure recovery latency: failure kill -> the job's next launch.
+  std::vector<double> recovery_latencies;
+
+  // Aggregates derived from the fault accounting (filled by Finalize).
+  // goodput = useful / total GPU-seconds; 1.0 for an idle ledger so healthy
+  // runs read as fully efficient.
+  double goodput = 0.0;
+  double avg_recovery_latency = 0.0;
+  double p95_recovery_latency = 0.0;
+
+  // Computes the aggregates from `jobs`, `timeline`, and the fault ledger.
   void Finalize();
 };
 

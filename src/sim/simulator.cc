@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "src/core/cell.h"
+#include "src/parallel/perf_model.h"
 #include "src/util/check.h"
 #include "src/util/counters.h"
 #include "src/util/logging.h"
@@ -29,6 +30,23 @@ struct SimJob {
   bool started_once = false;
   // Last simulation time the job's state changed (JobRecord::last_event).
   double last_event = -1.0;
+
+  // --- Fault-model bookkeeping (src/fault) ---------------------------------
+  // Plan iteration time incl. execution jitter, excl. checkpoint overhead and
+  // straggler factors; the rate "useful work" is valued at.
+  double base_iter_time = 0.0;
+  // Checkpoint cadence and its steady-state overhead factor for this segment.
+  double ckpt_interval = 0.0;
+  double ckpt_factor = 1.0;
+  // Current allocation segment: grant time and progress at grant.
+  double grant_time = 0.0;
+  double segment_start_iters = 0.0;
+  // Set when a hardware failure killed the job; the next launch is a
+  // failure-initiated restart and closes the recovery-latency measurement.
+  bool failure_restart_pending = false;
+  double killed_at = -1.0;
+  int sched_restarts = 0;
+  int failure_restarts = 0;
 };
 
 const char* CounterNameFor(SimEvent::Kind kind) {
@@ -43,6 +61,16 @@ const char* CounterNameFor(SimEvent::Kind kind) {
       return "sim.finishes";
     case SimEvent::Kind::kDrop:
       return "sim.drops";
+    case SimEvent::Kind::kFailureKill:
+      return "sim.failure_kills";
+    case SimEvent::Kind::kNodeFail:
+      return "sim.node_fails";
+    case SimEvent::Kind::kNodeRecover:
+      return "sim.node_recovers";
+    case SimEvent::Kind::kStragglerStart:
+      return "sim.straggler_starts";
+    case SimEvent::Kind::kStragglerEnd:
+      return "sim.straggler_ends";
   }
   return "sim.events";
 }
@@ -50,7 +78,23 @@ const char* CounterNameFor(SimEvent::Kind kind) {
 }  // namespace
 
 Simulator::Simulator(const Cluster& cluster, SimConfig config)
-    : cluster_template_(cluster), config_(config) {}
+    : cluster_template_(cluster), config_(std::move(config)) {
+  CRIUS_CHECK_MSG(config_.schedule_interval > 0.0, "non-positive schedule_interval");
+  CRIUS_CHECK_MSG(config_.restart_overhead >= 0.0, "negative restart_overhead");
+  CRIUS_CHECK_MSG(config_.checkpoint_bandwidth >= 0.0, "negative checkpoint_bandwidth");
+  CRIUS_CHECK_MSG(config_.max_time_factor >= 0.0, "negative max_time_factor");
+  CRIUS_CHECK_MSG(config_.execution_jitter >= 0.0, "negative execution_jitter");
+  CRIUS_CHECK_MSG(config_.checkpoint.interval >= 0.0, "negative checkpoint interval");
+  CRIUS_CHECK_MSG(config_.checkpoint.cost >= 0.0, "negative checkpoint cost");
+  CRIUS_CHECK_MSG(config_.node_mtbf >= 0.0, "negative node_mtbf");
+  const int num_nodes = static_cast<int>(cluster_template_.nodes().size());
+  for (const FailureEvent& e : config_.failures) {
+    CRIUS_CHECK_MSG(e.time >= 0.0, "failure event with negative time");
+    CRIUS_CHECK_MSG(e.node_id >= 0 && e.node_id < num_nodes,
+                    "failure event for unknown node " << e.node_id);
+  }
+  SortFailureSchedule(config_.failures);
+}
 
 SimResult Simulator::Run(Scheduler& scheduler, PerformanceOracle& oracle,
                          const std::vector<TrainingJob>& trace) {
@@ -113,6 +157,156 @@ SimResult Simulator::Run(Scheduler& scheduler, PerformanceOracle& oracle,
     }
   };
 
+  // Cluster-health events carry the node id in the job_id field.
+  auto record_cluster = [&](double time, SimEvent::Kind kind, int node_id,
+                            std::string detail) {
+    CounterRegistry::Global().GetCounter(CounterNameFor(kind)).Add(1);
+    if (config_.record_events) {
+      result.events.push_back(SimEvent{time, kind, node_id, std::move(detail)});
+    }
+  };
+
+  // Closes the GPU-second ledger for a job's current allocation segment at
+  // time `t`. Every iteration gained in the segment survived, valued at the
+  // plan's base rate; the rest of the hold time (restart stall, checkpoint
+  // writes, straggler stretch) is overhead.
+  auto settle_segment = [&](SimJob& sj, double t) {
+    const double held = (t - sj.grant_time) * static_cast<double>(sj.state.ngpus);
+    result.total_gpu_seconds += held;
+    const double gained = sj.state.iters_done - sj.segment_start_iters;
+    result.useful_gpu_seconds +=
+        gained * sj.base_iter_time * static_cast<double>(sj.state.ngpus);
+  };
+
+  // Same, but a hardware failure ends the segment: progress since the last
+  // completed checkpoint is destroyed (all of it when checkpointing is off)
+  // and rolls iters_done back, landing in the lost-work ledger.
+  auto settle_segment_failed = [&](SimJob& sj, double t) {
+    const double held = (t - sj.grant_time) * static_cast<double>(sj.state.ngpus);
+    result.total_gpu_seconds += held;
+    const double gained = sj.state.iters_done - sj.segment_start_iters;
+    double preserved = 0.0;
+    if (gained > 0.0 && sj.state.iter_time > 0.0) {
+      // Checkpoints complete every ckpt_interval seconds of wall progress.
+      const double progress_seconds = gained * sj.state.iter_time;
+      preserved =
+          PreservedProgress(sj.ckpt_interval, progress_seconds) / sj.state.iter_time;
+    }
+    const double lost = gained - preserved;
+    sj.state.iters_done = sj.segment_start_iters + preserved;
+    result.useful_gpu_seconds +=
+        preserved * sj.base_iter_time * static_cast<double>(sj.state.ngpus);
+    result.lost_gpu_seconds +=
+        lost * sj.base_iter_time * static_cast<double>(sj.state.ngpus);
+    CRIUS_HISTOGRAM_RECORD("sim.lost_iters_per_kill", lost);
+  };
+
+  // Kills a running job whose hardware failed: rolls progress back to the last
+  // checkpoint, releases the grant, and requeues it for the recovery round.
+  auto kill_job = [&](SimJob& sj, double now) {
+    settle_segment_failed(sj, now);
+    cluster.Release(sj.alloc);
+    sj.alloc = Allocation{};
+    sj.state.phase = JobPhase::kQueued;
+    sj.state.ngpus = 0;
+    sj.state.nstages = 0;
+    sj.state.iter_time = 0.0;
+    sj.failure_restart_pending = true;
+    sj.killed_at = now;
+    ++result.failure_kills;
+    record(sj, now, SimEvent::Kind::kFailureKill);
+  };
+
+  // Re-derives the realized iteration time of every running job touching
+  // `node_id` after its straggler factor changed.
+  auto refresh_slowdowns = [&](int node_id) {
+    for (SimJob& sj : jobs) {
+      if (sj.state.phase != JobPhase::kRunning) {
+        continue;
+      }
+      bool touches = false;
+      for (const auto& [id, count] : sj.alloc.node_gpus) {
+        (void)count;
+        touches = touches || id == node_id;
+      }
+      if (touches) {
+        sj.state.iter_time = DegradedIterTime(sj.base_iter_time * sj.ckpt_factor,
+                                              cluster.MaxSlowdown(sj.alloc));
+      }
+    }
+  };
+
+  // Applies one cluster-health event at time `now`. Returns true when the
+  // change warrants an immediate scheduling round.
+  auto apply_fault = [&](const FailureEvent& e, double now) {
+    const NodeInfo& node = cluster.nodes()[e.node_id];
+    switch (e.kind) {
+      case FailureKind::kNodeFail:
+      case FailureKind::kGpuFail: {
+        const int usable_on_node = node.total_gpus - node.failed_gpus;
+        const int want = std::min(
+            e.kind == FailureKind::kGpuFail ? std::max(1, e.gpus) : usable_on_node,
+            usable_on_node);
+        if (want <= 0) {
+          return false;  // node already fully failed
+        }
+        // Allocated devices cannot fail in place: any job holding GPUs on the
+        // node aborts (NCCL-style collective failure), freeing them. Lowest
+        // job id first for determinism.
+        while (cluster.nodes()[e.node_id].free_gpus < want) {
+          SimJob* victim = nullptr;
+          for (SimJob& sj : jobs) {
+            if (sj.state.phase != JobPhase::kRunning) {
+              continue;
+            }
+            for (const auto& [id, count] : sj.alloc.node_gpus) {
+              (void)count;
+              if (id == e.node_id && (victim == nullptr ||
+                                      sj.state.job.id < victim->state.job.id)) {
+                victim = &sj;
+              }
+            }
+          }
+          if (victim == nullptr) {
+            break;  // nothing left to kill; clamp to what is free
+          }
+          kill_job(*victim, now);
+        }
+        const int failed = cluster.MarkFailed(e.node_id, want);
+        ++result.failure_events;
+        record_cluster(now, SimEvent::Kind::kNodeFail, e.node_id,
+                       GpuName(node.type) + "x" + std::to_string(failed));
+        return true;
+      }
+      case FailureKind::kNodeRecover:
+      case FailureKind::kGpuRecover: {
+        const int recovered = cluster.MarkRecovered(
+            e.node_id, e.kind == FailureKind::kGpuRecover ? std::max(1, e.gpus) : 0);
+        if (recovered == 0) {
+          return false;
+        }
+        record_cluster(now, SimEvent::Kind::kNodeRecover, e.node_id,
+                       GpuName(node.type) + "x" + std::to_string(recovered));
+        return true;
+      }
+      case FailureKind::kStragglerStart: {
+        cluster.SetNodeSlowdown(e.node_id, std::max(1.0, e.slowdown));
+        refresh_slowdowns(e.node_id);
+        std::ostringstream factor;
+        factor << "x" << std::max(1.0, e.slowdown);
+        record_cluster(now, SimEvent::Kind::kStragglerStart, e.node_id, factor.str());
+        return true;
+      }
+      case FailureKind::kStragglerEnd: {
+        cluster.SetNodeSlowdown(e.node_id, 1.0);
+        refresh_slowdowns(e.node_id);
+        record_cluster(now, SimEvent::Kind::kStragglerEnd, e.node_id, "");
+        return true;
+      }
+    }
+    return false;
+  };
+
   // Applies one scheduling decision at time `now`.
   auto apply_decision = [&](double now, const ScheduleDecision& decision) {
     // Drops first.
@@ -144,6 +338,7 @@ SimResult Simulator::Run(Scheduler& scheduler, PerformanceOracle& oracle,
           continue;
         }
         // Preempt / reschedule: release now, maybe restart below.
+        settle_segment(sj, now);
         cluster.Release(sj.alloc);
         sj.alloc = Allocation{};
         sj.state.phase = JobPhase::kQueued;
@@ -197,8 +392,17 @@ SimResult Simulator::Run(Scheduler& scheduler, PerformanceOracle& oracle,
       sj.state.gpu_type = a.type;
       sj.state.ngpus = a.ngpus;
       sj.state.nstages = a.nstages;
-      sj.state.iter_time = iter_time;
+      // Realized rate: plan latency, stretched by the periodic-checkpoint
+      // overhead and the worst straggler among the granted nodes.
+      sj.base_iter_time = iter_time;
+      sj.ckpt_interval = EffectiveCheckpointInterval(config_.checkpoint, config_.node_mtbf,
+                                                     sj.alloc.num_nodes());
+      sj.ckpt_factor = CheckpointOverheadFactor(sj.ckpt_interval, config_.checkpoint.cost);
+      sj.state.iter_time =
+          DegradedIterTime(iter_time * sj.ckpt_factor, cluster.MaxSlowdown(sj.alloc));
       sj.state.opportunistic = a.opportunistic;
+      sj.grant_time = now;
+      sj.segment_start_iters = sj.state.iters_done;
       double restart_cost = config_.restart_overhead;
       if (config_.checkpoint_bandwidth > 0.0) {
         restart_cost += 2.0 * GetOpGraph(sj.state.job.spec).TotalParamBytes() /
@@ -213,6 +417,16 @@ SimResult Simulator::Run(Scheduler& scheduler, PerformanceOracle& oracle,
         record(sj, now, SimEvent::Kind::kStart, placement.ToString());
       } else {
         ++sj.state.num_restarts;
+        if (sj.failure_restart_pending) {
+          sj.failure_restart_pending = false;
+          ++sj.failure_restarts;
+          // Recovery ends when the job computes again, not when it is placed.
+          const double latency = sj.state.blocked_until - sj.killed_at;
+          result.recovery_latencies.push_back(latency);
+          CRIUS_HISTOGRAM_RECORD("sim.recovery_latency_s", latency);
+        } else {
+          ++sj.sched_restarts;
+        }
         record(sj, now, SimEvent::Kind::kRestart, placement.ToString());
       }
     }
@@ -242,6 +456,7 @@ SimResult Simulator::Run(Scheduler& scheduler, PerformanceOracle& oracle,
   auto sample_throughput = [&](double now) {
     ThroughputSample sample;
     sample.time = now;
+    sample.usable_gpus = cluster.UsableGpus();
     for (const SimJob& sj : jobs) {
       if (sj.state.phase == JobPhase::kRunning) {
         ++sample.running_jobs;
@@ -261,14 +476,19 @@ SimResult Simulator::Run(Scheduler& scheduler, PerformanceOracle& oracle,
   // --- Main loop --------------------------------------------------------------
   double now = 0.0;
   double next_round = 0.0;
+  size_t next_failure = 0;
   int live = static_cast<int>(jobs.size());
   while (live > 0 && now < max_time) {
-    // Next event: round boundary or earliest completion.
+    // Next event: round boundary, earliest completion, or cluster-health
+    // change.
     double next_completion = std::numeric_limits<double>::infinity();
     for (const SimJob& sj : jobs) {
       next_completion = std::min(next_completion, completion_time(sj, now));
     }
-    const double t_next = std::min(next_round, next_completion);
+    double t_next = std::min(next_round, next_completion);
+    if (next_failure < config_.failures.size()) {
+      t_next = std::min(t_next, config_.failures[next_failure].time);
+    }
     CRIUS_CHECK(t_next < std::numeric_limits<double>::infinity());
 
     for (SimJob& sj : jobs) {
@@ -281,6 +501,7 @@ SimResult Simulator::Run(Scheduler& scheduler, PerformanceOracle& oracle,
     for (SimJob& sj : jobs) {
       if (sj.state.phase == JobPhase::kRunning &&
           sj.state.iters_done + kEps >= static_cast<double>(sj.state.job.iterations)) {
+        settle_segment(sj, now);
         cluster.Release(sj.alloc);
         sj.alloc = Allocation{};
         sj.state.phase = JobPhase::kFinished;
@@ -290,6 +511,19 @@ SimResult Simulator::Run(Scheduler& scheduler, PerformanceOracle& oracle,
       }
     }
     if (departed) {
+      run_scheduler(now);
+    }
+
+    // Cluster-health changes: kill affected jobs, then re-schedule immediately
+    // against the surviving hardware (Crius re-derives Cells; baselines
+    // requeue).
+    bool churn = false;
+    while (next_failure < config_.failures.size() &&
+           config_.failures[next_failure].time <= now + kEps) {
+      churn = apply_fault(config_.failures[next_failure], now) || churn;
+      ++next_failure;
+    }
+    if (churn) {
       run_scheduler(now);
     }
 
@@ -318,9 +552,13 @@ SimResult Simulator::Run(Scheduler& scheduler, PerformanceOracle& oracle,
 
   // --- Records -----------------------------------------------------------------
   for (SimJob& sj : jobs) {
-    // Jobs still live when the simulation stopped were last observed now.
+    // Jobs still live when the simulation stopped were last observed now; any
+    // still-held grant settles its GPU-second ledger at the horizon.
     if (sj.state.phase == JobPhase::kQueued || sj.state.phase == JobPhase::kRunning) {
       sj.last_event = now;
+      if (sj.state.phase == JobPhase::kRunning) {
+        settle_segment(sj, now);
+      }
     }
   }
   for (const SimJob& sj : jobs) {
@@ -334,6 +572,8 @@ SimResult Simulator::Run(Scheduler& scheduler, PerformanceOracle& oracle,
                        sj.reference_throughput;
     r.last_event = sj.last_event;
     r.restarts = sj.state.num_restarts;
+    r.sched_restarts = sj.sched_restarts;
+    r.failure_restarts = sj.failure_restarts;
     r.finished = sj.state.phase == JobPhase::kFinished;
     r.dropped = sj.state.phase == JobPhase::kDropped;
     r.had_deadline = sj.state.job.deadline.has_value();

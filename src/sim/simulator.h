@@ -13,7 +13,10 @@
 #define SRC_SIM_SIMULATOR_H_
 
 #include <memory>
+#include <vector>
 
+#include "src/fault/checkpoint.h"
+#include "src/fault/failure_injector.h"
 #include "src/sched/scheduler.h"
 #include "src/sim/metrics.h"
 
@@ -41,14 +44,32 @@ struct SimConfig {
   double execution_jitter = 0.0;
   uint64_t jitter_seed = 1234;
   // Record a chronological SimEvent log in the result (start / restart /
-  // preempt / finish / drop per job).
+  // preempt / finish / drop per job, plus cluster-health events).
   bool record_events = false;
   // Quiet progress logging.
   bool verbose = false;
+
+  // --- Fault model (src/fault; empty/default = no injection) -----------------
+  // Scripted cluster-health changes (injector-generated or loaded from a
+  // failure-trace CSV). Node/GPU failures kill the jobs holding the hardware
+  // and trigger an immediate scheduling round against the surviving capacity;
+  // straggler windows stretch the iteration time of every job touching the
+  // node. Applied in canonical order (the simulator sorts a copy).
+  std::vector<FailureEvent> failures;
+  // Periodic-checkpoint model bounding the work a failure destroys; disabled
+  // (interval 0, no Young/Daly) => a failure rolls the job back to the start
+  // of its current run segment.
+  CheckpointConfig checkpoint;
+  // Per-node MTBF in seconds backing Young/Daly interval derivation; 0 when
+  // unknown (Young/Daly then falls back to checkpoint.interval).
+  double node_mtbf = 0.0;
 };
 
 class Simulator {
  public:
+  // Validates `config` (aborts on a non-positive schedule_interval, negative
+  // overheads/bandwidths/factors, or malformed fault settings) and captures
+  // the cluster template.
   Simulator(const Cluster& cluster, SimConfig config);
 
   // Runs `trace` to completion (or the time cap) under `scheduler`.

@@ -125,14 +125,14 @@ std::vector<TrainingJob> ReadTraceCsvFile(const std::string& path) {
 }
 
 void WriteJobRecordsCsv(const SimResult& result, std::ostream& out) {
-  out << "id,submit,first_start,finish,jct,queue_time,restarts,finished,dropped,"
-         "had_deadline,deadline_met\n";
+  out << "id,submit,first_start,finish,jct,queue_time,restarts,sched_restarts,"
+         "failure_restarts,finished,dropped,had_deadline,deadline_met\n";
   for (const JobRecord& r : result.jobs) {
     out << r.id << ',' << r.submit << ',' << r.first_start << ',' << r.finish << ','
         << (r.finished ? r.jct() : -1.0) << ','
         << (r.finished ? std::max(0.0, r.queue_time()) : -1.0) << ',' << r.restarts << ','
-        << r.finished << ',' << r.dropped << ',' << r.had_deadline << ',' << r.deadline_met
-        << '\n';
+        << r.sched_restarts << ',' << r.failure_restarts << ',' << r.finished << ','
+        << r.dropped << ',' << r.had_deadline << ',' << r.deadline_met << '\n';
   }
 }
 

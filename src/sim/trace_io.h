@@ -31,9 +31,9 @@ bool WriteTraceCsvFile(const std::vector<TrainingJob>& trace, const std::string&
 std::vector<TrainingJob> ReadTraceCsv(std::istream& in);
 std::vector<TrainingJob> ReadTraceCsvFile(const std::string& path);
 
-// Per-job result rows:
-//   id,submit,first_start,finish,jct,queue_time,restarts,finished,dropped,
-//   had_deadline,deadline_met
+// Per-job result rows (restarts == sched_restarts + failure_restarts):
+//   id,submit,first_start,finish,jct,queue_time,restarts,sched_restarts,
+//   failure_restarts,finished,dropped,had_deadline,deadline_met
 void WriteJobRecordsCsv(const SimResult& result, std::ostream& out);
 bool WriteJobRecordsCsvFile(const SimResult& result, const std::string& path);
 

@@ -136,5 +136,63 @@ TEST(ClusterDeathTest, TopologyForMissingTypeAborts) {
   EXPECT_DEATH(c.TopologyFor(GpuType::kA100), "no A100");
 }
 
+TEST(ClusterHealthTest, MarkFailedShrinksUsableCapacity) {
+  Cluster c = MakeMotivationCluster();
+  const int total = c.TotalGpus();
+  EXPECT_EQ(c.UsableGpus(), total);
+  const int node = c.nodes()[0].id;
+  const int node_gpus = c.nodes()[0].total_gpus;
+  EXPECT_EQ(c.MarkFailed(node, 0), node_gpus);  // 0 = all free devices
+  EXPECT_EQ(c.UsableGpus(), total - node_gpus);
+  EXPECT_EQ(c.FailedGpus(), node_gpus);
+  EXPECT_EQ(c.TotalGpus(), total);  // physical capacity unchanged
+  EXPECT_EQ(c.MarkRecovered(node, 0), node_gpus);
+  EXPECT_EQ(c.UsableGpus(), total);
+  EXPECT_EQ(c.FailedGpus(), 0);
+}
+
+TEST(ClusterHealthTest, MarkFailedOnlyEatsFreeDevices) {
+  Cluster c = MakeMotivationCluster();
+  const GpuType type = c.nodes()[0].type;
+  const auto alloc = c.Allocate(type, c.TotalGpus(type));  // everything busy
+  ASSERT_TRUE(alloc.has_value());
+  for (const NodeInfo& node : c.nodes()) {
+    if (node.type == type) {
+      EXPECT_EQ(c.MarkFailed(node.id, 0), 0);  // nothing free to fail
+    }
+  }
+  c.Release(*alloc);
+}
+
+TEST(ClusterHealthTest, FailedGpusAreNotAllocatable) {
+  Cluster c = MakeMotivationCluster();
+  const GpuType type = c.nodes()[0].type;
+  const int usable_before = c.UsableGpus(type);
+  c.MarkFailed(c.nodes()[0].id, 1);
+  EXPECT_FALSE(c.Allocate(type, usable_before).has_value());
+  EXPECT_TRUE(c.Allocate(type, usable_before - 1).has_value());
+}
+
+TEST(ClusterHealthTest, AllocatePrefersHealthyNodes) {
+  Cluster c;
+  c.AddNodes(GpuType::kA100, 2, 4);
+  c.SetNodeSlowdown(0, 2.0);
+  EXPECT_DOUBLE_EQ(c.NodeSlowdown(0), 2.0);
+  const auto alloc = c.Allocate(GpuType::kA100, 4);
+  ASSERT_TRUE(alloc.has_value());
+  // The straggling node 0 is avoided while a healthy node can serve the ask.
+  EXPECT_DOUBLE_EQ(c.MaxSlowdown(*alloc), 1.0);
+  const auto rest = c.Allocate(GpuType::kA100, 4);
+  ASSERT_TRUE(rest.has_value());
+  EXPECT_DOUBLE_EQ(c.MaxSlowdown(*rest), 2.0);
+}
+
+TEST(ClusterHealthDeathTest, BadNodeIdAborts) {
+  Cluster c = MakeMotivationCluster();
+  EXPECT_DEATH(c.MarkFailed(9999, 1), "node_id");
+  EXPECT_DEATH(c.SetNodeSlowdown(-1, 2.0), "node_id");
+  EXPECT_DEATH(c.SetNodeSlowdown(0, 0.5), "below 1.0");
+}
+
 }  // namespace
 }  // namespace crius

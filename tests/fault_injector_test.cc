@@ -1,0 +1,171 @@
+// Tests for the deterministic failure injector (src/fault/failure_injector).
+
+#include "src/fault/failure_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "src/hw/cluster.h"
+#include "src/util/units.h"
+
+namespace crius {
+namespace {
+
+FailureInjectorConfig BaseConfig() {
+  FailureInjectorConfig c;
+  c.node_mtbf_hours = 4.0;
+  c.gpu_mtbf_hours = 8.0;
+  c.straggler_rate = 0.05;
+  c.horizon = 48.0 * kHour;
+  c.seed = 42;
+  return c;
+}
+
+TEST(FailureInjectorTest, DisabledConfigYieldsNoEvents) {
+  const Cluster cluster = MakePhysicalTestbed();
+  FailureInjectorConfig c;  // all rates zero
+  EXPECT_FALSE(c.enabled());
+  EXPECT_TRUE(GenerateFailureSchedule(cluster, c).empty());
+}
+
+TEST(FailureInjectorTest, SameSeedGivesByteIdenticalSchedule) {
+  const Cluster cluster = MakePhysicalTestbed();
+  const auto a = GenerateFailureSchedule(cluster, BaseConfig());
+  const auto b = GenerateFailureSchedule(cluster, BaseConfig());
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+}
+
+TEST(FailureInjectorTest, DifferentSeedsDiffer) {
+  const Cluster cluster = MakePhysicalTestbed();
+  FailureInjectorConfig other = BaseConfig();
+  other.seed = 43;
+  EXPECT_NE(GenerateFailureSchedule(cluster, BaseConfig()),
+            GenerateFailureSchedule(cluster, other));
+}
+
+TEST(FailureInjectorTest, ScheduleIsInCanonicalOrder) {
+  const Cluster cluster = MakePhysicalTestbed();
+  const auto events = GenerateFailureSchedule(cluster, BaseConfig());
+  ASSERT_GT(events.size(), 1u);
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].time, events[i].time);
+  }
+}
+
+TEST(FailureInjectorTest, FailureAndStragglerStartsStayWithinHorizon) {
+  const Cluster cluster = MakePhysicalTestbed();
+  const FailureInjectorConfig c = BaseConfig();
+  for (const FailureEvent& e : GenerateFailureSchedule(cluster, c)) {
+    EXPECT_GE(e.time, 0.0);
+    if (e.kind == FailureKind::kNodeFail || e.kind == FailureKind::kGpuFail ||
+        e.kind == FailureKind::kStragglerStart) {
+      EXPECT_LT(e.time, c.horizon);
+    }
+  }
+}
+
+TEST(FailureInjectorTest, EveryFailureIsPairedWithALaterRecovery) {
+  const Cluster cluster = MakePhysicalTestbed();
+  const auto events = GenerateFailureSchedule(cluster, BaseConfig());
+  int node_fails = 0, node_recovers = 0, gpu_fails = 0, gpu_recovers = 0;
+  int straggler_starts = 0, straggler_ends = 0;
+  for (const FailureEvent& e : events) {
+    switch (e.kind) {
+      case FailureKind::kNodeFail:
+        ++node_fails;
+        break;
+      case FailureKind::kNodeRecover:
+        ++node_recovers;
+        break;
+      case FailureKind::kGpuFail:
+        ++gpu_fails;
+        EXPECT_GE(e.gpus, 1);
+        break;
+      case FailureKind::kGpuRecover:
+        ++gpu_recovers;
+        break;
+      case FailureKind::kStragglerStart:
+        ++straggler_starts;
+        EXPECT_GT(e.slowdown, 1.0);
+        break;
+      case FailureKind::kStragglerEnd:
+        ++straggler_ends;
+        break;
+    }
+  }
+  EXPECT_GT(node_fails, 0);
+  EXPECT_GT(gpu_fails, 0);
+  EXPECT_GT(straggler_starts, 0);
+  EXPECT_EQ(node_fails, node_recovers);
+  EXPECT_EQ(gpu_fails, gpu_recovers);
+  EXPECT_EQ(straggler_starts, straggler_ends);
+}
+
+TEST(FailureInjectorTest, PerNodeNodeFailuresNeverOverlap) {
+  const Cluster cluster = MakePhysicalTestbed();
+  const auto events = GenerateFailureSchedule(cluster, BaseConfig());
+  // Per node: node_fail and node_recover strictly alternate in time order.
+  std::map<int, bool> down;
+  for (const FailureEvent& e : events) {
+    if (e.kind == FailureKind::kNodeFail) {
+      EXPECT_FALSE(down[e.node_id]) << "node " << e.node_id << " failed while down";
+      down[e.node_id] = true;
+    } else if (e.kind == FailureKind::kNodeRecover) {
+      EXPECT_TRUE(down[e.node_id]);
+      down[e.node_id] = false;
+    }
+  }
+}
+
+// The determinism contract: each fault class draws from its own named stream,
+// so enabling stragglers must not reshuffle the node-failure schedule.
+TEST(FailureInjectorTest, StreamsAreDisjointAcrossFaultClasses) {
+  const Cluster cluster = MakePhysicalTestbed();
+  FailureInjectorConfig only_nodes;
+  only_nodes.node_mtbf_hours = 4.0;
+  only_nodes.horizon = 48.0 * kHour;
+  FailureInjectorConfig everything = BaseConfig();
+
+  auto node_only_events = GenerateFailureSchedule(cluster, only_nodes);
+  auto all_events = GenerateFailureSchedule(cluster, everything);
+  auto is_node_kind = [](const FailureEvent& e) {
+    return e.kind == FailureKind::kNodeFail || e.kind == FailureKind::kNodeRecover;
+  };
+  all_events.erase(std::remove_if(all_events.begin(), all_events.end(),
+                                  [&](const FailureEvent& e) { return !is_node_kind(e); }),
+                   all_events.end());
+  EXPECT_EQ(node_only_events, all_events);
+}
+
+TEST(FailureInjectorTest, SortHandlesArbitraryInputOrder) {
+  std::vector<FailureEvent> events = {
+      {20.0, FailureKind::kNodeRecover, 1, 0, 1.0},
+      {10.0, FailureKind::kNodeFail, 2, 0, 1.0},
+      {10.0, FailureKind::kNodeFail, 1, 0, 1.0},
+  };
+  SortFailureSchedule(events);
+  EXPECT_EQ(events[0].node_id, 1);
+  EXPECT_EQ(events[1].node_id, 2);
+  EXPECT_EQ(events[2].kind, FailureKind::kNodeRecover);
+}
+
+TEST(FailureInjectorDeathTest, RejectsMalformedConfigs) {
+  const Cluster cluster = MakePhysicalTestbed();
+  FailureInjectorConfig no_horizon;
+  no_horizon.node_mtbf_hours = 4.0;
+  EXPECT_DEATH(GenerateFailureSchedule(cluster, no_horizon), "no horizon");
+
+  FailureInjectorConfig negative = BaseConfig();
+  negative.node_mtbf_hours = -1.0;
+  EXPECT_DEATH(GenerateFailureSchedule(cluster, negative), "negative node MTBF");
+
+  FailureInjectorConfig weak_straggler = BaseConfig();
+  weak_straggler.straggler_slowdown = 1.0;
+  EXPECT_DEATH(GenerateFailureSchedule(cluster, weak_straggler), "must exceed 1.0");
+}
+
+}  // namespace
+}  // namespace crius

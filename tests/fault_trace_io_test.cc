@@ -1,0 +1,72 @@
+// Tests for failure-trace CSV persistence (src/fault/fault_trace_io).
+
+#include "src/fault/fault_trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/hw/cluster.h"
+#include "src/util/units.h"
+
+namespace crius {
+namespace {
+
+TEST(FaultTraceIoTest, RoundTripsAnInjectorSchedule) {
+  const Cluster cluster = MakePhysicalTestbed();
+  FailureInjectorConfig config;
+  config.node_mtbf_hours = 4.0;
+  config.gpu_mtbf_hours = 12.0;
+  config.straggler_rate = 0.05;
+  config.horizon = 24.0 * kHour;
+  const auto events = GenerateFailureSchedule(cluster, config);
+  ASSERT_FALSE(events.empty());
+
+  std::stringstream ss;
+  WriteFailureTraceCsv(events, ss);
+  // max_digits10 serialization: the reload is bit-exact, so a replayed
+  // simulation is identical to the generating run.
+  EXPECT_EQ(ReadFailureTraceCsv(ss), events);
+}
+
+TEST(FaultTraceIoTest, ReaderSortsHandWrittenFiles) {
+  std::stringstream ss(
+      "time,kind,node_id,gpus,slowdown\n"
+      "2400,node_recover,3,0,1\n"
+      "600,node_fail,3,0,1\n"
+      "60,straggler_start,1,0,1.8\n");
+  const auto events = ReadFailureTraceCsv(ss);
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, FailureKind::kStragglerStart);
+  EXPECT_DOUBLE_EQ(events[0].slowdown, 1.8);
+  EXPECT_EQ(events[1].kind, FailureKind::kNodeFail);
+  EXPECT_EQ(events[2].kind, FailureKind::kNodeRecover);
+}
+
+TEST(FaultTraceIoDeathTest, MissingHeaderAborts) {
+  std::stringstream ss("600,node_fail,3,0,1\n");
+  EXPECT_DEATH(ReadFailureTraceCsv(ss), "header");
+}
+
+TEST(FaultTraceIoDeathTest, WrongFieldCountAborts) {
+  std::stringstream ss("time,kind,node_id,gpus,slowdown\n600,node_fail,3\n");
+  EXPECT_DEATH(ReadFailureTraceCsv(ss), "5 fields");
+}
+
+TEST(FaultTraceIoDeathTest, UnknownKindAborts) {
+  std::stringstream ss("time,kind,node_id,gpus,slowdown\n600,meteor_strike,3,0,1\n");
+  EXPECT_DEATH(ReadFailureTraceCsv(ss), "unknown kind");
+}
+
+TEST(FaultTraceIoDeathTest, NegativeTimeAborts) {
+  std::stringstream ss("time,kind,node_id,gpus,slowdown\n-5,node_fail,3,0,1\n");
+  EXPECT_DEATH(ReadFailureTraceCsv(ss), "negative");
+}
+
+TEST(FaultTraceIoDeathTest, SubUnitStragglerSlowdownAborts) {
+  std::stringstream ss("time,kind,node_id,gpus,slowdown\n600,straggler_start,3,0,0.5\n");
+  EXPECT_DEATH(ReadFailureTraceCsv(ss), "slowdown");
+}
+
+}  // namespace
+}  // namespace crius

@@ -1,0 +1,240 @@
+// Tests for the simulator's fault model: scripted failures, checkpoint-aware
+// rollback, straggler slowdown, the goodput ledger, and SimConfig validation.
+
+#include <gtest/gtest.h>
+
+#include "src/sched/baselines.h"
+#include "src/sim/simulator.h"
+
+namespace crius {
+namespace {
+
+const ModelSpec kSmall{ModelFamily::kBert, 0.76, 128};
+
+TrainingJob MakeJob(int64_t id, double submit, int64_t iterations, int gpus = 4,
+                    GpuType type = GpuType::kA100) {
+  TrainingJob job;
+  job.id = id;
+  job.spec = kSmall;
+  job.submit_time = submit;
+  job.iterations = iterations;
+  job.requested_gpus = gpus;
+  job.requested_type = type;
+  return job;
+}
+
+// Fails (then optionally recovers) every node in the cluster, so scripted
+// failures hit a job's placement regardless of where it landed.
+std::vector<FailureEvent> FailAllNodes(const Cluster& cluster, double fail_at,
+                                       double recover_at) {
+  std::vector<FailureEvent> events;
+  for (const NodeInfo& node : cluster.nodes()) {
+    events.push_back(FailureEvent{fail_at, FailureKind::kNodeFail, node.id, 0, 1.0});
+    if (recover_at > fail_at) {
+      events.push_back(
+          FailureEvent{recover_at, FailureKind::kNodeRecover, node.id, 0, 1.0});
+    }
+  }
+  return events;
+}
+
+SimResult RunFcfs(const std::vector<TrainingJob>& trace, SimConfig config) {
+  Cluster cluster = MakeMotivationCluster();
+  PerformanceOracle oracle(cluster, 42);
+  FcfsScheduler sched(&oracle);
+  Simulator sim(cluster, std::move(config));
+  return sim.Run(sched, oracle, trace);
+}
+
+TEST(SimFaultsTest, EmptyFaultConfigMatchesDefaultConfig) {
+  // Explicitly-disabled fault settings must leave results bit-identical to a
+  // default SimConfig run.
+  SimConfig plain;
+  plain.record_events = true;
+  SimConfig disabled_faults;
+  disabled_faults.record_events = true;
+  disabled_faults.failures.clear();
+  disabled_faults.checkpoint = CheckpointConfig{};
+  disabled_faults.node_mtbf = 0.0;
+  const std::vector<TrainingJob> trace = {MakeJob(0, 0.0, 4000), MakeJob(1, 60.0, 4000)};
+  const SimResult a = RunFcfs(trace, plain);
+  const SimResult b = RunFcfs(trace, disabled_faults);
+  EXPECT_EQ(a.avg_jct, b.avg_jct);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.finished_jobs, b.finished_jobs);
+  EXPECT_EQ(a.events.size(), b.events.size());
+  EXPECT_EQ(a.total_gpu_seconds, b.total_gpu_seconds);
+  EXPECT_EQ(a.failure_kills, 0);
+  EXPECT_DOUBLE_EQ(b.lost_gpu_seconds, 0.0);
+}
+
+TEST(SimFaultsTest, NodeFailureKillsRestartsAndRecovers) {
+  Cluster cluster = MakeMotivationCluster();
+  SimConfig config;
+  config.record_events = true;
+  // Fail everything 10 minutes in, recover 20 minutes later.
+  config.failures = FailAllNodes(cluster, 600.0, 1800.0);
+  const SimResult r = RunFcfs({MakeJob(0, 0.0, 100000)}, config);
+
+  ASSERT_EQ(r.finished_jobs, 1);
+  EXPECT_EQ(r.failure_kills, 1);
+  EXPECT_GT(r.failure_events, 0);
+  ASSERT_EQ(r.jobs.size(), 1u);
+  EXPECT_EQ(r.jobs[0].failure_restarts, 1);
+  EXPECT_EQ(r.jobs[0].restarts, r.jobs[0].sched_restarts + r.jobs[0].failure_restarts);
+  // No checkpointing: the whole first segment is rolled back.
+  EXPECT_GT(r.lost_gpu_seconds, 0.0);
+  EXPECT_LT(r.goodput, 1.0);
+  // Recovery latency spans the outage (kill at 600, restart once hardware
+  // returns at 1800, plus restart overhead).
+  ASSERT_EQ(r.recovery_latencies.size(), 1u);
+  EXPECT_GE(r.recovery_latencies[0], 1200.0);
+
+  int kills = 0, node_fails = 0, node_recovers = 0;
+  for (const SimEvent& e : r.events) {
+    kills += e.kind == SimEvent::Kind::kFailureKill;
+    node_fails += e.kind == SimEvent::Kind::kNodeFail;
+    node_recovers += e.kind == SimEvent::Kind::kNodeRecover;
+  }
+  EXPECT_EQ(kills, 1);
+  EXPECT_GT(node_fails, 0);
+  EXPECT_EQ(node_fails, node_recovers);
+}
+
+TEST(SimFaultsTest, GoodputLedgerIsConsistent) {
+  Cluster cluster = MakeMotivationCluster();
+  SimConfig config;
+  config.failures = FailAllNodes(cluster, 600.0, 1800.0);
+  const SimResult r = RunFcfs({MakeJob(0, 0.0, 100000)}, config);
+  EXPECT_GT(r.total_gpu_seconds, 0.0);
+  // total = useful + lost + overhead (restart stalls), all non-negative.
+  EXPECT_GE(r.total_gpu_seconds,
+            r.useful_gpu_seconds + r.lost_gpu_seconds - 1e-6 * r.total_gpu_seconds);
+  EXPECT_GE(r.useful_gpu_seconds, 0.0);
+  EXPECT_GE(r.lost_gpu_seconds, 0.0);
+  EXPECT_NEAR(r.goodput, r.useful_gpu_seconds / r.total_gpu_seconds, 1e-12);
+}
+
+TEST(SimFaultsTest, AvailabilityTimelineDipsDuringOutage) {
+  Cluster cluster = MakeMotivationCluster();
+  const int total = cluster.TotalGpus();
+  SimConfig config;
+  // Long outage covering several scheduling rounds.
+  config.failures = FailAllNodes(cluster, 600.0, 3000.0);
+  const SimResult r = RunFcfs({MakeJob(0, 0.0, 100000)}, config);
+  bool saw_degraded = false;
+  bool saw_healthy = false;
+  for (const ThroughputSample& s : r.timeline) {
+    saw_degraded = saw_degraded || s.usable_gpus == 0;
+    saw_healthy = saw_healthy || s.usable_gpus == total;
+  }
+  EXPECT_TRUE(saw_degraded);
+  EXPECT_TRUE(saw_healthy);
+}
+
+TEST(SimFaultsTest, CheckpointingBoundsLostWork) {
+  Cluster cluster = MakeMotivationCluster();
+  SimConfig no_ckpt;
+  no_ckpt.failures = FailAllNodes(cluster, 1200.0, 1500.0);
+  SimConfig ckpt = no_ckpt;
+  ckpt.checkpoint.interval = 60.0;
+  ckpt.checkpoint.cost = 0.0;  // isolate the rollback effect
+  const std::vector<TrainingJob> trace = {MakeJob(0, 0.0, 100000)};
+  const SimResult without = RunFcfs(trace, no_ckpt);
+  const SimResult with = RunFcfs(trace, ckpt);
+  ASSERT_EQ(without.failure_kills, 1);
+  ASSERT_EQ(with.failure_kills, 1);
+  // A 60 s checkpoint cadence preserves nearly the whole 20-minute segment.
+  EXPECT_LT(with.lost_gpu_seconds, without.lost_gpu_seconds);
+  EXPECT_GT(with.goodput, without.goodput);
+  // Less work redone => the job finishes no later.
+  EXPECT_LE(with.jobs[0].finish, without.jobs[0].finish);
+}
+
+TEST(SimFaultsTest, YoungDalyDerivesIntervalFromMtbf) {
+  Cluster cluster = MakeMotivationCluster();
+  SimConfig config;
+  config.failures = FailAllNodes(cluster, 1200.0, 1500.0);
+  config.checkpoint.young_daly = true;
+  config.checkpoint.cost = 30.0;
+  config.node_mtbf = 8.0 * kHour;
+  const SimResult r = RunFcfs({MakeJob(0, 0.0, 100000)}, config);
+  ASSERT_EQ(r.failure_kills, 1);
+  // Young/Daly at 8h MTBF / 30s cost gives a ~20 min interval: part of the
+  // 20-minute first segment survives.
+  EXPECT_GT(r.useful_gpu_seconds, 0.0);
+  EXPECT_LT(r.lost_gpu_seconds, r.total_gpu_seconds);
+}
+
+TEST(SimFaultsTest, StragglerWindowSlowsTheJob) {
+  Cluster cluster = MakeMotivationCluster();
+  SimConfig healthy;
+  const std::vector<TrainingJob> trace = {MakeJob(0, 0.0, 50000)};
+  const SimResult fast = RunFcfs(trace, healthy);
+  ASSERT_EQ(fast.finished_jobs, 1);
+
+  SimConfig slow = healthy;
+  slow.record_events = true;
+  for (const NodeInfo& node : cluster.nodes()) {
+    slow.failures.push_back(
+        FailureEvent{0.0, FailureKind::kStragglerStart, node.id, 0, 2.0});
+  }
+  const SimResult degraded = RunFcfs(trace, slow);
+  ASSERT_EQ(degraded.finished_jobs, 1);
+  // Every node at 2x iteration time: completion takes measurably longer, with
+  // no kills or lost work (stragglers degrade, they don't destroy).
+  EXPECT_GT(degraded.jobs[0].finish, 1.5 * fast.jobs[0].finish);
+  EXPECT_EQ(degraded.failure_kills, 0);
+  EXPECT_DOUBLE_EQ(degraded.lost_gpu_seconds, 0.0);
+  bool saw_straggler_event = false;
+  for (const SimEvent& e : degraded.events) {
+    saw_straggler_event = saw_straggler_event || e.kind == SimEvent::Kind::kStragglerStart;
+  }
+  EXPECT_TRUE(saw_straggler_event);
+}
+
+TEST(SimFaultsTest, MidRunStragglerEndRestoresFullSpeed) {
+  Cluster cluster = MakeMotivationCluster();
+  SimConfig forever;
+  for (const NodeInfo& node : cluster.nodes()) {
+    forever.failures.push_back(
+        FailureEvent{0.0, FailureKind::kStragglerStart, node.id, 0, 2.0});
+  }
+  SimConfig brief = forever;
+  for (const NodeInfo& node : cluster.nodes()) {
+    brief.failures.push_back(
+        FailureEvent{900.0, FailureKind::kStragglerEnd, node.id, 0, 1.0});
+  }
+  const std::vector<TrainingJob> trace = {MakeJob(0, 0.0, 50000)};
+  const SimResult all_slow = RunFcfs(trace, forever);
+  const SimResult recovers = RunFcfs(trace, brief);
+  ASSERT_EQ(all_slow.finished_jobs, 1);
+  ASSERT_EQ(recovers.finished_jobs, 1);
+  EXPECT_LT(recovers.jobs[0].finish, all_slow.jobs[0].finish);
+}
+
+TEST(SimFaultsDeathTest, RejectsMalformedConfigs) {
+  const Cluster cluster = MakeMotivationCluster();
+  SimConfig zero_interval;
+  zero_interval.schedule_interval = 0.0;
+  EXPECT_DEATH(Simulator(cluster, zero_interval), "schedule_interval");
+
+  SimConfig negative_restart;
+  negative_restart.restart_overhead = -1.0;
+  EXPECT_DEATH(Simulator(cluster, negative_restart), "restart_overhead");
+
+  SimConfig negative_bandwidth;
+  negative_bandwidth.checkpoint_bandwidth = -1.0;
+  EXPECT_DEATH(Simulator(cluster, negative_bandwidth), "checkpoint_bandwidth");
+
+  SimConfig negative_cap;
+  negative_cap.max_time_factor = -1.0;
+  EXPECT_DEATH(Simulator(cluster, negative_cap), "max_time_factor");
+
+  SimConfig bad_node;
+  bad_node.failures.push_back(FailureEvent{60.0, FailureKind::kNodeFail, 9999, 0, 1.0});
+  EXPECT_DEATH(Simulator(cluster, bad_node), "unknown node");
+}
+
+}  // namespace
+}  // namespace crius

@@ -10,9 +10,12 @@
 //   crius_sim --trace-file workload.csv --scheduler elasticflow --jobs-csv out.csv
 //   crius_sim --trace philly-week --scheduler crius --search-depth 5 --seed 9
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 
+#include "src/fault/failure_injector.h"
+#include "src/fault/fault_trace_io.h"
 #include "src/sched/baselines.h"
 #include "src/sched/crius_sched.h"
 #include "src/sim/chrome_export.h"
@@ -110,6 +113,17 @@ int Run(int argc, const char* const* argv) {
   bool deadline_aware = false;
   bool no_profiling_cost = false;
   double execution_jitter = 0.0;
+  double mtbf_hours = 0.0;
+  double gpu_mtbf_hours = 0.0;
+  double mttr_hours = 0.5;
+  double straggler_rate = 0.0;
+  double straggler_slowdown = 1.5;
+  double straggler_duration_hours = 0.5;
+  std::string failure_trace;
+  std::string save_failure_trace;
+  double checkpoint_interval = 0.0;
+  double checkpoint_cost = 30.0;
+  bool checkpoint_young_daly = false;
   std::string trace_out;
   std::string jobs_csv;
   std::string timeline_csv;
@@ -136,6 +150,26 @@ int Run(int argc, const char* const* argv) {
              "skip charging Crius's Cell-profiling delay");
   flags.Double("execution-jitter", &execution_jitter,
                "per-placement iteration-time jitter (0 = pure simulation)");
+  flags.Double("mtbf-hours", &mtbf_hours,
+               "per-node mean time between failures (0 = no node failures)");
+  flags.Double("gpu-mtbf-hours", &gpu_mtbf_hours,
+               "per-GPU mean time between failures (0 = no GPU failures)");
+  flags.Double("mttr-hours", &mttr_hours, "mean time to repair a failure");
+  flags.Double("straggler-rate", &straggler_rate,
+               "expected straggler windows per node per hour (0 = none)");
+  flags.Double("straggler-slowdown", &straggler_slowdown,
+               "nominal straggler iteration-time factor (> 1)");
+  flags.Double("straggler-duration-hours", &straggler_duration_hours,
+               "mean straggler-window length");
+  flags.String("failure-trace", &failure_trace,
+               "load the failure schedule from this CSV instead of generating one");
+  flags.String("save-failure-trace", &save_failure_trace,
+               "write the injected failure schedule to this CSV");
+  flags.Double("checkpoint-interval", &checkpoint_interval,
+               "periodic checkpoint interval in seconds (0 = no checkpointing)");
+  flags.Double("checkpoint-cost", &checkpoint_cost, "seconds per checkpoint write");
+  flags.Bool("checkpoint-young-daly", &checkpoint_young_daly,
+             "derive the checkpoint interval from --mtbf-hours via Young/Daly");
   flags.String("save-trace", &trace_out, "write the synthesized trace to this CSV");
   flags.String("jobs-csv", &jobs_csv, "write per-job records to this CSV");
   flags.String("timeline-csv", &timeline_csv, "write the throughput timeline to this CSV");
@@ -184,6 +218,45 @@ int Run(int argc, const char* const* argv) {
   sim_config.execution_jitter = execution_jitter;
   // Any export that reconstructs per-job activity needs the event log.
   sim_config.record_events = !events_csv.empty() || !trace_json.empty() || counters;
+
+  // --- Fault model -----------------------------------------------------------
+  sim_config.checkpoint.interval = checkpoint_interval;
+  sim_config.checkpoint.cost = checkpoint_cost;
+  sim_config.checkpoint.young_daly = checkpoint_young_daly;
+  sim_config.node_mtbf = mtbf_hours * kHour;
+  const bool faults_requested =
+      !failure_trace.empty() || mtbf_hours > 0.0 || gpu_mtbf_hours > 0.0 || straggler_rate > 0.0;
+  if (!failure_trace.empty()) {
+    sim_config.failures = ReadFailureTraceCsvFile(failure_trace);
+    std::printf("Loaded %zu failure events from %s\n", sim_config.failures.size(),
+                failure_trace.c_str());
+  } else if (faults_requested) {
+    FailureInjectorConfig fault_config;
+    fault_config.node_mtbf_hours = mtbf_hours;
+    fault_config.gpu_mtbf_hours = gpu_mtbf_hours;
+    fault_config.mttr_hours = mttr_hours;
+    fault_config.straggler_rate = straggler_rate;
+    fault_config.straggler_slowdown = straggler_slowdown;
+    fault_config.straggler_duration_hours = straggler_duration_hours;
+    fault_config.seed = static_cast<uint64_t>(seed);
+    // Inject over the same horizon the simulator will run: trace duration x
+    // the time cap, plus the 24 h drain window.
+    double trace_end = 0.0;
+    for (const TrainingJob& job : trace) {
+      trace_end = std::max(trace_end, job.submit_time);
+    }
+    fault_config.horizon =
+        std::max(trace_end, 1.0) * sim_config.max_time_factor + 24.0 * kHour;
+    sim_config.failures = GenerateFailureSchedule(cluster, fault_config);
+    std::printf("Injecting %zu failure events (node MTBF %.1f h, GPU MTBF %.1f h, "
+                "straggler rate %.2f /node/h)\n",
+                sim_config.failures.size(), mtbf_hours, gpu_mtbf_hours, straggler_rate);
+  }
+  if (!save_failure_trace.empty()) {
+    CRIUS_CHECK_MSG(WriteFailureTraceCsvFile(sim_config.failures, save_failure_trace),
+                    "cannot write " << save_failure_trace);
+    std::printf("Failure schedule written to %s\n", save_failure_trace.c_str());
+  }
   Simulator sim(cluster, sim_config);
   const SimResult result = sim.Run(*scheduler, oracle, trace);
 
@@ -195,11 +268,30 @@ int Run(int argc, const char* const* argv) {
                     Table::FmtInt(result.dropped_jobs)});
   table.AddRow({"avg JCT", Table::Fmt(result.avg_jct / kMinute, 1) + " min"});
   table.AddRow({"median JCT", Table::Fmt(result.median_jct / kMinute, 1) + " min"});
+  table.AddRow({"p95 / p99 JCT", Table::Fmt(result.p95_jct / kMinute, 1) + " / " +
+                                     Table::Fmt(result.p99_jct / kMinute, 1) + " min"});
   table.AddRow({"max JCT", Table::Fmt(result.max_jct / kHour, 2) + " h"});
   table.AddRow({"avg queuing time", Table::Fmt(result.avg_queue_time / kMinute, 1) + " min"});
+  table.AddRow({"p50 / p95 / p99 queuing time",
+                Table::Fmt(result.p50_queue_time / kMinute, 1) + " / " +
+                    Table::Fmt(result.p95_queue_time / kMinute, 1) + " / " +
+                    Table::Fmt(result.p99_queue_time / kMinute, 1) + " min"});
   table.AddRow({"avg cluster throughput", Table::Fmt(result.avg_throughput, 2)});
   table.AddRow({"peak cluster throughput", Table::Fmt(result.peak_throughput, 2)});
   table.AddRow({"avg restarts / job", Table::Fmt(result.avg_restarts, 2)});
+  if (faults_requested) {
+    table.AddRow({"avg restarts / job (sched / failure)",
+                  Table::Fmt(result.avg_sched_restarts, 2) + " / " +
+                      Table::Fmt(result.avg_failure_restarts, 2)});
+    table.AddRow({"failure events / kills", Table::FmtInt(result.failure_events) + " / " +
+                                                Table::FmtInt(result.failure_kills)});
+    table.AddRow({"goodput (useful/total GPU-s)", Table::FmtPercent(result.goodput)});
+    table.AddRow(
+        {"lost GPU-hours", Table::Fmt(result.lost_gpu_seconds / kHour, 1)});
+    table.AddRow({"avg / p95 recovery latency",
+                  Table::Fmt(result.avg_recovery_latency / kMinute, 1) + " / " +
+                      Table::Fmt(result.p95_recovery_latency / kMinute, 1) + " min"});
+  }
   if (deadline_fraction > 0.0) {
     table.AddRow({"deadline satisfactory ratio", Table::FmtPercent(result.deadline_ratio)});
   }
