@@ -4,6 +4,8 @@
 #define BENCH_BENCH_UTIL_H_
 
 #include <chrono>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <vector>
 
@@ -12,8 +14,26 @@
 #include "src/sim/simulator.h"
 #include "src/sim/trace.h"
 #include "src/util/table.h"
+#include "src/util/threadpool.h"
 
 namespace crius {
+
+// Parses the one flag the bench binaries share -- "--threads N" (or
+// "--threads=N") -- and sizes the global pool accordingly. Per-seed and
+// per-scheduler sweep runs fan out over the pool; results are bit-identical
+// across thread counts.
+inline void ConfigureBenchThreads(int argc, char** argv) {
+  int threads = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = std::atoi(argv[i + 1]);
+      ++i;
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = std::atoi(argv[i] + 10);
+    }
+  }
+  ThreadPool::SetGlobalThreads(threads);
+}
 
 // The five schedulers of §8.1, in the paper's presentation order.
 inline std::vector<std::unique_ptr<Scheduler>> MakeAllSchedulers(PerformanceOracle* oracle) {

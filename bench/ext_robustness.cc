@@ -11,34 +11,43 @@
 #include "bench/bench_util.h"
 #include "src/util/stats.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace crius;
+  ConfigureBenchThreads(argc, argv);
   Cluster cluster = MakePhysicalTestbed();
 
   const uint64_t seeds[] = {11, 23, 42, 77, 101};
   const int num_seeds = static_cast<int>(std::size(seeds));
 
-  std::vector<std::string> names;
-  // results[scheduler][seed] = avg JCT.
-  std::vector<std::vector<double>> jcts;
-
   Table per_seed("Robustness: avg JCT (minutes) per seed, 244-job testbed trace");
-  std::vector<std::vector<std::string>> rows;
 
-  for (int si = 0; si < num_seeds; ++si) {
+  // Each seed builds its own oracle/trace/schedulers, so whole seed runs fan
+  // out over the pool into independent slots; the table below is assembled
+  // sequentially, making the output identical across thread counts.
+  struct SeedRun {
+    std::vector<std::string> names;
+    std::vector<double> jcts;
+  };
+  std::vector<SeedRun> runs(static_cast<size_t>(num_seeds));
+  ThreadPool::Global().ParallelFor(static_cast<size_t>(num_seeds), [&](size_t si) {
     PerformanceOracle oracle(cluster, seeds[si]);
     TraceConfig config = PhillySixHourConfig();
     config.seed = seeds[si];
     const auto trace = GenerateTrace(cluster, oracle, config);
-    auto schedulers = MakeAllSchedulers(&oracle);
-    for (size_t sc = 0; sc < schedulers.size(); ++sc) {
+    for (auto& sched : MakeAllSchedulers(&oracle)) {
       Simulator sim(cluster, SimConfig{});
-      const SimResult r = sim.Run(*schedulers[sc], oracle, trace);
-      if (si == 0) {
-        names.push_back(r.scheduler);
-        jcts.emplace_back();
-      }
-      jcts[sc].push_back(r.avg_jct);
+      const SimResult r = sim.Run(*sched, oracle, trace);
+      runs[si].names.push_back(r.scheduler);
+      runs[si].jcts.push_back(r.avg_jct);
+    }
+  });
+
+  const std::vector<std::string>& names = runs[0].names;
+  // results[scheduler][seed] = avg JCT.
+  std::vector<std::vector<double>> jcts(names.size());
+  for (size_t sc = 0; sc < names.size(); ++sc) {
+    for (int si = 0; si < num_seeds; ++si) {
+      jcts[sc].push_back(runs[static_cast<size_t>(si)].jcts[sc]);
     }
   }
 

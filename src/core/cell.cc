@@ -31,7 +31,14 @@ std::vector<Cell> GenerateCellsUpTo(const TrainingJob& job, const Cluster& clust
     if (!cluster.HasType(type)) {
       continue;
     }
-    const int capacity = FloorPowerOfTwo(cluster.TotalGpus(type));
+    // Cap by *usable* capacity (physical minus failed devices): a candidate
+    // larger than what degraded hardware can ever host is unschedulable, and
+    // ranking it would waste profiling budget and skew Cell scores.
+    const int usable = cluster.UsableGpus(type);
+    if (usable < 1) {
+      continue;  // every device of this type is failed
+    }
+    const int capacity = FloorPowerOfTwo(usable);
     // §6.1: three candidate sizes around the user-requested N_G.
     for (int ngpus : {job.requested_gpus / 2, job.requested_gpus, job.requested_gpus * 2}) {
       if (ngpus < 1 || ngpus > capacity || ngpus > max_gpus) {

@@ -18,82 +18,100 @@ JobContext PerformanceOracle::ContextFor(const ModelSpec& spec, GpuType type) co
   return model_.MakeContext(spec, type);
 }
 
+uint64_t PerformanceOracle::ShardHash(const ModelPointKey& key) {
+  uint64_t h = std::get<0>(key);
+  h = HashCombine(h, static_cast<uint64_t>(std::get<1>(key)));
+  h = HashCombine(h, static_cast<uint64_t>(std::get<2>(key)));
+  return h;
+}
+
+uint64_t PerformanceOracle::ShardHash(const CellPointKey& key) {
+  uint64_t h = std::get<0>(key);
+  h = HashCombine(h, static_cast<uint64_t>(std::get<1>(key)));
+  h = HashCombine(h, static_cast<uint64_t>(std::get<2>(key)));
+  h = HashCombine(h, static_cast<uint64_t>(std::get<3>(key)));
+  return h;
+}
+
 const std::optional<PlanChoice>& PerformanceOracle::BestAdaptive(const ModelSpec& spec,
                                                                  GpuType type, int ngpus) {
   const JobContext ctx = ContextFor(spec, type);
   const ModelPointKey key{ctx.model_key, static_cast<int>(type), ngpus};
-  auto it = adaptive_cache_.find(key);
-  if (it == adaptive_cache_.end()) {
-    CRIUS_COUNTER_INC("oracle.adaptive_cache_misses");
+  const auto [value, miss] = adaptive_cache_.GetOrCompute(key, ShardHash(key), [&] {
     std::optional<PlanChoice> best;
     if (ngpus >= 1 && IsPowerOfTwo(ngpus)) {
       ExploreResult r = explorer_.FullExplore(ctx, ngpus);
       best = std::move(r.best);
     }
     // Non-power-of-two shapes are not schedulable plans; cached as infeasible.
-    it = adaptive_cache_.emplace(key, std::move(best)).first;
+    return best;
+  });
+  if (miss) {
+    CRIUS_COUNTER_INC("oracle.adaptive_cache_misses");
   } else {
     CRIUS_COUNTER_INC("oracle.adaptive_cache_hits");
   }
-  return it->second;
+  return value;
 }
 
 std::optional<double> PerformanceOracle::DpOnlyIterTime(const ModelSpec& spec, GpuType type,
                                                         int ngpus) {
   const JobContext ctx = ContextFor(spec, type);
   const ModelPointKey key{ctx.model_key, static_cast<int>(type), ngpus};
-  auto it = dp_only_cache_.find(key);
-  if (it == dp_only_cache_.end()) {
-    if (ngpus < 1 || !IsPowerOfTwo(ngpus)) {
-      it = dp_only_cache_.emplace(key, std::nullopt).first;
-      return it->second;
-    }
-    ParallelPlan plan;
-    plan.gpu_type = type;
-    StagePlan sp;
-    sp.op_begin = 0;
-    sp.op_end = ctx.graph->size();
-    sp.gpus = ngpus;
-    sp.dp = ngpus;
-    sp.tp = 1;
-    plan.stages.push_back(sp);
-    const PlanEval eval = model_.Evaluate(ctx, plan);
-    std::optional<double> value;
-    if (eval.feasible) {
-      value = eval.iter_time;
-    }
-    it = dp_only_cache_.emplace(key, value).first;
-  }
-  return it->second;
+  return dp_only_cache_
+      .GetOrCompute(key, ShardHash(key),
+                    [&]() -> std::optional<double> {
+                      if (ngpus < 1 || !IsPowerOfTwo(ngpus)) {
+                        return std::nullopt;
+                      }
+                      ParallelPlan plan;
+                      plan.gpu_type = type;
+                      StagePlan sp;
+                      sp.op_begin = 0;
+                      sp.op_end = ctx.graph->size();
+                      sp.gpus = ngpus;
+                      sp.dp = ngpus;
+                      sp.tp = 1;
+                      plan.stages.push_back(sp);
+                      const PlanEval eval = model_.Evaluate(ctx, plan);
+                      if (!eval.feasible) {
+                        return std::nullopt;
+                      }
+                      return eval.iter_time;
+                    })
+      .first;
 }
 
 const CellEstimate& PerformanceOracle::EstimateCell(const ModelSpec& spec, const Cell& cell) {
   const JobContext ctx = ContextFor(spec, cell.gpu_type);
   const CellPointKey key{ctx.model_key, static_cast<int>(cell.gpu_type), cell.ngpus,
                          cell.nstages};
-  auto it = estimate_cache_.find(key);
-  if (it == estimate_cache_.end()) {
+  const auto [value, miss] = estimate_cache_.GetOrCompute(
+      key, ShardHash(key), [&] { return estimator_.Estimate(ctx, cell); });
+  if (miss) {
     CRIUS_COUNTER_INC("oracle.estimate_cache_misses");
-    it = estimate_cache_.emplace(key, estimator_.Estimate(ctx, cell)).first;
   } else {
     CRIUS_COUNTER_INC("oracle.estimate_cache_hits");
   }
-  return it->second;
+  return value;
 }
 
 const TuneResult& PerformanceOracle::TuneCell(const ModelSpec& spec, const Cell& cell) {
   const JobContext ctx = ContextFor(spec, cell.gpu_type);
   const CellPointKey key{ctx.model_key, static_cast<int>(cell.gpu_type), cell.ngpus,
                          cell.nstages};
-  auto it = tune_cache_.find(key);
-  if (it == tune_cache_.end()) {
-    CRIUS_COUNTER_INC("oracle.tune_cache_misses");
+  const auto [value, miss] = tune_cache_.GetOrCompute(key, ShardHash(key), [&] {
+    // EstimateCell re-enters the *estimate* cache, never this one, so the
+    // shard-lock order is acyclic (tune shard -> estimate shard).
     const CellEstimate& estimate = EstimateCell(spec, cell);
-    it = tune_cache_.emplace(key, tuner_.Tune(ctx, cell, estimate)).first;
+    return tuner_.Tune(ctx, cell, estimate);
+  });
+  if (miss) {
+    CRIUS_COUNTER_INC("oracle.tune_cache_misses");
   } else {
     CRIUS_COUNTER_INC("oracle.tune_cache_hits");
   }
-  return it->second;
+  return value;
 }
 
 double PerformanceOracle::AdaptiveThroughput(const ModelSpec& spec, GpuType type, int ngpus) {

@@ -12,12 +12,14 @@
 //   * TuneCell       -- Crius's Cell-guided tuned plan (§5.2).
 //
 // Trace-scale simulations query the same (model, GPU type, count) points
-// millions of times; everything is cached.
+// millions of times; everything is cached. Caches are sharded-mutex
+// thread-safe: every cached quantity is a pure function of its key, so
+// concurrent callers (the scheduler's parallel Cell fan-out, parallel bench
+// sweeps) read/populate them in any order without changing any value.
 
 #ifndef SRC_CORE_ORACLE_H_
 #define SRC_CORE_ORACLE_H_
 
-#include <map>
 #include <optional>
 #include <tuple>
 
@@ -26,6 +28,7 @@
 #include "src/core/estimator.h"
 #include "src/core/tuner.h"
 #include "src/parallel/explorer.h"
+#include "src/util/sharded_cache.h"
 
 namespace crius {
 
@@ -69,6 +72,8 @@ class PerformanceOracle {
   using CellPointKey = std::tuple<uint64_t, int, int, int>;    // (model, type, ngpus, nstages)
 
   JobContext ContextFor(const ModelSpec& spec, GpuType type) const;
+  static uint64_t ShardHash(const ModelPointKey& key);
+  static uint64_t ShardHash(const CellPointKey& key);
 
   PerfModel model_;
   CommProfile comm_;
@@ -76,10 +81,10 @@ class PerformanceOracle {
   CellEstimator estimator_;
   CellTuner tuner_;
 
-  std::map<ModelPointKey, std::optional<PlanChoice>> adaptive_cache_;
-  std::map<ModelPointKey, std::optional<double>> dp_only_cache_;
-  std::map<CellPointKey, CellEstimate> estimate_cache_;
-  std::map<CellPointKey, TuneResult> tune_cache_;
+  ShardedCache<ModelPointKey, std::optional<PlanChoice>> adaptive_cache_;
+  ShardedCache<ModelPointKey, std::optional<double>> dp_only_cache_;
+  ShardedCache<CellPointKey, CellEstimate> estimate_cache_;
+  ShardedCache<CellPointKey, TuneResult> tune_cache_;
 };
 
 }  // namespace crius

@@ -84,6 +84,9 @@ int Cluster::MarkFailed(int node_id, int gpus) {
   const int ti = static_cast<int>(node.type);
   free_[ti] -= take;
   failed_[ti] += take;
+  if (take > 0) {
+    ++health_epoch_;
+  }
   return take;
 }
 
@@ -97,12 +100,18 @@ int Cluster::MarkRecovered(int node_id, int gpus) {
   const int ti = static_cast<int>(node.type);
   failed_[ti] -= give;
   free_[ti] += give;
+  if (give > 0) {
+    ++health_epoch_;
+  }
   return give;
 }
 
 void Cluster::SetNodeSlowdown(int node_id, double factor) {
   CRIUS_CHECK(node_id >= 0 && static_cast<size_t>(node_id) < nodes_.size());
   CRIUS_CHECK_MSG(factor >= 1.0, "slowdown factor below 1.0");
+  if (nodes_[node_id].slowdown != factor) {
+    ++health_epoch_;
+  }
   nodes_[node_id].slowdown = factor;
 }
 

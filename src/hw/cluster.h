@@ -94,6 +94,12 @@ class Cluster {
   void SetNodeSlowdown(int node_id, double factor);
   double NodeSlowdown(int node_id) const;
 
+  // Monotonic counter bumped by every health mutation (MarkFailed,
+  // MarkRecovered, SetNodeSlowdown). Schedulers key cached capacity- and
+  // health-dependent state (e.g. Cell rankings) off this epoch so it is
+  // invalidated the moment the usable cluster changes.
+  uint64_t health_epoch() const { return health_epoch_; }
+
   // Worst straggler factor across the nodes of `alloc` (synchronous training
   // runs at the slowest node's pace). 1.0 for an empty allocation.
   double MaxSlowdown(const Allocation& alloc) const;
@@ -109,6 +115,7 @@ class Cluster {
   std::array<int, kNumGpuTypes> free_{};
   std::array<int, kNumGpuTypes> failed_{};
   std::array<int, kNumGpuTypes> gpus_per_node_{};
+  uint64_t health_epoch_ = 0;
 };
 
 // The 64-GPU physical testbed of §8.1/§8.3: 16 nodes x 2 A40 + 16 nodes x 2 A10.

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 #include <map>
+#include <mutex>
 
 #include "src/util/check.h"
 
@@ -127,8 +128,14 @@ OpGraph BuildOpGraph(const ModelSpec& spec) {
 
 const OpGraph& GetOpGraph(const ModelSpec& spec) {
   // Keyed by family+size only: the graph does not depend on the batch.
+  // Mutex-guarded so parallel estimation fan-out can share the cache; builds
+  // are pure, so holding the lock across the (rare) build keeps each graph
+  // constructed exactly once. std::map nodes are stable, so returned
+  // references outlive later inserts.
+  static std::mutex mu;
   static std::map<std::pair<int, double>, OpGraph> cache;
   const auto key = std::make_pair(static_cast<int>(spec.family), spec.params_billion);
+  std::lock_guard<std::mutex> lock(mu);
   auto it = cache.find(key);
   if (it == cache.end()) {
     it = cache.emplace(key, BuildOpGraph(spec)).first;

@@ -68,7 +68,8 @@ double BatchHalfPoint(ModelFamily family);
 OpGraph BuildOpGraph(const ModelSpec& spec);
 
 // Cached variant of BuildOpGraph; the returned reference lives for the
-// process lifetime. Not thread-safe (Crius is single-threaded by design).
+// process lifetime. Thread-safe: the cache is mutex-guarded so the parallel
+// estimation fan-out can share it.
 const OpGraph& GetOpGraph(const ModelSpec& spec);
 
 // Individual builders (exposed for tests).

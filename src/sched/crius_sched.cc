@@ -6,6 +6,7 @@
 
 #include "src/util/check.h"
 #include "src/util/counters.h"
+#include "src/util/threadpool.h"
 #include "src/util/trace.h"
 
 namespace crius {
@@ -61,13 +62,8 @@ std::string CriusScheduler::name() const {
   return "Crius";
 }
 
-const CriusScheduler::JobCells& CriusScheduler::CellsFor(const TrainingJob& job,
-                                                         const Cluster& cluster) {
-  auto it = cells_cache_.find(job.id);
-  if (it != cells_cache_.end()) {
-    return it->second;
-  }
-
+CriusScheduler::JobCells CriusScheduler::ComputeCells(const TrainingJob& job,
+                                                      const Cluster& cluster) {
   CRIUS_TRACE_SPAN("sched.cells_for");
   JobCells jc;
   for (const Cell& cell : GenerateCells(job, cluster)) {
@@ -103,12 +99,90 @@ const CriusScheduler::JobCells& CriusScheduler::CellsFor(const TrainingJob& job,
   std::stable_sort(jc.choices.begin(), jc.choices.end(),
                    [](const CellChoice& a, const CellChoice& b) { return a.score > b.score; });
   CRIUS_HISTOGRAM_RECORD("sched.cells_per_job", static_cast<double>(jc.choices.size()));
+  return jc;
+}
+
+const CriusScheduler::JobCells& CriusScheduler::CellsFor(const TrainingJob& job,
+                                                         const Cluster& cluster) {
+  {
+    std::lock_guard<std::mutex> lock(cells_mu_);
+    auto it = cells_cache_.find(job.id);
+    if (it != cells_cache_.end()) {
+      return it->second;
+    }
+  }
+  // Compute outside the lock (the oracle serializes per shard); a racing
+  // same-job miss loses the emplace and the first value wins -- both computed
+  // the identical pure result. std::map nodes are stable, so references handed
+  // out above survive this insert.
+  JobCells jc = ComputeCells(job, cluster);
+  std::lock_guard<std::mutex> lock(cells_mu_);
   return cells_cache_.emplace(job.id, std::move(jc)).first->second;
+}
+
+void CriusScheduler::SyncCellsCache(const std::vector<const JobState*>& jobs,
+                                    const Cluster& cluster) {
+  // 1. Cluster-health epoch: failures, recoveries, and straggler updates all
+  // change which Cells fit and how they score, so any cached ranking built
+  // against an older epoch is stale in bulk.
+  if (!cells_epoch_known_ || cells_epoch_ != cluster.health_epoch()) {
+    if (cells_epoch_known_ && !cells_cache_.empty()) {
+      CRIUS_COUNTER_INC("sched.cells_cache_invalidations");
+    }
+    cells_cache_.clear();
+    cells_epoch_ = cluster.health_epoch();
+    cells_epoch_known_ = true;
+  }
+
+  // 2. Evict entries for jobs that left the system (completed, killed, or
+  // dropped): without this the cache grows without bound over a trace.
+  for (auto it = cells_cache_.begin(); it != cells_cache_.end();) {
+    const int64_t id = it->first;
+    const bool active = std::any_of(jobs.begin(), jobs.end(),
+                                    [id](const JobState* js) { return js->job.id == id; });
+    if (active) {
+      ++it;
+    } else {
+      it = cells_cache_.erase(it);
+      CRIUS_COUNTER_INC("sched.cells_cache_evictions");
+    }
+  }
+
+  // 3. Warm missing entries in parallel. ComputeCells is a pure function of
+  // (job, cluster-health), so slot results are identical across thread counts
+  // and the sequential inserts below keep the cache content deterministic.
+  std::vector<const JobState*> missing;
+  for (const JobState* js : jobs) {
+    if (cells_cache_.find(js->job.id) == cells_cache_.end()) {
+      missing.push_back(js);
+    }
+  }
+  if (missing.empty()) {
+    return;
+  }
+  CRIUS_TRACE_SPAN_ARGS("sched.cells_warmup",
+                        "{\"jobs\": " + std::to_string(missing.size()) + "}");
+  std::vector<JobCells> slots(missing.size());
+  ThreadPool::Global().ParallelFor(missing.size(), [&](size_t i) {
+    slots[i] = ComputeCells(missing[i]->job, cluster);
+  });
+  for (size_t i = 0; i < missing.size(); ++i) {
+    cells_cache_.emplace(missing[i]->job.id, std::move(slots[i]));
+  }
 }
 
 double CriusScheduler::ProfilingDelay(const TrainingJob& job, const Cluster& cluster) {
   std::array<double, kNumGpuTypes> per_type{};
   for (const Cell& cell : GenerateCells(job, cluster)) {
+    // Ablation variants never rank pruned Cells (CellsFor drops them), so they
+    // must not be charged the GPU-seconds to profile them either: Crius-NH
+    // profiles only the requested type, Crius-NA only the requested size.
+    if (!config_.heterogeneity_scaling && cell.gpu_type != job.requested_type) {
+      continue;
+    }
+    if (!config_.adaptivity_scaling && cell.ngpus != job.requested_gpus) {
+      continue;
+    }
     const CellEstimate& est = oracle_->EstimateCell(job.spec, cell);
     per_type[static_cast<int>(cell.gpu_type)] += est.profile_gpu_seconds;
   }
@@ -128,17 +202,27 @@ ScheduleDecision CriusScheduler::Schedule(double now, const std::vector<const Jo
   CRIUS_SCOPED_TIMER_MS("sched.round_ms");
   CRIUS_TRACE_SPAN_ARGS("sched.round",
                         "{\"jobs\": " + std::to_string(jobs.size()) + "}");
+  // Round-start cache maintenance + parallel warm-up: after this every
+  // CellsFor call below is a cache hit, so concurrent passes are read-mostly.
+  SyncCellsCache(jobs, cluster);
   if (config_.placement_order != CriusPlacementOrder::kBestOfAll || config_.deadline_aware) {
     return ScheduleOnce(now, jobs, cluster, config_.placement_order).first;
   }
   // Solver-lite: evaluate every ordering virtually and keep the outcome with
-  // the highest total estimated throughput (all passes are pure functions of
-  // (jobs, cluster), so re-running is safe).
+  // the highest total estimated throughput. Each pass is a pure function of
+  // (now, jobs, cluster, order) with its own virtual state, so the three run
+  // concurrently into slots; the winner is then picked sequentially in the
+  // same fixed order (strict > comparison) the single-threaded loop used --
+  // the decision is bit-identical across thread counts.
+  const std::array<CriusPlacementOrder, 3> orders = {CriusPlacementOrder::kFifo,
+                                                     CriusPlacementOrder::kScoreDensity,
+                                                     CriusPlacementOrder::kSmallestFirst};
+  std::array<std::pair<ScheduleDecision, double>, 3> results;
+  ThreadPool::Global().ParallelFor(orders.size(), [&](size_t i) {
+    results[i] = ScheduleOnce(now, jobs, cluster, orders[i]);
+  });
   std::pair<ScheduleDecision, double> best{ScheduleDecision{}, -1.0};
-  for (CriusPlacementOrder order : {CriusPlacementOrder::kFifo,
-                                    CriusPlacementOrder::kScoreDensity,
-                                    CriusPlacementOrder::kSmallestFirst}) {
-    std::pair<ScheduleDecision, double> candidate = ScheduleOnce(now, jobs, cluster, order);
+  for (std::pair<ScheduleDecision, double>& candidate : results) {
     if (candidate.second > best.second) {
       best = std::move(candidate);
     }

@@ -19,6 +19,9 @@
 #ifndef SRC_SCHED_CRIUS_SCHED_H_
 #define SRC_SCHED_CRIUS_SCHED_H_
 
+#include <cstdint>
+#include <map>
+#include <mutex>
 #include <optional>
 
 #include "src/core/cell.h"
@@ -97,18 +100,36 @@ class CriusScheduler : public Scheduler {
     double ref_throughput = 0.0;      // estimate at the requested shape
   };
 
-  // Cell candidates for `job` under the ablation flags, scored and cached.
+  // Pure computation of the scored Cell candidates for `job` under the
+  // ablation flags. Touches no scheduler state besides the (thread-safe)
+  // oracle, so pool workers may run it concurrently during cache warm-up.
+  JobCells ComputeCells(const TrainingJob& job, const Cluster& cluster);
+
+  // Cell candidates for `job`, scored and cached. Thread-safe: concurrent
+  // placement passes may look up (and, on a miss, populate) the cache.
   const JobCells& CellsFor(const TrainingJob& job, const Cluster& cluster);
 
+  // Round-start cache maintenance: invalidates everything when the cluster's
+  // health epoch moved (failures/recoveries/stragglers re-rank Cells), evicts
+  // entries for jobs no longer in the round (completed/killed), and warms the
+  // missing entries in parallel.
+  void SyncCellsCache(const std::vector<const JobState*>& jobs, const Cluster& cluster);
+
   // One full virtual-scheduling pass with a fixed queued-job order; also
-  // returns the decision's total estimated normalized throughput.
+  // returns the decision's total estimated normalized throughput. Pure
+  // function of (now, jobs, cluster, order); safe to run concurrently with
+  // other passes once the Cell cache is warm.
   std::pair<ScheduleDecision, double> ScheduleOnce(double now,
                                                    const std::vector<const JobState*>& jobs,
                                                    const Cluster& cluster,
                                                    CriusPlacementOrder order);
 
   CriusConfig config_;
+  std::mutex cells_mu_;  // guards cells_cache_ against concurrent pass misses
   std::map<int64_t, JobCells> cells_cache_;
+  // Cluster-health epoch the cache was built against; any change invalidates.
+  uint64_t cells_epoch_ = 0;
+  bool cells_epoch_known_ = false;
 };
 
 }  // namespace crius

@@ -1,0 +1,66 @@
+// Sharded-mutex memoization cache for pure functions.
+//
+// The oracle's caches memoize pure computations (the value is a function of
+// the key alone), so the only thread-safety requirement is that lookups and
+// inserts do not race. Sharding the key space over independently locked
+// std::maps lets concurrent misses on different shards compute in parallel
+// while same-key callers serialize and compute exactly once. Returned
+// references stay valid for the cache's lifetime (std::map nodes are stable),
+// matching the single-threaded reference-returning API the callers rely on.
+//
+// The value is computed while the shard lock is held: this serializes misses
+// that collide on a shard, but guarantees each key is computed once -- the
+// right trade for expensive estimator/explorer work, and the reason hit/miss
+// counters stay exact across thread counts.
+
+#ifndef SRC_UTIL_SHARDED_CACHE_H_
+#define SRC_UTIL_SHARDED_CACHE_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <utility>
+
+namespace crius {
+
+template <typename Key, typename Value, int kNumShards = 16>
+class ShardedCache {
+  static_assert(kNumShards > 0);
+
+ public:
+  // Looks up `key` (routed by `hash`); on a miss, stores compute() under the
+  // shard lock. Returns (value reference, was_miss). compute() must be a pure
+  // function of the key and must not re-enter this cache.
+  template <typename Fn>
+  std::pair<const Value&, bool> GetOrCompute(const Key& key, uint64_t hash, Fn&& compute) {
+    Shard& shard = shards_[static_cast<size_t>(hash % kNumShards)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      return {it->second, false};
+    }
+    it = shard.map.emplace(key, compute()).first;
+    return {it->second, true};
+  }
+
+  size_t size() const {
+    size_t n = 0;
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      n += shard.map.size();
+    }
+    return n;
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::map<Key, Value> map;
+  };
+  std::array<Shard, kNumShards> shards_;
+};
+
+}  // namespace crius
+
+#endif  // SRC_UTIL_SHARDED_CACHE_H_

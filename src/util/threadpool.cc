@@ -1,0 +1,179 @@
+#include "src/util/threadpool.h"
+
+#include "src/util/check.h"
+#include "src/util/counters.h"
+#include "src/util/trace.h"
+
+namespace crius {
+
+namespace {
+
+// True while the current thread is executing a pool task; nested ParallelFor
+// calls detect this and run inline instead of deadlocking on batch_mu_.
+thread_local bool t_in_pool_task = false;
+
+std::mutex g_global_mu;
+std::unique_ptr<ThreadPool> g_global_pool;  // lazily created, default 1 thread
+
+}  // namespace
+
+ThreadPool::ThreadPool(int threads) : threads_(threads < 1 ? 1 : threads) {
+  deques_.reserve(static_cast<size_t>(threads_));
+  for (int i = 0; i < threads_; ++i) {
+    deques_.push_back(std::make_unique<Deque>());
+  }
+  // Worker w services deques_[w + 1]; the ParallelFor caller services
+  // deques_[0].
+  for (int w = 0; w + 1 < threads_; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) {
+    t.join();
+  }
+}
+
+bool ThreadPool::PopIndex(int worker, size_t* index, bool* stolen) {
+  // Own deque first, front-first (preserves the round-robin deal order).
+  {
+    Deque& own = *deques_[static_cast<size_t>(worker)];
+    std::lock_guard<std::mutex> lock(own.mu);
+    if (!own.indices.empty()) {
+      *index = own.indices.front();
+      own.indices.pop_front();
+      *stolen = false;
+      return true;
+    }
+  }
+  // Steal from siblings, back-first (classic work stealing: take the work the
+  // owner would reach last).
+  for (int off = 1; off < threads_; ++off) {
+    Deque& victim = *deques_[static_cast<size_t>((worker + off) % threads_)];
+    std::lock_guard<std::mutex> lock(victim.mu);
+    if (!victim.indices.empty()) {
+      *index = victim.indices.back();
+      victim.indices.pop_back();
+      *stolen = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::RunOne(size_t index) {
+  const bool was_in_task = t_in_pool_task;
+  t_in_pool_task = true;
+  (*fn_)(index);
+  t_in_pool_task = was_in_task;
+  remaining_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void ThreadPool::WorkerLoop(int worker) {
+  const int my_deque = worker + 1;
+  uint64_t seen_generation = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return shutdown_ || generation_ != seen_generation; });
+      if (shutdown_) {
+        return;
+      }
+      seen_generation = generation_;
+    }
+    size_t index = 0;
+    bool stolen = false;
+    while (PopIndex(my_deque, &index, &stolen)) {
+      if (stolen) {
+        CRIUS_COUNTER_INC("threadpool.tasks_stolen");
+      }
+      RunOne(index);
+    }
+    if (remaining_.load(std::memory_order_acquire) == 0) {
+      // Synchronize with the caller's predicate check so the notify cannot
+      // slip between its check and its wait (missed wake-up).
+      { std::lock_guard<std::mutex> lock(mu_); }
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) {
+    return;
+  }
+  // Sequential fast path: a 1-thread pool, a single task, or a nested call
+  // from inside a pool task all run inline on the calling thread.
+  if (threads_ == 1 || n == 1 || t_in_pool_task) {
+    for (size_t i = 0; i < n; ++i) {
+      fn(i);
+    }
+    return;
+  }
+
+  std::lock_guard<std::mutex> batch_lock(batch_mu_);
+  CRIUS_TRACE_SPAN_ARGS("threadpool.parallel_for",
+                        "{\"tasks\": " + std::to_string(n) +
+                            ", \"threads\": " + std::to_string(threads_) + "}");
+  CRIUS_COUNTER_INC("threadpool.parallel_sections");
+  CRIUS_COUNTER_ADD("threadpool.tasks_executed", static_cast<int64_t>(n));
+
+  // Deal indices round-robin so every participant starts with a contiguous
+  // share and stealing only happens on imbalance.
+  for (size_t i = 0; i < n; ++i) {
+    Deque& d = *deques_[i % static_cast<size_t>(threads_)];
+    std::lock_guard<std::mutex> lock(d.mu);
+    d.indices.push_back(i);
+  }
+  remaining_.store(n, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+
+  // The caller works its own share (deque 0), then steals.
+  size_t index = 0;
+  bool stolen = false;
+  while (PopIndex(0, &index, &stolen)) {
+    if (stolen) {
+      CRIUS_COUNTER_INC("threadpool.tasks_stolen");
+    }
+    RunOne(index);
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return remaining_.load(std::memory_order_acquire) == 0; });
+    fn_ = nullptr;
+  }
+}
+
+ThreadPool& ThreadPool::Global() {
+  std::lock_guard<std::mutex> lock(g_global_mu);
+  if (!g_global_pool) {
+    g_global_pool = std::make_unique<ThreadPool>(1);
+  }
+  return *g_global_pool;
+}
+
+void ThreadPool::SetGlobalThreads(int threads) {
+  std::lock_guard<std::mutex> lock(g_global_mu);
+  if (g_global_pool && g_global_pool->threads() == (threads < 1 ? 1 : threads)) {
+    return;
+  }
+  g_global_pool = std::make_unique<ThreadPool>(threads);
+}
+
+int ThreadPool::GlobalThreads() {
+  std::lock_guard<std::mutex> lock(g_global_mu);
+  return g_global_pool ? g_global_pool->threads() : 1;
+}
+
+}  // namespace crius

@@ -36,6 +36,37 @@ TEST(GenerateCellsTest, SizesAreHalfSameDouble) {
   EXPECT_EQ(sizes, (std::set<int>{4, 8, 16}));
 }
 
+TEST(GenerateCellsTest, CapsCandidatesAtUsableCapacity) {
+  Cluster cluster;
+  cluster.AddNodes(GpuType::kA40, 8, 2);  // 16 GPUs
+  auto sizes = [&](const TrainingJob& job) {
+    std::set<int> out;
+    for (const Cell& c : GenerateCells(job, cluster)) {
+      out.insert(c.ngpus);
+    }
+    return out;
+  };
+  const TrainingJob job = MakeJob(8);
+  EXPECT_EQ(sizes(job), (std::set<int>{4, 8, 16}));
+
+  // One node (2 GPUs) fails: 14 usable, so the 16-GPU candidate -- which
+  // degraded hardware can never host -- must disappear.
+  cluster.MarkFailed(0, 0);
+  EXPECT_EQ(sizes(job), (std::set<int>{4, 8}));
+
+  // Every node failed: no candidates at all (and no abort on zero capacity).
+  for (int node = 1; node < 8; ++node) {
+    cluster.MarkFailed(node, 0);
+  }
+  EXPECT_TRUE(sizes(job).empty());
+
+  // Full recovery restores the original candidate set.
+  for (int node = 0; node < 8; ++node) {
+    cluster.MarkRecovered(node, 0);
+  }
+  EXPECT_EQ(sizes(job), (std::set<int>{4, 8, 16}));
+}
+
 TEST(GenerateCellsTest, CoversAllClusterTypes) {
   const Cluster cluster = MakePhysicalTestbed();
   const auto cells = GenerateCells(MakeJob(8), cluster);

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "src/util/counters.h"
+#include "src/util/threadpool.h"
 #include "tests/sched_test_util.h"
 
 namespace crius {
@@ -358,6 +360,184 @@ TEST_F(CriusSchedTest, PlacementOrdersAreValidAndDeterministic) {
       EXPECT_EQ(db.assignments.at(id).ngpus, assign.ngpus);
     }
   }
+}
+
+namespace {
+// Exact equality of two decisions, field by field.
+void ExpectSameDecision(const ScheduleDecision& a, const ScheduleDecision& b) {
+  EXPECT_EQ(a.dropped, b.dropped);
+  ASSERT_EQ(a.assignments.size(), b.assignments.size());
+  for (const auto& [id, assign] : a.assignments) {
+    ASSERT_TRUE(b.assignments.count(id)) << "job " << id;
+    const Assignment& other = b.assignments.at(id);
+    EXPECT_EQ(other.type, assign.type) << "job " << id;
+    EXPECT_EQ(other.ngpus, assign.ngpus) << "job " << id;
+    EXPECT_EQ(other.nstages, assign.nstages) << "job " << id;
+    EXPECT_EQ(other.opportunistic, assign.opportunistic) << "job " << id;
+  }
+}
+}  // namespace
+
+TEST_F(CriusSchedTest, FailedScalingSearchLeavesNoSideEffects) {
+  // The MultiMoveSearch scenario at depth 1: the search makes one speculative
+  // downscale move, cannot place the 16-GPU-minimum MoE-27B, and must roll
+  // back. If the rollback restores victim cells and scores exactly, the
+  // decision is indistinguishable from never having searched (depth 0).
+  Cluster small;
+  small.AddNodes(GpuType::kA100, 8, 4);
+  PerformanceOracle oracle(small, 42);
+
+  auto decide = [&](int depth) {
+    std::vector<std::unique_ptr<JobState>> states;
+    for (int i = 0; i < 2; ++i) {
+      auto s = std::make_unique<JobState>();
+      s->job.id = i;
+      s->job.spec = ModelSpec{ModelFamily::kBert, 6.7, 128};
+      s->job.requested_gpus = 16;
+      s->job.requested_type = GpuType::kA100;
+      s->job.iterations = 1000;
+      s->phase = JobPhase::kRunning;
+      s->gpu_type = GpuType::kA100;
+      s->ngpus = 16;
+      s->nstages = 1;
+      s->iter_time = 10.0;
+      states.push_back(std::move(s));
+    }
+    auto q = std::make_unique<JobState>();
+    q->job.id = 9;
+    q->job.spec = ModelSpec{ModelFamily::kMoe, 27.0, 256};
+    q->job.requested_gpus = 16;
+    q->job.requested_type = GpuType::kA100;
+    q->job.iterations = 100;
+    q->phase = JobPhase::kQueued;
+    states.push_back(std::move(q));
+    std::vector<const JobState*> views;
+    for (const auto& s : states) {
+      views.push_back(s.get());
+    }
+    CriusConfig config;
+    config.search_depth = depth;
+    CriusScheduler sched(&oracle, config);
+    return sched.Schedule(0.0, views, small);
+  };
+
+  const ScheduleDecision with_failed_search = decide(1);
+  const ScheduleDecision no_search = decide(0);
+  EXPECT_FALSE(with_failed_search.assignments.count(9));
+  ExpectSameDecision(with_failed_search, no_search);
+}
+
+TEST_F(CriusSchedTest, RepeatedScheduleIsIdempotent) {
+  // Same scheduler, identical inputs: the second round runs entirely from the
+  // warm Cell cache and must reproduce the first decision exactly.
+  CriusScheduler sched = Make(CriusConfig{.placement_order = CriusPlacementOrder::kBestOfAll});
+  for (int i = 0; i < 20; ++i) {
+    AddQueued(i, (i % 2) ? kMedium : kSmall, (i % 3) ? 16 : 4, GpuType::kA100,
+              static_cast<double>(i));
+  }
+  const ScheduleDecision first = sched.Schedule(0.0, Views(), cluster_);
+  const ScheduleDecision second = sched.Schedule(0.0, Views(), cluster_);
+  ExpectSameDecision(first, second);
+}
+
+TEST_F(CriusSchedTest, BestOfAllIdenticalAcrossThreadCounts) {
+  // kBestOfAll fans the three placement passes out over the global pool; the
+  // chosen decision must be bit-identical to the sequential build.
+  for (int i = 0; i < 30; ++i) {
+    AddQueued(i, (i % 2) ? kMedium : kSmall, (i % 3) ? 16 : 4, GpuType::kA100,
+              static_cast<double>(i));
+  }
+  CriusConfig config;
+  config.placement_order = CriusPlacementOrder::kBestOfAll;
+
+  ThreadPool::SetGlobalThreads(1);
+  CriusScheduler sequential(&oracle_, config);
+  const ScheduleDecision d1 = sequential.Schedule(0.0, Views(), cluster_);
+
+  ThreadPool::SetGlobalThreads(4);
+  CriusScheduler parallel(&oracle_, config);
+  const ScheduleDecision d4 = parallel.Schedule(0.0, Views(), cluster_);
+  ThreadPool::SetGlobalThreads(1);
+
+  ExpectSameDecision(d1, d4);
+}
+
+TEST_F(CriusSchedTest, ClusterHealthChangeInvalidatesCellCache) {
+  // A scheduler that lived through a failure + recovery must re-rank from the
+  // recovered capacity -- deciding exactly like a scheduler that never saw the
+  // degraded cluster. A stale cells_cache_ (built when only 8 GPUs were
+  // usable) would lack the larger candidates and diverge.
+  Cluster c;
+  c.AddNodes(GpuType::kA100, 4, 4);  // 16 GPUs
+  PerformanceOracle oracle(c, 42);
+  CriusScheduler survivor(&oracle, CriusConfig{});
+
+  auto s = std::make_unique<JobState>();
+  s->job.id = 0;
+  s->job.spec = kSmall;
+  s->job.requested_gpus = 8;
+  s->job.requested_type = GpuType::kA100;
+  s->job.iterations = 1000;
+  s->phase = JobPhase::kQueued;
+  std::vector<const JobState*> views = {s.get()};
+
+  c.MarkFailed(2, 0);
+  c.MarkFailed(3, 0);  // 8 usable
+  const ScheduleDecision degraded = survivor.Schedule(0.0, views, c);
+  ASSERT_TRUE(degraded.assignments.count(0));
+  EXPECT_LE(degraded.assignments.at(0).ngpus, 8) << "placed beyond usable capacity";
+
+  c.MarkRecovered(2, 0);
+  c.MarkRecovered(3, 0);
+  const int64_t invalidations_before =
+      CounterRegistry::Global().CounterValue("sched.cells_cache_invalidations");
+  const ScheduleDecision after_recovery = survivor.Schedule(300.0, views, c);
+  EXPECT_EQ(CounterRegistry::Global().CounterValue("sched.cells_cache_invalidations"),
+            invalidations_before + 1);
+
+  CriusScheduler fresh(&oracle, CriusConfig{});
+  const ScheduleDecision fresh_decision = fresh.Schedule(300.0, views, c);
+  ExpectSameDecision(after_recovery, fresh_decision);
+  // And the re-ranking actually uses the recovered capacity.
+  ASSERT_TRUE(after_recovery.assignments.count(0));
+  EXPECT_GE(after_recovery.assignments.at(0).ngpus, degraded.assignments.at(0).ngpus);
+}
+
+TEST_F(CriusSchedTest, CompletedJobsEvictedFromCellCache) {
+  CriusScheduler sched = Make();
+  for (int i = 0; i < 4; ++i) {
+    AddQueued(i, kSmall, 4, GpuType::kA100, static_cast<double>(i));
+  }
+  sched.Schedule(0.0, Views(), cluster_);
+
+  // Jobs 0 and 1 complete: their cache entries must go on the next round.
+  states_.erase(states_.begin(), states_.begin() + 2);
+  const int64_t evictions_before =
+      CounterRegistry::Global().CounterValue("sched.cells_cache_evictions");
+  sched.Schedule(300.0, Views(), cluster_);
+  EXPECT_EQ(CounterRegistry::Global().CounterValue("sched.cells_cache_evictions"),
+            evictions_before + 2);
+}
+
+TEST_F(CriusSchedTest, AblationPruningReducesProfilingDelay) {
+  // Crius-NA/NH never rank the pruned Cells, so they must not be charged the
+  // GPU-seconds to profile them either.
+  TrainingJob job;
+  job.id = 0;
+  job.spec = kMedium;
+  job.requested_gpus = 8;
+  job.requested_type = GpuType::kA100;
+  const double full = Make().ProfilingDelay(job, cluster_);
+  const double na = Make(CriusConfig{.adaptivity_scaling = false}).ProfilingDelay(job, cluster_);
+  const double nh =
+      Make(CriusConfig{.heterogeneity_scaling = false}).ProfilingDelay(job, cluster_);
+  ASSERT_LT(full, 1800.0) << "cap would mask the comparison";
+  EXPECT_GT(na, 0.0);
+  EXPECT_GT(nh, 0.0);
+  EXPECT_LT(na, full) << "Crius-NA still pays for pruned sizes";
+  // NH profiles exactly one GPU type; pruning the others can only help (LE:
+  // the requested type may already dominate the per-type sum).
+  EXPECT_LE(nh, full);
 }
 
 TEST_F(CriusSchedTest, SmallestFirstPlacesSmallJobsUnderPressure) {

@@ -1,0 +1,109 @@
+#include "src/util/threadpool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace crius {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 1000;  // far more tasks than threads
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ReusableAcrossBatches) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> sum{0};
+    pool.ParallelFor(17, [&](size_t i) { sum.fetch_add(static_cast<int>(i)); });
+    EXPECT_EQ(sum.load(), 17 * 16 / 2);
+  }
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInlineInOrder) {
+  ThreadPool pool(1);
+  std::vector<size_t> order;
+  const std::thread::id caller = std::this_thread::get_id();
+  pool.ParallelFor(8, [&](size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(i);  // safe: inline execution, no concurrency
+  });
+  std::vector<size_t> expected(8);
+  std::iota(expected.begin(), expected.end(), size_t{0});
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPoolTest, SingleTaskRunsInline) {
+  ThreadPool pool(4);
+  const std::thread::id caller = std::this_thread::get_id();
+  bool ran = false;
+  pool.ParallelFor(1, [&](size_t i) {
+    EXPECT_EQ(i, 0u);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    ran = true;
+  });
+  EXPECT_TRUE(ran);
+}
+
+TEST(ThreadPoolTest, ZeroTasksIsANoOp) {
+  ThreadPool pool(4);
+  pool.ParallelFor(0, [&](size_t) { FAIL() << "no task should run"; });
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  pool.ParallelFor(8, [&](size_t outer) {
+    // A nested call from inside a pool task must run inline (not deadlock on
+    // the pool's batch mutex).
+    pool.ParallelFor(8, [&](size_t inner) { hits[outer * 8 + inner].fetch_add(1); });
+  });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, SlotResultsMatchSequential) {
+  // The determinism contract: fan-out into caller-owned slots produces exactly
+  // what the sequential loop produces.
+  auto compute = [](size_t i) { return static_cast<double>(i * i) + 0.5; };
+  constexpr size_t kN = 257;
+  std::vector<double> sequential(kN);
+  for (size_t i = 0; i < kN; ++i) {
+    sequential[i] = compute(i);
+  }
+  ThreadPool pool(5);
+  std::vector<double> parallel(kN);
+  pool.ParallelFor(kN, [&](size_t i) { parallel[i] = compute(i); });
+  EXPECT_EQ(parallel, sequential);
+}
+
+TEST(ThreadPoolTest, ClampsNonPositiveThreadCounts) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.threads(), 1);
+  ThreadPool pool2(-3);
+  EXPECT_EQ(pool2.threads(), 1);
+}
+
+TEST(ThreadPoolTest, GlobalPoolConfigurable) {
+  const int before = ThreadPool::GlobalThreads();
+  ThreadPool::SetGlobalThreads(3);
+  EXPECT_EQ(ThreadPool::GlobalThreads(), 3);
+  std::atomic<int> sum{0};
+  ThreadPool::Global().ParallelFor(10, [&](size_t i) { sum.fetch_add(static_cast<int>(i)); });
+  EXPECT_EQ(sum.load(), 45);
+  ThreadPool::SetGlobalThreads(before);
+  EXPECT_EQ(ThreadPool::GlobalThreads(), before);
+}
+
+}  // namespace
+}  // namespace crius

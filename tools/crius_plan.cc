@@ -19,6 +19,7 @@
 #include "src/util/counters.h"
 #include "src/util/flags.h"
 #include "src/util/table.h"
+#include "src/util/threadpool.h"
 #include "src/util/trace.h"
 
 namespace crius {
@@ -54,6 +55,7 @@ int Run(int argc, const char* const* argv) {
   std::string chrome_trace;
   std::string trace_json;
   bool counters = false;
+  int64_t threads = 1;
 
   FlagSet flags("crius_plan", "Inspect adaptive parallelization of one job");
   flags.String("model", &model_name, "model name, e.g. BERT-2.6B, WRes-4.0B, MoE-10B");
@@ -68,6 +70,9 @@ int Run(int argc, const char* const* argv) {
   flags.String("trace-json", &trace_json,
                "write a Chrome trace of the planning pipeline itself to this file");
   flags.Bool("counters", &counters, "print the process-wide counter/histogram table");
+  flags.Int("threads", &threads,
+            "worker threads for estimation fan-out (results are bit-identical "
+            "to --threads 1)");
   if (!flags.Parse(argc, argv)) {
     return 1;
   }
@@ -75,6 +80,7 @@ int Run(int argc, const char* const* argv) {
   if (!trace_json.empty()) {
     TraceRecorder::Global().SetEnabled(true);
   }
+  ThreadPool::SetGlobalThreads(static_cast<int>(threads));
 
   const GpuType type = ParseGpuType(type_name);
   Cluster cluster;

@@ -26,6 +26,7 @@
 #include "src/util/counters.h"
 #include "src/util/flags.h"
 #include "src/util/table.h"
+#include "src/util/threadpool.h"
 #include "src/util/trace.h"
 
 namespace crius {
@@ -130,6 +131,7 @@ int Run(int argc, const char* const* argv) {
   std::string events_csv;
   std::string trace_json;
   bool counters = false;
+  int64_t threads = 1;
 
   FlagSet flags("crius_sim", "Run a Crius cluster-scheduling simulation");
   flags.String("cluster", &cluster_spec,
@@ -177,6 +179,9 @@ int Run(int argc, const char* const* argv) {
   flags.String("trace-json", &trace_json,
                "write a Chrome trace (chrome://tracing / Perfetto) to this file");
   flags.Bool("counters", &counters, "print the process-wide counter/histogram table");
+  flags.Int("threads", &threads,
+            "worker threads for scheduling/estimation fan-out (results are "
+            "bit-identical to --threads 1)");
   if (!flags.Parse(argc, argv)) {
     return 1;
   }
@@ -184,6 +189,7 @@ int Run(int argc, const char* const* argv) {
   if (!trace_json.empty()) {
     TraceRecorder::Global().SetEnabled(true);
   }
+  ThreadPool::SetGlobalThreads(static_cast<int>(threads));
 
   Cluster cluster = MakeCluster(cluster_spec);
   PerformanceOracle oracle(cluster, static_cast<uint64_t>(seed));
