@@ -3,7 +3,9 @@
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
 
+#include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
@@ -18,6 +20,23 @@
 
 namespace crius {
 
+// Strictly parses a --threads value; warns and returns `fallback` on anything
+// that is not a positive decimal integer (atoi would silently turn garbage
+// into 0 and mask the typo).
+inline int ParseThreadsOrWarn(const char* value, int fallback) {
+  errno = 0;
+  char* end = nullptr;
+  const long parsed = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0' || errno == ERANGE || parsed < 1 || parsed > 4096) {
+    std::fprintf(stderr,
+                 "warning: ignoring --threads value '%s' (expected a positive integer); "
+                 "using %d\n",
+                 value, fallback);
+    return fallback;
+  }
+  return static_cast<int>(parsed);
+}
+
 // Parses the one flag the bench binaries share -- "--threads N" (or
 // "--threads=N") -- and sizes the global pool accordingly. Per-seed and
 // per-scheduler sweep runs fan out over the pool; results are bit-identical
@@ -25,11 +44,15 @@ namespace crius {
 inline void ConfigureBenchThreads(int argc, char** argv) {
   int threads = 1;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      threads = std::atoi(argv[i + 1]);
-      ++i;
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      if (i + 1 < argc) {
+        threads = ParseThreadsOrWarn(argv[i + 1], threads);
+        ++i;
+      } else {
+        std::fprintf(stderr, "warning: --threads given without a value; using %d\n", threads);
+      }
     } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
-      threads = std::atoi(argv[i] + 10);
+      threads = ParseThreadsOrWarn(argv[i] + 10, threads);
     }
   }
   ThreadPool::SetGlobalThreads(threads);

@@ -9,6 +9,8 @@
 #define SRC_HW_CLUSTER_H_
 
 #include <array>
+#include <atomic>
+#include <cstdint>
 #include <optional>
 #include <utility>
 #include <vector>
@@ -100,6 +102,13 @@ class Cluster {
   // invalidated the moment the usable cluster changes.
   uint64_t health_epoch() const { return health_epoch_; }
 
+  // Process-unique id of this Cluster object, reassigned on copy: two Cluster
+  // objects never share an identity even when one is a copy of the other or
+  // reuses the other's freed address. Pairs with health_epoch() so cached
+  // scheduler state keyed on (identity, epoch) cannot survive a swap to a
+  // different cluster whose epoch coincidentally matches.
+  uint64_t identity() const { return identity_.value; }
+
   // Worst straggler factor across the nodes of `alloc` (synchronous training
   // runs at the slowest node's pace). 1.0 for an empty allocation.
   double MaxSlowdown(const Allocation& alloc) const;
@@ -110,12 +119,23 @@ class Cluster {
   const std::vector<NodeInfo>& nodes() const { return nodes_; }
 
  private:
+  // Fresh-on-construction, fresh-on-copy tag backing identity(). The copy
+  // operations deliberately mint a new id instead of copying the source's.
+  struct InstanceId {
+    InstanceId() : value(next.fetch_add(1, std::memory_order_relaxed)) {}
+    InstanceId(const InstanceId&) : InstanceId() {}
+    InstanceId& operator=(const InstanceId&) { return *this; }
+    uint64_t value;
+    static inline std::atomic<uint64_t> next{1};
+  };
+
   std::vector<NodeInfo> nodes_;
   std::array<int, kNumGpuTypes> total_{};
   std::array<int, kNumGpuTypes> free_{};
   std::array<int, kNumGpuTypes> failed_{};
   std::array<int, kNumGpuTypes> gpus_per_node_{};
   uint64_t health_epoch_ = 0;
+  InstanceId identity_;
 };
 
 // The 64-GPU physical testbed of §8.1/§8.3: 16 nodes x 2 A40 + 16 nodes x 2 A10.

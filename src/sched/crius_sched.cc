@@ -124,13 +124,17 @@ void CriusScheduler::SyncCellsCache(const std::vector<const JobState*>& jobs,
                                     const Cluster& cluster) {
   // 1. Cluster-health epoch: failures, recoveries, and straggler updates all
   // change which Cells fit and how they score, so any cached ranking built
-  // against an older epoch is stale in bulk.
-  if (!cells_epoch_known_ || cells_epoch_ != cluster.health_epoch()) {
+  // against an older epoch is stale in bulk. Identity is checked too: a
+  // different Cluster object at a coincidentally equal epoch (fresh or copied
+  // cluster) must not inherit rankings computed against other hardware.
+  if (!cells_epoch_known_ || cells_epoch_ != cluster.health_epoch() ||
+      cells_cluster_id_ != cluster.identity()) {
     if (cells_epoch_known_ && !cells_cache_.empty()) {
       CRIUS_COUNTER_INC("sched.cells_cache_invalidations");
     }
     cells_cache_.clear();
     cells_epoch_ = cluster.health_epoch();
+    cells_cluster_id_ = cluster.identity();
     cells_epoch_known_ = true;
   }
 

@@ -127,8 +127,13 @@ class CriusScheduler : public Scheduler {
   CriusConfig config_;
   std::mutex cells_mu_;  // guards cells_cache_ against concurrent pass misses
   std::map<int64_t, JobCells> cells_cache_;
-  // Cluster-health epoch the cache was built against; any change invalidates.
+  // (Cluster identity, health epoch) the cache was built against; any change
+  // invalidates. The identity nonce catches a scheduler being handed a
+  // different Cluster object whose epoch happens to match (e.g. a fresh
+  // cluster also at epoch 0, or one reusing a freed address) so it cannot
+  // keep rankings computed against hardware that no longer exists.
   uint64_t cells_epoch_ = 0;
+  uint64_t cells_cluster_id_ = 0;
   bool cells_epoch_known_ = false;
 };
 

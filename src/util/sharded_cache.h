@@ -12,17 +12,51 @@
 // that collide on a shard, but guarantees each key is computed once -- the
 // right trade for expensive estimator/explorer work, and the reason hit/miss
 // counters stay exact across thread counts.
+//
+// Because compute() runs under the shard lock, nesting is constrained:
+// compute() may call into a DIFFERENT cache (the tune cache's compute
+// re-enters the estimate cache, see oracle.cc), but the resulting cache->cache
+// edges must stay acyclic and consistently ordered process-wide, or two
+// threads entering the cycle from opposite ends deadlock. Re-entering the
+// SAME cache from its own compute() is always a bug (same-shard re-entry
+// self-deadlocks) and is caught by a debug assertion below.
 
 #ifndef SRC_UTIL_SHARDED_CACHE_H_
 #define SRC_UTIL_SHARDED_CACHE_H_
 
 #include <array>
+#include <cassert>
 #include <cstdint>
 #include <map>
 #include <mutex>
 #include <utility>
+#include <vector>
 
 namespace crius {
+
+#ifndef NDEBUG
+namespace sharded_cache_detail {
+// Caches this thread is currently inside (shard lock held). Lets the debug
+// build detect a GetOrCompute that re-enters a cache the thread already
+// holds, i.e. a cyclic compute graph, before it manifests as a silent
+// same-shard self-deadlock.
+inline thread_local std::vector<const void*> t_entered_caches;
+
+struct ReentryGuard {
+  explicit ReentryGuard(const void* cache) {
+    for (const void* c : t_entered_caches) {
+      assert(c != cache &&
+             "ShardedCache::GetOrCompute re-entered from its own compute() "
+             "(cyclic cache dependency; same-shard re-entry would deadlock)");
+    }
+    t_entered_caches.push_back(cache);
+  }
+  ~ReentryGuard() { t_entered_caches.pop_back(); }
+  ReentryGuard(const ReentryGuard&) = delete;
+  ReentryGuard& operator=(const ReentryGuard&) = delete;
+};
+}  // namespace sharded_cache_detail
+#endif  // NDEBUG
 
 template <typename Key, typename Value, int kNumShards = 16>
 class ShardedCache {
@@ -31,9 +65,13 @@ class ShardedCache {
  public:
   // Looks up `key` (routed by `hash`); on a miss, stores compute() under the
   // shard lock. Returns (value reference, was_miss). compute() must be a pure
-  // function of the key and must not re-enter this cache.
+  // function of the key and must not re-enter this cache (asserted in debug
+  // builds); calls into other caches must keep the cache graph acyclic.
   template <typename Fn>
   std::pair<const Value&, bool> GetOrCompute(const Key& key, uint64_t hash, Fn&& compute) {
+#ifndef NDEBUG
+    sharded_cache_detail::ReentryGuard reentry_guard(this);
+#endif
     Shard& shard = shards_[static_cast<size_t>(hash % kNumShards)];
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.map.find(key);

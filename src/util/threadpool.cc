@@ -124,6 +124,17 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   CRIUS_COUNTER_INC("threadpool.parallel_sections");
   CRIUS_COUNTER_ADD("threadpool.tasks_executed", static_cast<int64_t>(n));
 
+  // Publish the batch state BEFORE any index becomes poppable: a worker that
+  // finished the previous batch can still be scanning the deques, and if it
+  // pops a fresh index it must observe the new fn_/remaining_ (the deque mutex
+  // orders these writes before its pop). Publishing after the pushes would let
+  // such a stale worker call the old, nulled fn_ or underflow remaining_.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    remaining_.store(n, std::memory_order_release);
+  }
+
   // Deal indices round-robin so every participant starts with a contiguous
   // share and stealing only happens on imbalance.
   for (size_t i = 0; i < n; ++i) {
@@ -131,10 +142,8 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
     std::lock_guard<std::mutex> lock(d.mu);
     d.indices.push_back(i);
   }
-  remaining_.store(n, std::memory_order_release);
   {
     std::lock_guard<std::mutex> lock(mu_);
-    fn_ = &fn;
     ++generation_;
   }
   work_cv_.notify_all();

@@ -29,6 +29,22 @@ TEST(ThreadPoolTest, ReusableAcrossBatches) {
   }
 }
 
+TEST(ThreadPoolTest, BackToBackBatchesStress) {
+  // Regression test for the inter-batch race: a worker still scanning the
+  // deques after finishing one batch must observe the next batch's
+  // fn_/remaining_ before it can pop one of the new indices -- otherwise it
+  // calls the previous (nulled) fn_ or underflows the counter and the caller
+  // deadlocks. Tiny, immediately consecutive batches maximize the window
+  // where a stale worker overlaps the next ParallelFor's setup.
+  ThreadPool pool(4);
+  for (int round = 0; round < 2000; ++round) {
+    const size_t n = static_cast<size_t>(2 + round % 7);
+    std::atomic<int> count{0};
+    pool.ParallelFor(n, [&](size_t) { count.fetch_add(1, std::memory_order_relaxed); });
+    ASSERT_EQ(count.load(), static_cast<int>(n)) << "round " << round;
+  }
+}
+
 TEST(ThreadPoolTest, SingleThreadRunsInlineInOrder) {
   ThreadPool pool(1);
   std::vector<size_t> order;
