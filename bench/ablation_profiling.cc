@@ -20,9 +20,8 @@ class ScaledProfilingScheduler : public Scheduler {
   ScaledProfilingScheduler(Scheduler* inner, double scale)
       : Scheduler(nullptr), inner_(inner), scale_(scale) {}
   std::string name() const override { return inner_->name(); }
-  ScheduleDecision Schedule(double now, const std::vector<const JobState*>& jobs,
-                            const Cluster& cluster) override {
-    return inner_->Schedule(now, jobs, cluster);
+  ScheduleDecision Schedule(const RoundContext& round) override {
+    return inner_->Schedule(round);
   }
   double ProfilingDelay(const TrainingJob& job, const Cluster& cluster) override {
     return scale_ * inner_->ProfilingDelay(job, cluster);

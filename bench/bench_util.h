@@ -77,10 +77,9 @@ class TimedScheduler : public Scheduler {
 
   std::string name() const override { return inner_->name(); }
 
-  ScheduleDecision Schedule(double now, const std::vector<const JobState*>& jobs,
-                            const Cluster& cluster) override {
+  ScheduleDecision Schedule(const RoundContext& round) override {
     const auto start = std::chrono::steady_clock::now();
-    ScheduleDecision d = inner_->Schedule(now, jobs, cluster);
+    ScheduleDecision d = inner_->Schedule(round);
     const auto end = std::chrono::steady_clock::now();
     total_seconds_ += std::chrono::duration<double>(end - start).count();
     ++calls_;

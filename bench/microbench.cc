@@ -85,10 +85,10 @@ void BM_CriusScheduleRound(benchmark::State& state) {
   }
   CriusScheduler sched(&oracle, CriusConfig{});
   // Warm the estimate caches so steady-state rounds are measured.
-  sched.Schedule(0.0, views, cluster);
+  sched.Schedule(RoundContext(0.0, views, cluster));
   for (auto _ : state) {
     CriusScheduler fresh(&oracle, CriusConfig{});
-    benchmark::DoNotOptimize(fresh.Schedule(0.0, views, cluster));
+    benchmark::DoNotOptimize(fresh.Schedule(RoundContext(0.0, views, cluster)));
   }
 }
 BENCHMARK(BM_CriusScheduleRound)->Arg(16)->Arg(64)->Arg(256);

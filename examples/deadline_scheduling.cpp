@@ -5,11 +5,7 @@
 
 #include <cstdio>
 
-#include "src/sched/baselines.h"
-#include "src/sched/crius_sched.h"
-#include "src/sim/simulator.h"
-#include "src/sim/trace.h"
-#include "src/util/table.h"
+#include "src/crius.h"
 
 int main() {
   using namespace crius;

@@ -12,10 +12,7 @@
 #include <cmath>
 #include <cstdio>
 
-#include "src/core/oracle.h"
-#include "src/runtime/gantt.h"
-#include "src/parallel/stage_partition.h"
-#include "src/util/table.h"
+#include "src/crius.h"
 
 int main() {
   using namespace crius;

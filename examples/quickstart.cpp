@@ -11,8 +11,7 @@
 
 #include <cstdio>
 
-#include "src/core/oracle.h"
-#include "src/util/table.h"
+#include "src/crius.h"
 
 int main() {
   using namespace crius;

@@ -130,4 +130,14 @@ double PerformanceOracle::EstimatedThroughput(const ModelSpec& spec, const Cell&
   return static_cast<double>(spec.global_batch) / est.iter_time;
 }
 
+void PerformanceOracle::EstimatedThroughputBatch(const ModelSpec& spec,
+                                                 const std::vector<Cell>& cells,
+                                                 std::vector<double>* out) {
+  out->resize(cells.size());
+  for (size_t i = 0; i < cells.size(); ++i) {
+    (*out)[i] = EstimatedThroughput(spec, cells[i]);
+  }
+  CRIUS_COUNTER_ADD("oracle.batch_estimates", static_cast<int64_t>(cells.size()));
+}
+
 }  // namespace crius

@@ -67,6 +67,13 @@ class PerformanceOracle {
   // cell; 0 if infeasible. This is the number Crius's scheduler ranks by.
   double EstimatedThroughput(const ModelSpec& spec, const Cell& cell);
 
+  // Batched what-if estimation: EstimatedThroughput for every Cell of one
+  // job in a single call. `out` is resized to cells.size(), out[i] matching
+  // cells[i]. The scheduler's per-job ranking fan-out goes through here so
+  // per-round estimation has a single entry point to instrument.
+  void EstimatedThroughputBatch(const ModelSpec& spec, const std::vector<Cell>& cells,
+                                std::vector<double>* out);
+
  private:
   using ModelPointKey = std::tuple<uint64_t, int, int>;        // (model, type, ngpus)
   using CellPointKey = std::tuple<uint64_t, int, int, int>;    // (model, type, ngpus, nstages)

@@ -1,0 +1,78 @@
+// Umbrella header: the public surface of the Crius library in one include.
+//
+// Tools, examples, and external users include this file instead of reaching
+// into per-directory headers; the per-directory headers stay the unit of
+// ownership inside src/ itself. Exports, by layer:
+//
+//   util     -- flags, tables, counters/trace observability, stats, threadpool
+//   hw       -- GpuType, Cluster (incl. health state), interconnect topology
+//   model    -- ModelSpec, TrainingJob, op graphs, the paper's model zoo
+//   parallel -- parallelism plans, explorer, performance model, stage partition
+//   runtime  -- pipeline engine and Gantt rendering
+//   core     -- Cells, estimator/tuner, PerformanceOracle
+//   fault    -- failure injection, failure traces, checkpoint model
+//   sched    -- Scheduler API (RoundContext/RoundEvent), Crius + baselines
+//   sim      -- Simulator, SimConfig, traces, metrics, CSV/Chrome exports
+
+#ifndef SRC_CRIUS_H_
+#define SRC_CRIUS_H_
+
+// --- util -------------------------------------------------------------------
+#include "src/util/chart.h"
+#include "src/util/check.h"
+#include "src/util/counters.h"
+#include "src/util/flags.h"
+#include "src/util/logging.h"
+#include "src/util/mathutil.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+#include "src/util/threadpool.h"
+#include "src/util/trace.h"
+#include "src/util/units.h"
+
+// --- hw ---------------------------------------------------------------------
+#include "src/hw/cluster.h"
+#include "src/hw/gpu.h"
+#include "src/hw/interconnect.h"
+
+// --- model ------------------------------------------------------------------
+#include "src/model/job.h"
+#include "src/model/models.h"
+#include "src/model/opgraph.h"
+
+// --- parallel ---------------------------------------------------------------
+#include "src/parallel/explorer.h"
+#include "src/parallel/perf_model.h"
+#include "src/parallel/plan.h"
+#include "src/parallel/stage_partition.h"
+
+// --- runtime ----------------------------------------------------------------
+#include "src/runtime/gantt.h"
+#include "src/runtime/pipeline_engine.h"
+
+// --- core -------------------------------------------------------------------
+#include "src/core/cell.h"
+#include "src/core/comm_profile.h"
+#include "src/core/estimator.h"
+#include "src/core/oracle.h"
+#include "src/core/tuner.h"
+
+// --- fault ------------------------------------------------------------------
+#include "src/fault/checkpoint.h"
+#include "src/fault/failure_injector.h"
+#include "src/fault/fault_trace_io.h"
+
+// --- sched ------------------------------------------------------------------
+#include "src/sched/baselines.h"
+#include "src/sched/crius_sched.h"
+#include "src/sched/scheduler.h"
+
+// --- sim --------------------------------------------------------------------
+#include "src/sim/chrome_export.h"
+#include "src/sim/metrics.h"
+#include "src/sim/simulator.h"
+#include "src/sim/trace.h"
+#include "src/sim/trace_io.h"
+
+#endif  // SRC_CRIUS_H_

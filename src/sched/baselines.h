@@ -53,8 +53,7 @@ class FcfsScheduler : public Scheduler {
  public:
   explicit FcfsScheduler(PerformanceOracle* oracle) : Scheduler(oracle), view_(oracle) {}
   std::string name() const override { return "FCFS"; }
-  ScheduleDecision Schedule(double now, const std::vector<const JobState*>& jobs,
-                            const Cluster& cluster) override;
+  ScheduleDecision Schedule(const RoundContext& round) override;
 
  private:
   DpView view_;
@@ -65,8 +64,7 @@ class GandivaScheduler : public Scheduler {
  public:
   explicit GandivaScheduler(PerformanceOracle* oracle) : Scheduler(oracle), view_(oracle) {}
   std::string name() const override { return "Gandiva"; }
-  ScheduleDecision Schedule(double now, const std::vector<const JobState*>& jobs,
-                            const Cluster& cluster) override;
+  ScheduleDecision Schedule(const RoundContext& round) override;
 
   // Trial-and-error migration is conservative: Gandiva only migrates on a
   // clear observed win, one job per round (migration costs are opaque to it).
@@ -82,8 +80,7 @@ class GavelScheduler : public Scheduler {
  public:
   explicit GavelScheduler(PerformanceOracle* oracle) : Scheduler(oracle), view_(oracle) {}
   std::string name() const override { return "Gavel"; }
-  ScheduleDecision Schedule(double now, const std::vector<const JobState*>& jobs,
-                            const Cluster& cluster) override;
+  ScheduleDecision Schedule(const RoundContext& round) override;
 
  private:
   static constexpr double kReassignGain = 0.10;
@@ -100,8 +97,7 @@ class TiresiasScheduler : public Scheduler {
  public:
   explicit TiresiasScheduler(PerformanceOracle* oracle) : Scheduler(oracle), view_(oracle) {}
   std::string name() const override { return "Tiresias"; }
-  ScheduleDecision Schedule(double now, const std::vector<const JobState*>& jobs,
-                            const Cluster& cluster) override;
+  ScheduleDecision Schedule(const RoundContext& round) override;
 
   // Attained-service thresholds (GPU-hours) separating the queue levels.
   static constexpr double kLevelThresholdsGpuHours[2] = {1.0, 8.0};
@@ -126,8 +122,7 @@ class ElasticFlowScheduler : public Scheduler {
   std::string name() const override {
     return config_.loose_deadlines ? "ElasticFlow-LS" : "ElasticFlow";
   }
-  ScheduleDecision Schedule(double now, const std::vector<const JobState*>& jobs,
-                            const Cluster& cluster) override;
+  ScheduleDecision Schedule(const RoundContext& round) override;
 
  private:
   DpView view_;

@@ -3,15 +3,54 @@
 #include <algorithm>
 #include <array>
 #include <limits>
+#include <set>
 
 #include "src/util/check.h"
 #include "src/util/counters.h"
+#include "src/util/mathutil.h"
+#include "src/util/rng.h"
 #include "src/util/threadpool.h"
 #include "src/util/trace.h"
 
 namespace crius {
 
 namespace {
+
+// Shard-routing hash for the ranking memo.
+uint64_t JobHash(int64_t id) { return SplitMix64(static_cast<uint64_t>(id)); }
+
+// Per-type candidate-size cap, exactly as GenerateCellsUpTo derives it:
+// FloorPowerOfTwo of the usable capacity, 0 when the type is absent or fully
+// failed. Cached Cell rankings are a pure function of the job and these caps
+// (slowdowns are applied at execution time, never in the oracle's what-if
+// estimates), so diffing caps across rounds identifies exactly the entries a
+// health change can dirty.
+std::array<int, kNumGpuTypes> CandidateCaps(const Cluster& cluster) {
+  std::array<int, kNumGpuTypes> caps{};
+  for (GpuType type : AllGpuTypes()) {
+    if (!cluster.HasType(type)) {
+      continue;
+    }
+    const int usable = cluster.UsableGpus(type);
+    caps[static_cast<int>(type)] =
+        usable < 1 ? 0 : static_cast<int>(FloorPowerOfTwo(usable));
+  }
+  return caps;
+}
+
+// True when the §6.1 candidate GPU sizes ({N_G/2, N_G, 2*N_G} clipped to the
+// cap) for a job requesting `requested` GPUs differ between caps a and b.
+bool CandidateSizesDiffer(int requested, int cap_a, int cap_b) {
+  for (const int ngpus : {requested / 2, requested, requested * 2}) {
+    if (ngpus < 1) {
+      continue;
+    }
+    if ((ngpus <= cap_a) != (ngpus <= cap_b)) {
+      return true;
+    }
+  }
+  return false;
+}
 
 // Virtual placement of one job during a scheduling round.
 struct VirtualJob {
@@ -66,6 +105,7 @@ CriusScheduler::JobCells CriusScheduler::ComputeCells(const TrainingJob& job,
                                                       const Cluster& cluster) {
   CRIUS_TRACE_SPAN("sched.cells_for");
   JobCells jc;
+  std::vector<Cell> candidates;
   for (const Cell& cell : GenerateCells(job, cluster)) {
     CRIUS_COUNTER_INC("sched.cells_considered");
     if (!config_.heterogeneity_scaling && cell.gpu_type != job.requested_type) {
@@ -76,13 +116,18 @@ CriusScheduler::JobCells CriusScheduler::ComputeCells(const TrainingJob& job,
       CRIUS_COUNTER_INC("sched.cells_pruned");
       continue;
     }
-    const double thr = oracle_->EstimatedThroughput(job.spec, cell);
+    candidates.push_back(cell);
+  }
+  std::vector<double> throughputs;
+  oracle_->EstimatedThroughputBatch(job.spec, candidates, &throughputs);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const double thr = throughputs[i];
     if (thr <= 0.0) {
       CRIUS_COUNTER_INC("sched.cells_infeasible");
       continue;  // infeasible Cell
     }
-    jc.choices.push_back(CellChoice{cell, thr});
-    if (cell.ngpus == job.requested_gpus) {
+    jc.choices.push_back(CellChoice{candidates[i], thr});
+    if (candidates[i].ngpus == job.requested_gpus) {
       jc.ref_throughput = std::max(jc.ref_throughput, thr);
     }
   }
@@ -104,60 +149,100 @@ CriusScheduler::JobCells CriusScheduler::ComputeCells(const TrainingJob& job,
 
 const CriusScheduler::JobCells& CriusScheduler::CellsFor(const TrainingJob& job,
                                                          const Cluster& cluster) {
-  {
-    std::lock_guard<std::mutex> lock(cells_mu_);
-    auto it = cells_cache_.find(job.id);
-    if (it != cells_cache_.end()) {
-      return it->second;
-    }
+  const MemoStamp stamp{cluster.identity(), cluster.health_epoch()};
+  const uint64_t hash = JobHash(job.id);
+  if (const JobCells* hit = cells_memo_.Find(job.id, hash, stamp)) {
+    return *hit;
   }
-  // Compute outside the lock (the oracle serializes per shard); a racing
-  // same-job miss loses the emplace and the first value wins -- both computed
-  // the identical pure result. std::map nodes are stable, so references handed
-  // out above survive this insert.
+  // Compute outside the memo lock (the oracle serializes per shard); a racing
+  // same-job miss loses the PutIfAbsent and the first value wins -- both
+  // computed the identical pure result, and first-wins keeps references
+  // handed out above immutable.
   JobCells jc = ComputeCells(job, cluster);
-  std::lock_guard<std::mutex> lock(cells_mu_);
-  return cells_cache_.emplace(job.id, std::move(jc)).first->second;
+  return cells_memo_.PutIfAbsent(job.id, hash, stamp, std::move(jc));
 }
 
-void CriusScheduler::SyncCellsCache(const std::vector<const JobState*>& jobs,
-                                    const Cluster& cluster) {
-  // 1. Cluster-health epoch: failures, recoveries, and straggler updates all
-  // change which Cells fit and how they score, so any cached ranking built
-  // against an older epoch is stale in bulk. Identity is checked too: a
-  // different Cluster object at a coincidentally equal epoch (fresh or copied
-  // cluster) must not inherit rankings computed against other hardware.
-  if (!cells_epoch_known_ || cells_epoch_ != cluster.health_epoch() ||
-      cells_cluster_id_ != cluster.identity()) {
-    if (cells_epoch_known_ && !cells_cache_.empty()) {
+void CriusScheduler::SyncCellsCache(const RoundContext& round) {
+  const Cluster& cluster = round.cluster();
+  const std::vector<const JobState*>& jobs = round.jobs();
+  const MemoStamp stamp{cluster.identity(), cluster.health_epoch()};
+  const std::array<int, kNumGpuTypes> caps = CandidateCaps(cluster);
+
+  // 1. Pick the maintenance path. The incremental delta path requires:
+  // incremental mode on, the same cluster object as last round, and -- when
+  // the health epoch moved -- an event delta that actually reports the health
+  // changes (the RoundContext contract). An empty-handed delta, a cluster
+  // identity change (different hardware; cached rankings are meaningless),
+  // or incremental mode off all force the full re-rank, which is always
+  // correct.
+  const bool stamp_moved = cells_stamp_known_ && cells_stamp_ != stamp;
+  bool full = !config_.incremental || !cells_stamp_known_ ||
+              cells_stamp_.identity != stamp.identity;
+  if (!full && cells_stamp_.epoch != stamp.epoch && !round.has_health_events()) {
+    full = true;
+  }
+
+  if (full) {
+    if (stamp_moved && !cells_memo_.empty()) {
       CRIUS_COUNTER_INC("sched.cells_cache_invalidations");
     }
-    cells_cache_.clear();
-    cells_epoch_ = cluster.health_epoch();
-    cells_cluster_id_ = cluster.identity();
-    cells_epoch_known_ = true;
-  }
-
-  // 2. Evict entries for jobs that left the system (completed, killed, or
-  // dropped): without this the cache grows without bound over a trace.
-  for (auto it = cells_cache_.begin(); it != cells_cache_.end();) {
-    const int64_t id = it->first;
-    const bool active = std::any_of(jobs.begin(), jobs.end(),
-                                    [id](const JobState* js) { return js->job.id == id; });
-    if (active) {
-      ++it;
-    } else {
-      it = cells_cache_.erase(it);
-      CRIUS_COUNTER_INC("sched.cells_cache_evictions");
+    cells_memo_.Clear();
+    CRIUS_COUNTER_INC("sched.cells_full_reranks");
+  } else if (cells_stamp_.epoch != stamp.epoch) {
+    // 1b. Incremental dirty set: a health change re-ranks a job iff some
+    // type's candidate-size cap crossed one of the job's three §6.1 candidate
+    // sizes -- only then does GenerateCells emit a different Cell set.
+    // Slowdown-only epochs change no caps, so every entry survives. Clean
+    // survivors are restamped in place; dirty ones are erased and re-ranked
+    // by the warm-up below.
+    for (const JobState* js : jobs) {
+      const int64_t id = js->job.id;
+      const uint64_t hash = JobHash(id);
+      if (!cells_memo_.Contains(id, hash)) {
+        continue;
+      }
+      bool dirty = false;
+      for (int t = 0; t < kNumGpuTypes; ++t) {
+        if (caps[t] != cells_caps_[t] &&
+            CandidateSizesDiffer(js->job.requested_gpus, cells_caps_[t], caps[t])) {
+          dirty = true;
+          break;
+        }
+      }
+      if (dirty) {
+        cells_memo_.Erase(id, hash);
+        CRIUS_COUNTER_INC("sched.cells_dirty_reranks");
+      } else {
+        cells_memo_.Restamp(id, hash, stamp);
+        CRIUS_COUNTER_INC("sched.cells_kept_incremental");
+      }
     }
   }
+  cells_stamp_ = stamp;
+  cells_caps_ = caps;
+  cells_stamp_known_ = true;
 
-  // 3. Warm missing entries in parallel. ComputeCells is a pure function of
-  // (job, cluster-health), so slot results are identical across thread counts
-  // and the sequential inserts below keep the cache content deterministic.
+  // 2. Evict entries for jobs that left the system (completed, killed, or
+  // dropped): without this the memo grows without bound over a trace. The
+  // event delta names departures and drops, but the sweep also covers callers
+  // that pass no events.
+  std::set<int64_t> active;
+  for (const JobState* js : jobs) {
+    active.insert(js->job.id);
+  }
+  const size_t evicted = cells_memo_.EvictIf(
+      [&](int64_t id, const MemoStamp&) { return active.find(id) == active.end(); });
+  if (evicted > 0) {
+    CRIUS_COUNTER_ADD("sched.cells_cache_evictions", static_cast<int64_t>(evicted));
+  }
+
+  // 3. Warm missing entries (arrivals + dirtied) in parallel. ComputeCells is
+  // a pure function of (job, cluster-health), so slot results are identical
+  // across thread counts and the sequential inserts below keep the memo
+  // content deterministic.
   std::vector<const JobState*> missing;
   for (const JobState* js : jobs) {
-    if (cells_cache_.find(js->job.id) == cells_cache_.end()) {
+    if (cells_memo_.Find(js->job.id, JobHash(js->job.id), stamp) == nullptr) {
       missing.push_back(js);
     }
   }
@@ -171,7 +256,8 @@ void CriusScheduler::SyncCellsCache(const std::vector<const JobState*>& jobs,
     slots[i] = ComputeCells(missing[i]->job, cluster);
   });
   for (size_t i = 0; i < missing.size(); ++i) {
-    cells_cache_.emplace(missing[i]->job.id, std::move(slots[i]));
+    const int64_t id = missing[i]->job.id;
+    cells_memo_.PutIfAbsent(id, JobHash(id), stamp, std::move(slots[i]));
   }
 }
 
@@ -199,16 +285,18 @@ double CriusScheduler::ProfilingDelay(const TrainingJob& job, const Cluster& clu
   return std::min(delay, 1800.0);
 }
 
-ScheduleDecision CriusScheduler::Schedule(double now, const std::vector<const JobState*>& jobs,
-                                          const Cluster& cluster) {
+ScheduleDecision CriusScheduler::Schedule(const RoundContext& round) {
+  const double now = round.now();
+  const std::vector<const JobState*>& jobs = round.jobs();
+  const Cluster& cluster = round.cluster();
   CRIUS_COUNTER_INC("sched.rounds");
   CRIUS_HISTOGRAM_RECORD("sched.round_jobs", static_cast<double>(jobs.size()));
   CRIUS_SCOPED_TIMER_MS("sched.round_ms");
   CRIUS_TRACE_SPAN_ARGS("sched.round",
                         "{\"jobs\": " + std::to_string(jobs.size()) + "}");
-  // Round-start cache maintenance + parallel warm-up: after this every
-  // CellsFor call below is a cache hit, so concurrent passes are read-mostly.
-  SyncCellsCache(jobs, cluster);
+  // Round-start memo maintenance + parallel warm-up: after this every
+  // CellsFor call below is a memo hit, so concurrent passes are read-mostly.
+  SyncCellsCache(round);
   if (config_.placement_order != CriusPlacementOrder::kBestOfAll || config_.deadline_aware) {
     return ScheduleOnce(now, jobs, cluster, config_.placement_order).first;
   }

@@ -19,13 +19,15 @@
 #ifndef SRC_SCHED_CRIUS_SCHED_H_
 #define SRC_SCHED_CRIUS_SCHED_H_
 
+#include <array>
 #include <cstdint>
-#include <map>
-#include <mutex>
 #include <optional>
+#include <utility>
+#include <vector>
 
 #include "src/core/cell.h"
 #include "src/sched/scheduler.h"
+#include "src/util/gen_memo.h"
 
 namespace crius {
 
@@ -73,6 +75,12 @@ struct CriusConfig {
   int max_search_jobs = 8;
   // Upper bound on upscale moves applied per round.
   int max_upscale_moves = 12;
+  // Event-driven incremental rounds: keep the generation-stamped per-job Cell
+  // ranking memo across rounds and re-estimate only the dirty set named by
+  // the RoundContext's event delta. false = literal Algorithm 1, re-ranking
+  // every job from scratch each round. Decisions are bit-identical either way
+  // (tests/incremental_equivalence_test).
+  bool incremental = true;
 };
 
 class CriusScheduler : public Scheduler {
@@ -81,8 +89,7 @@ class CriusScheduler : public Scheduler {
 
   std::string name() const override;
 
-  ScheduleDecision Schedule(double now, const std::vector<const JobState*>& jobs,
-                            const Cluster& cluster) override;
+  ScheduleDecision Schedule(const RoundContext& round) override;
 
   // §8.2: Cells are profiled on one GPU per type, in parallel across types,
   // bounded by 30 minutes.
@@ -105,15 +112,21 @@ class CriusScheduler : public Scheduler {
   // oracle, so pool workers may run it concurrently during cache warm-up.
   JobCells ComputeCells(const TrainingJob& job, const Cluster& cluster);
 
-  // Cell candidates for `job`, scored and cached. Thread-safe: concurrent
-  // placement passes may look up (and, on a miss, populate) the cache.
+  // Cell candidates for `job`, scored and memoized under the cluster's
+  // current (identity, health_epoch) stamp. Thread-safe: concurrent placement
+  // passes may look up (and, on a miss, populate) the memo.
   const JobCells& CellsFor(const TrainingJob& job, const Cluster& cluster);
 
-  // Round-start cache maintenance: invalidates everything when the cluster's
-  // health epoch moved (failures/recoveries/stragglers re-rank Cells), evicts
-  // entries for jobs no longer in the round (completed/killed), and warms the
-  // missing entries in parallel.
-  void SyncCellsCache(const std::vector<const JobState*>& jobs, const Cluster& cluster);
+  // Round-start memo maintenance. Incremental mode keeps the memo across
+  // rounds: when the health epoch moved AND the round's event delta reports
+  // the health changes, only entries whose §6.1 candidate-size set actually
+  // changed (a per-type capacity cap crossed one of the job's three candidate
+  // sizes) are re-ranked; the rest are restamped in place. Falls back to a
+  // full re-rank when incremental mode is off, the cluster identity changed,
+  // or the epoch moved with an empty-handed event delta. Always evicts
+  // entries for jobs no longer in the round and warms missing entries in
+  // parallel.
+  void SyncCellsCache(const RoundContext& round);
 
   // One full virtual-scheduling pass with a fixed queued-job order; also
   // returns the decision's total estimated normalized throughput. Pure
@@ -125,16 +138,19 @@ class CriusScheduler : public Scheduler {
                                                    CriusPlacementOrder order);
 
   CriusConfig config_;
-  std::mutex cells_mu_;  // guards cells_cache_ against concurrent pass misses
-  std::map<int64_t, JobCells> cells_cache_;
-  // (Cluster identity, health epoch) the cache was built against; any change
-  // invalidates. The identity nonce catches a scheduler being handed a
-  // different Cluster object whose epoch happens to match (e.g. a fresh
-  // cluster also at epoch 0, or one reusing a freed address) so it cannot
-  // keep rankings computed against hardware that no longer exists.
-  uint64_t cells_epoch_ = 0;
-  uint64_t cells_cluster_id_ = 0;
-  bool cells_epoch_known_ = false;
+  // Generation-stamped ranking memo: job id -> scored Cells, stamped with the
+  // (Cluster identity, health epoch) the entry was computed under. The
+  // identity nonce catches a scheduler being handed a different Cluster
+  // object whose epoch happens to match (e.g. a fresh cluster also at epoch
+  // 0, or one reusing a freed address) so it cannot keep rankings computed
+  // against hardware that no longer exists.
+  GenStampedMemo<int64_t, JobCells> cells_memo_;
+  // Stamp of the previous round's sync, plus the per-type candidate-size caps
+  // (FloorPowerOfTwo of usable capacity) observed then -- the inputs the
+  // dirty-set predicate diffs against.
+  MemoStamp cells_stamp_;
+  std::array<int, kNumGpuTypes> cells_caps_{};
+  bool cells_stamp_known_ = false;
 };
 
 }  // namespace crius

@@ -26,9 +26,10 @@ struct PoolJob {
 // share comes from the data-parallel memory footprint, large models that only
 // fit with tensor/pipeline parallelism get a badly overestimated minimum --
 // the §8.3 analysis of why ElasticFlow-LS keeps large jobs pending.
-ScheduleDecision ElasticFlowScheduler::Schedule(double now,
-                                                const std::vector<const JobState*>& jobs,
-                                                const Cluster& cluster) {
+ScheduleDecision ElasticFlowScheduler::Schedule(const RoundContext& round) {
+  const double now = round.now();
+  const std::vector<const JobState*>& jobs = round.jobs();
+  const Cluster& cluster = round.cluster();
   ScheduleDecision decision;
 
   for (GpuType type : AllGpuTypes()) {

@@ -5,9 +5,9 @@
 
 namespace crius {
 
-ScheduleDecision FcfsScheduler::Schedule(double now, const std::vector<const JobState*>& jobs,
-                                         const Cluster& cluster) {
-  (void)now;
+ScheduleDecision FcfsScheduler::Schedule(const RoundContext& round) {
+  const std::vector<const JobState*>& jobs = round.jobs();
+  const Cluster& cluster = round.cluster();
   ScheduleDecision decision;
   std::array<int, kNumGpuTypes> free{};
   for (GpuType type : AllGpuTypes()) {

@@ -10,10 +10,9 @@ namespace crius {
 // (any type with room will do), and runtime profiling drives trial-and-error
 // migration -- if moving a running job to another GPU type measurably
 // improves its throughput, Gandiva migrates it. It never scales GPU counts.
-ScheduleDecision GandivaScheduler::Schedule(double now,
-                                            const std::vector<const JobState*>& jobs,
-                                            const Cluster& cluster) {
-  (void)now;
+ScheduleDecision GandivaScheduler::Schedule(const RoundContext& round) {
+  const std::vector<const JobState*>& jobs = round.jobs();
+  const Cluster& cluster = round.cluster();
   ScheduleDecision decision;
   std::array<int, kNumGpuTypes> free{};
   for (GpuType type : AllGpuTypes()) {

@@ -10,9 +10,9 @@ namespace crius {
 // scaling GPU counts. Jobs whose dp-only plan fits nowhere are scheduled with
 // an uninformed neutral view. Running jobs may be reassigned to a better type
 // when the dp view shows a clear win.
-ScheduleDecision GavelScheduler::Schedule(double now, const std::vector<const JobState*>& jobs,
-                                          const Cluster& cluster) {
-  (void)now;
+ScheduleDecision GavelScheduler::Schedule(const RoundContext& round) {
+  const std::vector<const JobState*>& jobs = round.jobs();
+  const Cluster& cluster = round.cluster();
   ScheduleDecision decision;
   std::array<int, kNumGpuTypes> free{};
   for (GpuType type : AllGpuTypes()) {

@@ -4,6 +4,11 @@
 
 namespace crius {
 
+bool RoundContext::has_health_events() const {
+  return std::any_of(events_.begin(), events_.end(),
+                     [](const RoundEvent& e) { return e.is_health_event(); });
+}
+
 double ReferenceThroughput(PerformanceOracle& oracle, const Cluster& cluster,
                            const TrainingJob& job) {
   double ref = 0.0;

@@ -20,10 +20,9 @@ int QueueLevel(double attained_gpu_seconds) {
 
 }  // namespace
 
-ScheduleDecision TiresiasScheduler::Schedule(double now,
-                                             const std::vector<const JobState*>& jobs,
-                                             const Cluster& cluster) {
-  (void)now;
+ScheduleDecision TiresiasScheduler::Schedule(const RoundContext& round) {
+  const std::vector<const JobState*>& jobs = round.jobs();
+  const Cluster& cluster = round.cluster();
   ScheduleDecision decision;
 
   // Attained GPU-service so far, in GPU-seconds. Tiresias tracks executed

@@ -29,6 +29,8 @@ struct SimJob {
   double schedulable_at = 0.0;  // submit + profiling delay
   double reference_throughput = 0.0;
   bool started_once = false;
+  // Arrival RoundEvent already emitted (first round the job was visible).
+  bool announced = false;
   // Last simulation time the job's state changed (JobRecord::last_event).
   double last_event = -1.0;
 
@@ -78,21 +80,39 @@ const char* CounterNameFor(SimEvent::Kind kind) {
 
 }  // namespace
 
+std::vector<std::string> SimConfig::Validate(const Cluster& cluster) const {
+  std::vector<std::string> errors;
+  auto require = [&errors](bool ok, const std::string& message) {
+    if (!ok) {
+      errors.push_back(message);
+    }
+  };
+  require(schedule_interval > 0.0, "non-positive schedule_interval");
+  require(restart_overhead >= 0.0, "negative restart_overhead");
+  require(checkpoint_bandwidth >= 0.0, "negative checkpoint_bandwidth");
+  require(max_time_factor >= 0.0, "negative max_time_factor");
+  require(execution_jitter >= 0.0, "negative execution_jitter");
+  require(checkpoint.interval >= 0.0, "negative checkpoint interval");
+  require(checkpoint.cost >= 0.0, "negative checkpoint cost");
+  require(node_mtbf >= 0.0, "negative node_mtbf");
+  const int num_nodes = static_cast<int>(cluster.nodes().size());
+  for (const FailureEvent& e : failures) {
+    require(e.time >= 0.0, "failure event with negative time");
+    require(e.node_id >= 0 && e.node_id < num_nodes,
+            "failure event for unknown node " + std::to_string(e.node_id));
+  }
+  return errors;
+}
+
 Simulator::Simulator(const Cluster& cluster, SimConfig config)
     : cluster_template_(cluster), config_(std::move(config)) {
-  CRIUS_CHECK_MSG(config_.schedule_interval > 0.0, "non-positive schedule_interval");
-  CRIUS_CHECK_MSG(config_.restart_overhead >= 0.0, "negative restart_overhead");
-  CRIUS_CHECK_MSG(config_.checkpoint_bandwidth >= 0.0, "negative checkpoint_bandwidth");
-  CRIUS_CHECK_MSG(config_.max_time_factor >= 0.0, "negative max_time_factor");
-  CRIUS_CHECK_MSG(config_.execution_jitter >= 0.0, "negative execution_jitter");
-  CRIUS_CHECK_MSG(config_.checkpoint.interval >= 0.0, "negative checkpoint interval");
-  CRIUS_CHECK_MSG(config_.checkpoint.cost >= 0.0, "negative checkpoint cost");
-  CRIUS_CHECK_MSG(config_.node_mtbf >= 0.0, "negative node_mtbf");
-  const int num_nodes = static_cast<int>(cluster_template_.nodes().size());
-  for (const FailureEvent& e : config_.failures) {
-    CRIUS_CHECK_MSG(e.time >= 0.0, "failure event with negative time");
-    CRIUS_CHECK_MSG(e.node_id >= 0 && e.node_id < num_nodes,
-                    "failure event for unknown node " << e.node_id);
+  const std::vector<std::string> errors = config_.Validate(cluster_template_);
+  if (!errors.empty()) {
+    std::ostringstream joined;
+    for (size_t i = 0; i < errors.size(); ++i) {
+      joined << (i > 0 ? "; " : "") << errors[i];
+    }
+    CRIUS_CHECK_MSG(false, "invalid SimConfig: " << joined.str());
   }
   SortFailureSchedule(config_.failures);
 }
@@ -142,6 +162,12 @@ SimResult Simulator::Run(Scheduler& scheduler, PerformanceOracle& oracle,
   }
   const double max_time = std::max(trace_end, 1.0) * config_.max_time_factor +
                           24.0 * kHour;
+
+  // Typed deltas accumulated since the scheduler last ran, handed to it in
+  // the next RoundContext. Every job transition and cluster-health mutation
+  // below appends here (the RoundContext completeness contract), so
+  // incremental schedulers may trust the delta instead of re-deriving state.
+  std::vector<RoundEvent> round_events;
 
   // Advances a running job's progress from t0 to t1.
   auto advance = [&](SimJob& sj, double t0, double t1) {
@@ -231,6 +257,7 @@ SimResult Simulator::Run(Scheduler& scheduler, PerformanceOracle& oracle,
     sj.killed_at = now;
     ++result.failure_kills;
     record(sj, now, SimEvent::Kind::kFailureKill);
+    round_events.push_back(RoundEvent::JobPhaseChange(sj.state.job.id));
   };
 
   // Re-derives the realized iteration time of every running job touching
@@ -292,6 +319,7 @@ SimResult Simulator::Run(Scheduler& scheduler, PerformanceOracle& oracle,
         ++result.failure_events;
         record_cluster(now, SimEvent::Kind::kNodeFail, e.node_id,
                        GpuName(node.type) + "x" + std::to_string(failed));
+        round_events.push_back(RoundEvent::NodeFail(e.node_id, node.type));
         return true;
       }
       case FailureKind::kNodeRecover:
@@ -303,6 +331,7 @@ SimResult Simulator::Run(Scheduler& scheduler, PerformanceOracle& oracle,
         }
         record_cluster(now, SimEvent::Kind::kNodeRecover, e.node_id,
                        GpuName(node.type) + "x" + std::to_string(recovered));
+        round_events.push_back(RoundEvent::NodeRecover(e.node_id, node.type));
         return true;
       }
       case FailureKind::kStragglerStart: {
@@ -311,12 +340,15 @@ SimResult Simulator::Run(Scheduler& scheduler, PerformanceOracle& oracle,
         std::ostringstream factor;
         factor << "x" << std::max(1.0, e.slowdown);
         record_cluster(now, SimEvent::Kind::kStragglerStart, e.node_id, factor.str());
+        round_events.push_back(
+            RoundEvent::SlowdownChange(e.node_id, node.type, std::max(1.0, e.slowdown)));
         return true;
       }
       case FailureKind::kStragglerEnd: {
         cluster.SetNodeSlowdown(e.node_id, 1.0);
         refresh_slowdowns(e.node_id);
         record_cluster(now, SimEvent::Kind::kStragglerEnd, e.node_id, "");
+        round_events.push_back(RoundEvent::SlowdownChange(e.node_id, node.type, 1.0));
         return true;
       }
     }
@@ -325,12 +357,21 @@ SimResult Simulator::Run(Scheduler& scheduler, PerformanceOracle& oracle,
 
   // Applies one scheduling decision at time `now`.
   auto apply_decision = [&](double now, const ScheduleDecision& decision) {
+    // Reject contradictory decisions outright: a job both assigned and
+    // dropped would be started and then torn down in the same round, which is
+    // never what a scheduler means.
+    for (int64_t id : decision.dropped) {
+      CRIUS_CHECK_MSG(decision.assignments.find(id) == decision.assignments.end(),
+                      scheduler.name() << " decision both assigns and drops job " << id);
+    }
+
     // Drops first.
     for (int64_t id : decision.dropped) {
       SimJob& sj = jobs[static_cast<size_t>(id)];
       if (sj.state.phase == JobPhase::kQueued) {
         sj.state.phase = JobPhase::kDropped;
         record(sj, now, SimEvent::Kind::kDrop);
+        round_events.push_back(RoundEvent::JobDrop(sj.state.job.id));
       }
     }
 
@@ -363,6 +404,7 @@ SimResult Simulator::Run(Scheduler& scheduler, PerformanceOracle& oracle,
         sj.state.iter_time = 0.0;
         if (it == decision.assignments.end()) {
           record(sj, now, SimEvent::Kind::kPreempt);
+          round_events.push_back(RoundEvent::JobPhaseChange(sj.state.job.id));
         }
       }
       if (it != decision.assignments.end()) {
@@ -448,14 +490,21 @@ SimResult Simulator::Run(Scheduler& scheduler, PerformanceOracle& oracle,
     }
   };
 
-  // Runs one scheduler invocation over the currently visible jobs.
+  // Runs one scheduler invocation over the currently visible jobs. The
+  // accumulated round_events delta is handed over and reset; when no job is
+  // visible the delta stays pending for the next real invocation so the
+  // scheduler never misses a transition.
   auto run_scheduler = [&](double now) {
     std::vector<const JobState*> visible;
-    for (const SimJob& sj : jobs) {
+    for (SimJob& sj : jobs) {
       if ((sj.state.phase == JobPhase::kQueued && now + kEps >= sj.schedulable_at &&
            now + kEps >= sj.state.job.submit_time) ||
           sj.state.phase == JobPhase::kRunning) {
         visible.push_back(&sj.state);
+        if (!sj.announced) {
+          sj.announced = true;
+          round_events.push_back(RoundEvent::JobArrival(sj.state.job.id));
+        }
       }
     }
     if (visible.empty()) {
@@ -465,7 +514,9 @@ SimResult Simulator::Run(Scheduler& scheduler, PerformanceOracle& oracle,
                           "{\"t\": " + std::to_string(now) +
                               ", \"visible_jobs\": " + std::to_string(visible.size()) + "}");
     CRIUS_COUNTER_INC("sim.sched_invocations");
-    const ScheduleDecision decision = scheduler.Schedule(now, visible, cluster);
+    const RoundContext round(now, std::move(visible), cluster, std::move(round_events));
+    round_events.clear();  // moved-from; restart the next round's delta empty
+    const ScheduleDecision decision = scheduler.Schedule(round);
     apply_decision(now, decision);
   };
 
@@ -523,6 +574,7 @@ SimResult Simulator::Run(Scheduler& scheduler, PerformanceOracle& oracle,
         sj.state.phase = JobPhase::kFinished;
         sj.state.finish_time = now;
         record(sj, now, SimEvent::Kind::kFinish);
+        round_events.push_back(RoundEvent::JobDeparture(sj.state.job.id));
         departed = true;
       }
     }

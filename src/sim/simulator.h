@@ -13,6 +13,7 @@
 #define SRC_SIM_SIMULATOR_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/fault/checkpoint.h"
@@ -63,13 +64,19 @@ struct SimConfig {
   // Per-node MTBF in seconds backing Young/Daly interval derivation; 0 when
   // unknown (Young/Daly then falls back to checkpoint.interval).
   double node_mtbf = 0.0;
+
+  // Collects every configuration error at once (empty = valid): non-positive
+  // schedule_interval, negative overheads/bandwidths/factors, and fault
+  // events with negative times or node ids outside `cluster`. Callers that
+  // can report to a human (crius_sim) print the full list; the Simulator
+  // constructor aborts listing all of them.
+  std::vector<std::string> Validate(const Cluster& cluster) const;
 };
 
 class Simulator {
  public:
-  // Validates `config` (aborts on a non-positive schedule_interval, negative
-  // overheads/bandwidths/factors, or malformed fault settings) and captures
-  // the cluster template.
+  // Aborts (with the full Validate() error list) on an invalid `config` and
+  // captures the cluster template.
   Simulator(const Cluster& cluster, SimConfig config);
 
   // Runs `trace` to completion (or the time cap) under `scheduler`.

@@ -1,0 +1,166 @@
+// Generation-stamped memo on top of the ShardedCache pattern.
+//
+// GenStampedMemo caches values that are pure functions of (key, generation):
+// each entry carries the MemoStamp it was computed under, and Find only hits
+// when the caller's current stamp matches the entry's. When the generation
+// advances, a maintainer either evicts the entries the change dirtied and
+// restamps the clean survivors (incremental path) or clears outright (full
+// recompute) -- stale entries are never served.
+//
+// Like ShardedCache, the key space is sharded over independently locked
+// std::maps so concurrent readers on different shards proceed in parallel,
+// and returned references stay valid until the entry is erased or the memo is
+// cleared (std::map nodes are stable). Unlike ShardedCache, values are
+// computed OUTSIDE the lock by the caller and inserted with PutIfAbsent
+// (first-wins on a same-stamp race: both racers computed the identical pure
+// value, and first-wins keeps previously handed-out references immutable).
+//
+// Maintenance calls (Restamp/Erase/EvictIf/Clear) must not run concurrently
+// with Find/PutIfAbsent on the same entries' lifetimes being relied upon:
+// the intended use is a single-threaded round-start sync followed by a
+// read-mostly parallel phase, which is how CriusScheduler drives it.
+
+#ifndef SRC_UTIL_GEN_MEMO_H_
+#define SRC_UTIL_GEN_MEMO_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <utility>
+
+namespace crius {
+
+// The generation a memo entry was computed under. For scheduler state this is
+// (Cluster::identity(), Cluster::health_epoch()): identity catches a swap to
+// a different cluster object whose epoch coincidentally matches, the epoch
+// catches health mutations of the same cluster.
+struct MemoStamp {
+  uint64_t identity = 0;
+  uint64_t epoch = 0;
+
+  friend bool operator==(const MemoStamp& a, const MemoStamp& b) {
+    return a.identity == b.identity && a.epoch == b.epoch;
+  }
+  friend bool operator!=(const MemoStamp& a, const MemoStamp& b) { return !(a == b); }
+};
+
+template <typename Key, typename Value, int kNumShards = 16>
+class GenStampedMemo {
+  static_assert(kNumShards > 0);
+
+ public:
+  // Returns the entry for `key` iff it exists AND carries `stamp`; nullptr
+  // otherwise. The reference stays valid until the entry is erased.
+  const Value* Find(const Key& key, uint64_t hash, const MemoStamp& stamp) const {
+    const Shard& shard = ShardFor(hash);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end() || it->second.stamp != stamp) {
+      return nullptr;
+    }
+    return &it->second.value;
+  }
+
+  // Inserts (key, stamp, value). If an entry with the same stamp already
+  // exists the insert is dropped and the existing value returned (first
+  // wins); an entry with a stale stamp is overwritten in place. Callers
+  // compute `value` outside any memo lock.
+  const Value& PutIfAbsent(const Key& key, uint64_t hash, const MemoStamp& stamp, Value&& value) {
+    Shard& shard = ShardFor(hash);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) {
+      it = shard.map.emplace(key, Entry{stamp, std::move(value)}).first;
+    } else if (it->second.stamp != stamp) {
+      it->second.stamp = stamp;
+      it->second.value = std::move(value);
+    }
+    return it->second.value;
+  }
+
+  // Moves an existing entry (whatever its current stamp) to `stamp` without
+  // recomputing its value. Returns false if `key` is absent.
+  bool Restamp(const Key& key, uint64_t hash, const MemoStamp& stamp) {
+    Shard& shard = ShardFor(hash);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) {
+      return false;
+    }
+    it->second.stamp = stamp;
+    return true;
+  }
+
+  bool Contains(const Key& key, uint64_t hash) const {
+    const Shard& shard = ShardFor(hash);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    return shard.map.find(key) != shard.map.end();
+  }
+
+  // Erases `key` if present; returns whether an entry was removed.
+  bool Erase(const Key& key, uint64_t hash) {
+    Shard& shard = ShardFor(hash);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    return shard.map.erase(key) > 0;
+  }
+
+  // Erases every entry for which pred(key, stamp) is true; returns the number
+  // of entries removed. Shards are visited in index order, keys in map order,
+  // so the eviction sequence is deterministic.
+  template <typename Pred>
+  size_t EvictIf(Pred&& pred) {
+    size_t evicted = 0;
+    for (Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      for (auto it = shard.map.begin(); it != shard.map.end();) {
+        if (pred(it->first, it->second.stamp)) {
+          it = shard.map.erase(it);
+          ++evicted;
+        } else {
+          ++it;
+        }
+      }
+    }
+    return evicted;
+  }
+
+  void Clear() {
+    for (Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.map.clear();
+    }
+  }
+
+  size_t size() const {
+    size_t n = 0;
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      n += shard.map.size();
+    }
+    return n;
+  }
+
+  bool empty() const { return size() == 0; }
+
+ private:
+  struct Entry {
+    MemoStamp stamp;
+    Value value;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::map<Key, Entry> map;
+  };
+
+  Shard& ShardFor(uint64_t hash) { return shards_[static_cast<size_t>(hash % kNumShards)]; }
+  const Shard& ShardFor(uint64_t hash) const {
+    return shards_[static_cast<size_t>(hash % kNumShards)];
+  }
+
+  std::array<Shard, kNumShards> shards_;
+};
+
+}  // namespace crius
+
+#endif  // SRC_UTIL_GEN_MEMO_H_

@@ -38,7 +38,7 @@ TEST_F(FairnessSchedTest, WaterFillingUpgradesWorstOffJob) {
                                   /*requested_gpus=*/16);
   JobState* healthy = AddRunning(1, kSmall, 16, GpuType::kA100, /*nstages=*/1,
                                  /*requested_gpus=*/16);
-  const ScheduleDecision d = sched.Schedule(0.0, Views(), cluster_);
+  const ScheduleDecision d = sched.Schedule(Round(0.0));
   CheckCapacity(d);
   ASSERT_TRUE(d.assignments.count(0));
   ASSERT_TRUE(d.assignments.count(1));
@@ -57,7 +57,7 @@ TEST_F(FairnessSchedTest, BothObjectivesRespectCapacity) {
     for (int i = 0; i < 50; ++i) {
       AddQueued(i, kSmall, 16, GpuType::kA100, static_cast<double>(i));
     }
-    const ScheduleDecision d = sched.Schedule(0.0, Views(), cluster_);
+    const ScheduleDecision d = sched.Schedule(Round(0.0));
     CheckCapacity(d);
     EXPECT_GT(d.assignments.size(), 5u);
   }

@@ -31,7 +31,7 @@ TEST_F(CriusSchedTest, Names) {
 TEST_F(CriusSchedTest, AssignmentsCarryCells) {
   CriusScheduler sched = Make();
   AddQueued(0, kMedium, 4, GpuType::kA100, 0.0);
-  const ScheduleDecision d = sched.Schedule(0.0, Views(), cluster_);
+  const ScheduleDecision d = sched.Schedule(Round(0.0));
   CheckCapacity(d);
   ASSERT_TRUE(d.assignments.count(0));
   const Assignment& a = d.assignments.at(0);
@@ -43,7 +43,7 @@ TEST_F(CriusSchedTest, UpscalesLoneJobWithFreeResources) {
   // With an empty 1,280-GPU cluster, the 2 x N_G Cell should win.
   CriusScheduler sched = Make();
   AddQueued(0, kSmall, 4, GpuType::kA100, 0.0);
-  const ScheduleDecision d = sched.Schedule(0.0, Views(), cluster_);
+  const ScheduleDecision d = sched.Schedule(Round(0.0));
   ASSERT_TRUE(d.assignments.count(0));
   EXPECT_GE(d.assignments.at(0).ngpus, 4);
 }
@@ -52,7 +52,7 @@ TEST_F(CriusSchedTest, NaPinsGpuCount) {
   CriusScheduler sched = Make(CriusConfig{.adaptivity_scaling = false});
   AddQueued(0, kSmall, 4, GpuType::kA100, 0.0);
   AddQueued(1, kMedium, 8, GpuType::kA40, 1.0);
-  const ScheduleDecision d = sched.Schedule(0.0, Views(), cluster_);
+  const ScheduleDecision d = sched.Schedule(Round(0.0));
   ASSERT_TRUE(d.assignments.count(0));
   ASSERT_TRUE(d.assignments.count(1));
   EXPECT_EQ(d.assignments.at(0).ngpus, 4);
@@ -62,7 +62,7 @@ TEST_F(CriusSchedTest, NaPinsGpuCount) {
 TEST_F(CriusSchedTest, NhPinsGpuType) {
   CriusScheduler sched = Make(CriusConfig{.heterogeneity_scaling = false});
   AddQueued(0, kSmall, 4, GpuType::kV100, 0.0);
-  const ScheduleDecision d = sched.Schedule(0.0, Views(), cluster_);
+  const ScheduleDecision d = sched.Schedule(Round(0.0));
   ASSERT_TRUE(d.assignments.count(0));
   EXPECT_EQ(d.assignments.at(0).type, GpuType::kV100);
 }
@@ -112,7 +112,7 @@ TEST_F(CriusSchedTest, DownscalesRunningJobsToAdmitNewOne) {
   for (const auto& s : states) {
     views.push_back(s.get());
   }
-  const ScheduleDecision d = sched.Schedule(10.0, views, testbed);
+  const ScheduleDecision d = sched.Schedule(RoundFor(10.0, views, testbed));
   // The queued job got in...
   ASSERT_TRUE(d.assignments.count(1));
   // ...which is only possible if some running job shrank or moved.
@@ -160,7 +160,7 @@ TEST_F(CriusSchedTest, ZeroSearchDepthDisablesScaling) {
   for (const auto& s : states) {
     views.push_back(s.get());
   }
-  const ScheduleDecision d = sched.Schedule(0.0, views, testbed);
+  const ScheduleDecision d = sched.Schedule(RoundFor(0.0, views, testbed));
   EXPECT_FALSE(d.assignments.count(9));  // no moves allowed, no room
 }
 
@@ -170,7 +170,7 @@ TEST_F(CriusSchedTest, DeadlineAwareDropsImpossibleJobs) {
   hopeless->job.deadline = 30.0;
   JobState* fine = AddQueued(1, kSmall, 4, GpuType::kA100, 0.0, /*iterations=*/50);
   fine->job.deadline = 30.0 * kDay;
-  const ScheduleDecision d = sched.Schedule(0.0, Views(), cluster_);
+  const ScheduleDecision d = sched.Schedule(Round(0.0));
   EXPECT_EQ(d.dropped, std::vector<int64_t>{0});
   EXPECT_TRUE(d.assignments.count(1));
 }
@@ -207,7 +207,7 @@ TEST_F(CriusSchedTest, OpportunisticJobsYieldToPendingLargeJob) {
   for (const auto& s : states) {
     views.push_back(s.get());
   }
-  const ScheduleDecision d = sched.Schedule(0.0, views, small);
+  const ScheduleDecision d = sched.Schedule(RoundFor(0.0, views, small));
   // Either the big job runs (possibly after preempting) or, if it fits only
   // pending, the later jobs that DID start are marked opportunistic.
   if (!d.assignments.count(0)) {
@@ -234,7 +234,7 @@ TEST_F(CriusSchedTest, ProfilingDelayBounded) {
 TEST_F(CriusSchedTest, KeepsRunningJobWhenNothingBetter) {
   CriusScheduler sched = Make();
   AddRunning(0, kMedium, 8, GpuType::kA100, /*nstages=*/1);
-  const ScheduleDecision d = sched.Schedule(0.0, Views(), cluster_);
+  const ScheduleDecision d = sched.Schedule(Round(0.0));
   ASSERT_TRUE(d.assignments.count(0));
   // With an empty cluster it may upscale, but never below the current shape.
   EXPECT_GE(d.assignments.at(0).ngpus, 4);
@@ -245,7 +245,7 @@ TEST_F(CriusSchedTest, CapacityRespectedUnderPressure) {
   for (int i = 0; i < 80; ++i) {
     AddQueued(i, kMedium, 16, GpuType::kA100, static_cast<double>(i));
   }
-  const ScheduleDecision d = sched.Schedule(0.0, Views(), cluster_);
+  const ScheduleDecision d = sched.Schedule(Round(0.0));
   CheckCapacity(d);
   EXPECT_GT(d.assignments.size(), 10u);
 }
@@ -256,8 +256,8 @@ TEST_F(CriusSchedTest, Deterministic) {
   for (int i = 0; i < 10; ++i) {
     AddQueued(i, kMedium, 8, GpuType::kA40, static_cast<double>(i));
   }
-  const ScheduleDecision da = a.Schedule(0.0, Views(), cluster_);
-  const ScheduleDecision db = b.Schedule(0.0, Views(), cluster_);
+  const ScheduleDecision da = a.Schedule(Round(0.0));
+  const ScheduleDecision db = b.Schedule(Round(0.0));
   ASSERT_EQ(da.assignments.size(), db.assignments.size());
   for (const auto& [id, assign] : da.assignments) {
     ASSERT_TRUE(db.assignments.count(id));
@@ -328,7 +328,7 @@ TEST_F(CriusSchedTest, MultiMoveSearchFreesRoomAcrossVictims) {
     CriusConfig config;
     config.search_depth = depth;
     CriusScheduler sched(&oracle, config);
-    const ScheduleDecision d = sched.Schedule(0.0, views, small);
+    const ScheduleDecision d = sched.Schedule(RoundFor(0.0, views, small));
     CheckCapacityFor(small, d);
     if (depth == 1) {
       EXPECT_FALSE(d.assignments.count(9)) << "depth 1 cannot free 16 GPUs";
@@ -351,8 +351,8 @@ TEST_F(CriusSchedTest, PlacementOrdersAreValidAndDeterministic) {
     config.placement_order = order;
     CriusScheduler a(&oracle_, config);
     CriusScheduler b(&oracle_, config);
-    const ScheduleDecision da = a.Schedule(0.0, Views(), cluster_);
-    const ScheduleDecision db = b.Schedule(0.0, Views(), cluster_);
+    const ScheduleDecision da = a.Schedule(Round(0.0));
+    const ScheduleDecision db = b.Schedule(Round(0.0));
     CheckCapacity(da);
     ASSERT_EQ(da.assignments.size(), db.assignments.size());
     for (const auto& [id, assign] : da.assignments) {
@@ -418,7 +418,7 @@ TEST_F(CriusSchedTest, FailedScalingSearchLeavesNoSideEffects) {
     CriusConfig config;
     config.search_depth = depth;
     CriusScheduler sched(&oracle, config);
-    return sched.Schedule(0.0, views, small);
+    return sched.Schedule(RoundFor(0.0, views, small));
   };
 
   const ScheduleDecision with_failed_search = decide(1);
@@ -435,8 +435,8 @@ TEST_F(CriusSchedTest, RepeatedScheduleIsIdempotent) {
     AddQueued(i, (i % 2) ? kMedium : kSmall, (i % 3) ? 16 : 4, GpuType::kA100,
               static_cast<double>(i));
   }
-  const ScheduleDecision first = sched.Schedule(0.0, Views(), cluster_);
-  const ScheduleDecision second = sched.Schedule(0.0, Views(), cluster_);
+  const ScheduleDecision first = sched.Schedule(Round(0.0));
+  const ScheduleDecision second = sched.Schedule(Round(0.0));
   ExpectSameDecision(first, second);
 }
 
@@ -452,11 +452,11 @@ TEST_F(CriusSchedTest, BestOfAllIdenticalAcrossThreadCounts) {
 
   ThreadPool::SetGlobalThreads(1);
   CriusScheduler sequential(&oracle_, config);
-  const ScheduleDecision d1 = sequential.Schedule(0.0, Views(), cluster_);
+  const ScheduleDecision d1 = sequential.Schedule(Round(0.0));
 
   ThreadPool::SetGlobalThreads(4);
   CriusScheduler parallel(&oracle_, config);
-  const ScheduleDecision d4 = parallel.Schedule(0.0, Views(), cluster_);
+  const ScheduleDecision d4 = parallel.Schedule(Round(0.0));
   ThreadPool::SetGlobalThreads(1);
 
   ExpectSameDecision(d1, d4);
@@ -483,7 +483,7 @@ TEST_F(CriusSchedTest, ClusterHealthChangeInvalidatesCellCache) {
 
   c.MarkFailed(2, 0);
   c.MarkFailed(3, 0);  // 8 usable
-  const ScheduleDecision degraded = survivor.Schedule(0.0, views, c);
+  const ScheduleDecision degraded = survivor.Schedule(RoundFor(0.0, views, c));
   ASSERT_TRUE(degraded.assignments.count(0));
   EXPECT_LE(degraded.assignments.at(0).ngpus, 8) << "placed beyond usable capacity";
 
@@ -491,12 +491,12 @@ TEST_F(CriusSchedTest, ClusterHealthChangeInvalidatesCellCache) {
   c.MarkRecovered(3, 0);
   const int64_t invalidations_before =
       CounterRegistry::Global().CounterValue("sched.cells_cache_invalidations");
-  const ScheduleDecision after_recovery = survivor.Schedule(300.0, views, c);
+  const ScheduleDecision after_recovery = survivor.Schedule(RoundFor(300.0, views, c));
   EXPECT_EQ(CounterRegistry::Global().CounterValue("sched.cells_cache_invalidations"),
             invalidations_before + 1);
 
   CriusScheduler fresh(&oracle, CriusConfig{});
-  const ScheduleDecision fresh_decision = fresh.Schedule(300.0, views, c);
+  const ScheduleDecision fresh_decision = fresh.Schedule(RoundFor(300.0, views, c));
   ExpectSameDecision(after_recovery, fresh_decision);
   // And the re-ranking actually uses the recovered capacity.
   ASSERT_TRUE(after_recovery.assignments.count(0));
@@ -508,13 +508,13 @@ TEST_F(CriusSchedTest, CompletedJobsEvictedFromCellCache) {
   for (int i = 0; i < 4; ++i) {
     AddQueued(i, kSmall, 4, GpuType::kA100, static_cast<double>(i));
   }
-  sched.Schedule(0.0, Views(), cluster_);
+  sched.Schedule(Round(0.0));
 
   // Jobs 0 and 1 complete: their cache entries must go on the next round.
   states_.erase(states_.begin(), states_.begin() + 2);
   const int64_t evictions_before =
       CounterRegistry::Global().CounterValue("sched.cells_cache_evictions");
-  sched.Schedule(300.0, Views(), cluster_);
+  sched.Schedule(Round(300.0));
   EXPECT_EQ(CounterRegistry::Global().CounterValue("sched.cells_cache_evictions"),
             evictions_before + 2);
 }
@@ -564,7 +564,7 @@ TEST_F(CriusSchedTest, SmallestFirstPlacesSmallJobsUnderPressure) {
   CriusConfig config;
   config.placement_order = CriusPlacementOrder::kSmallestFirst;
   CriusScheduler sched(&oracle, config);
-  const ScheduleDecision d = sched.Schedule(0.0, views, testbed);
+  const ScheduleDecision d = sched.Schedule(RoundFor(0.0, views, testbed));
   CheckCapacityFor(testbed, d);
   int small_placed = 0;
   for (int i = 1; i < 12; ++i) {

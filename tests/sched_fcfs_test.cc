@@ -19,7 +19,7 @@ TEST_F(FcfsTest, SchedulesInArrivalOrder) {
   AddQueued(0, kSmall, 16, GpuType::kA40, /*submit=*/10.0);
   AddQueued(1, kSmall, 16, GpuType::kA40, /*submit=*/5.0);
   AddQueued(2, kSmall, 16, GpuType::kA40, /*submit=*/20.0);
-  const ScheduleDecision d = sched_.Schedule(100.0, Views(), cluster_);
+  const ScheduleDecision d = sched_.Schedule(Round(100.0));
   CheckCapacity(d);
   // 32 A40 GPUs fit exactly the two earliest arrivals.
   EXPECT_EQ(d.assignments.size(), 2u);
@@ -32,14 +32,14 @@ TEST_F(FcfsTest, HeadOfLineBlocking) {
   AddQueued(0, kSmall, 32, GpuType::kA40, 0.0);  // takes the whole pool
   AddQueued(1, kSmall, 32, GpuType::kA40, 1.0);  // blocked head
   AddQueued(2, kSmall, 2, GpuType::kA40, 2.0);   // would fit, but FIFO blocks it
-  const ScheduleDecision d = sched_.Schedule(0.0, Views(), cluster_);
+  const ScheduleDecision d = sched_.Schedule(Round(0.0));
   EXPECT_EQ(d.assignments.size(), 1u);
   EXPECT_TRUE(d.assignments.count(0));
 }
 
 TEST_F(FcfsTest, UsesRequestedShapeVerbatim) {
   AddQueued(0, kMedium, 8, GpuType::kA10, 0.0);
-  const ScheduleDecision d = sched_.Schedule(0.0, Views(), cluster_);
+  const ScheduleDecision d = sched_.Schedule(Round(0.0));
   ASSERT_TRUE(d.assignments.count(0));
   const Assignment& a = d.assignments.at(0);
   EXPECT_EQ(a.type, GpuType::kA10);
@@ -50,7 +50,7 @@ TEST_F(FcfsTest, UsesRequestedShapeVerbatim) {
 TEST_F(FcfsTest, NeverTouchesRunningJobs) {
   JobState* running = AddRunning(0, kSmall, 16, GpuType::kA40);
   AddQueued(1, kSmall, 16, GpuType::kA40, 1.0);
-  const ScheduleDecision d = sched_.Schedule(0.0, Views(), cluster_);
+  const ScheduleDecision d = sched_.Schedule(Round(0.0));
   CheckCapacity(d);
   ASSERT_TRUE(d.assignments.count(0));
   EXPECT_EQ(d.assignments.at(0).ngpus, running->ngpus);
@@ -61,13 +61,13 @@ TEST_F(FcfsTest, NeverTouchesRunningJobs) {
 TEST_F(FcfsTest, RespectsRunningCapacity) {
   AddRunning(0, kSmall, 32, GpuType::kA40);
   AddQueued(1, kSmall, 2, GpuType::kA40, 1.0);
-  const ScheduleDecision d = sched_.Schedule(0.0, Views(), cluster_);
+  const ScheduleDecision d = sched_.Schedule(Round(0.0));
   EXPECT_FALSE(d.assignments.count(1));  // pool exhausted by the running job
 }
 
 TEST_F(FcfsTest, NoDrops) {
   AddQueued(0, kSmall, 64, GpuType::kA40, 0.0);  // can never fit (pool is 32)
-  const ScheduleDecision d = sched_.Schedule(0.0, Views(), cluster_);
+  const ScheduleDecision d = sched_.Schedule(Round(0.0));
   EXPECT_TRUE(d.dropped.empty());
   EXPECT_TRUE(d.assignments.empty());
 }

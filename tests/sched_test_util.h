@@ -50,6 +50,17 @@ class SchedTestBase : public ::testing::Test {
     return out;
   }
 
+  // One scheduling round over the fixture's jobs and cluster. Tests pass no
+  // events; per the RoundContext contract an incremental scheduler then falls
+  // back to a full recompute whenever the cluster's health epoch moved.
+  RoundContext Round(double now = 0.0) const { return RoundContext(now, Views(), cluster_); }
+
+  // Same, against an explicit job set and cluster (standalone scenarios).
+  static RoundContext RoundFor(double now, std::vector<const JobState*> jobs,
+                               const Cluster& cluster) {
+    return RoundContext(now, std::move(jobs), cluster);
+  }
+
   // Asserts the decision never oversubscribes any GPU type of `cluster`.
   static void CheckCapacityFor(const Cluster& cluster, const ScheduleDecision& decision) {
     std::array<int, kNumGpuTypes> used{};

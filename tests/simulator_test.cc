@@ -158,6 +158,44 @@ TEST_F(SimulatorTest, RestartsCountedOnReschedule) {
   }
 }
 
+TEST_F(SimulatorTest, ValidateCollectsAllConfigErrors) {
+  SimConfig config;
+  config.schedule_interval = 0.0;
+  config.restart_overhead = -1.0;
+  config.execution_jitter = -0.5;
+  config.failures.push_back(FailureEvent{-1.0, FailureKind::kNodeFail, 999, 0, 1.0});
+  const std::vector<std::string> errors = config.Validate(cluster_);
+  // Every problem is reported at once: interval, overhead, jitter, and both
+  // failure-event defects (negative time + unknown node).
+  EXPECT_EQ(errors.size(), 5u);
+  EXPECT_TRUE(SimConfig{}.Validate(cluster_).empty());
+}
+
+// A scheduler whose decision both assigns and drops the same job: the
+// simulator must reject the contradiction instead of starting then tearing
+// down the job.
+class ContradictoryScheduler : public Scheduler {
+ public:
+  explicit ContradictoryScheduler(PerformanceOracle* oracle) : Scheduler(oracle) {}
+  std::string name() const override { return "Contradictory"; }
+  ScheduleDecision Schedule(const RoundContext& round) override {
+    ScheduleDecision d;
+    for (const JobState* js : round.jobs()) {
+      d.assignments[js->job.id] =
+          Assignment{js->job.requested_type, js->job.requested_gpus, 0, false};
+      d.dropped.push_back(js->job.id);
+    }
+    return d;
+  }
+};
+
+TEST_F(SimulatorTest, RejectsDecisionThatAssignsAndDropsSameJob) {
+  const TrainingJob job = MakeJob(0, 0.0, 100);
+  ContradictoryScheduler sched(&oracle_);
+  Simulator sim(cluster_, SimConfig{});
+  EXPECT_DEATH(sim.Run(sched, oracle_, {job}), "both assigns and drops job");
+}
+
 TEST_F(SimulatorTest, AllSchedulersCompleteAMixedTrace) {
   std::vector<TrainingJob> trace;
   for (int i = 0; i < 6; ++i) {

@@ -12,15 +12,7 @@
 #include <cstdio>
 #include <fstream>
 
-#include "src/core/oracle.h"
-#include "src/runtime/gantt.h"
-#include "src/runtime/pipeline_engine.h"
-#include "src/util/check.h"
-#include "src/util/counters.h"
-#include "src/util/flags.h"
-#include "src/util/table.h"
-#include "src/util/threadpool.h"
-#include "src/util/trace.h"
+#include "src/crius.h"
 
 namespace crius {
 namespace {

@@ -14,20 +14,7 @@
 #include <cstdio>
 #include <memory>
 
-#include "src/fault/failure_injector.h"
-#include "src/fault/fault_trace_io.h"
-#include "src/sched/baselines.h"
-#include "src/sched/crius_sched.h"
-#include "src/sim/chrome_export.h"
-#include "src/sim/simulator.h"
-#include "src/sim/trace.h"
-#include "src/sim/trace_io.h"
-#include "src/util/check.h"
-#include "src/util/counters.h"
-#include "src/util/flags.h"
-#include "src/util/table.h"
-#include "src/util/threadpool.h"
-#include "src/util/trace.h"
+#include "src/crius.h"
 
 namespace crius {
 namespace {
@@ -63,7 +50,8 @@ TraceConfig MakeTraceConfig(const std::string& name) {
 }
 
 std::unique_ptr<Scheduler> MakeScheduler(const std::string& name, PerformanceOracle* oracle,
-                                         int search_depth, bool deadline_aware) {
+                                         int search_depth, bool deadline_aware,
+                                         bool incremental) {
   if (name == "fcfs") {
     return std::make_unique<FcfsScheduler>(oracle);
   }
@@ -88,6 +76,7 @@ std::unique_ptr<Scheduler> MakeScheduler(const std::string& name, PerformanceOra
     CriusConfig config;
     config.search_depth = search_depth;
     config.deadline_aware = deadline_aware;
+    config.incremental = incremental;
     config.adaptivity_scaling = name != "crius-na";
     config.heterogeneity_scaling = name != "crius-nh";
     if (name == "crius-fair") {
@@ -132,6 +121,7 @@ int Run(int argc, const char* const* argv) {
   std::string trace_json;
   bool counters = false;
   int64_t threads = 1;
+  bool incremental = true;
 
   FlagSet flags("crius_sim", "Run a Crius cluster-scheduling simulation");
   flags.String("cluster", &cluster_spec,
@@ -148,6 +138,9 @@ int Run(int argc, const char* const* argv) {
   flags.Double("deadline-fraction", &deadline_fraction,
                "fraction of jobs carrying deadlines (§8.5)");
   flags.Bool("deadline-aware", &deadline_aware, "run Crius in deadline-aware mode");
+  flags.Bool("incremental", &incremental,
+             "event-driven incremental Crius rounds (--incremental=false re-ranks every "
+             "job from scratch each round; decisions are bit-identical)");
   flags.Bool("no-profiling-cost", &no_profiling_cost,
              "skip charging Crius's Cell-profiling delay");
   flags.Double("execution-jitter", &execution_jitter,
@@ -218,7 +211,7 @@ int Run(int argc, const char* const* argv) {
   }
 
   auto scheduler = MakeScheduler(scheduler_name, &oracle, static_cast<int>(search_depth),
-                                 deadline_aware);
+                                 deadline_aware, incremental);
   SimConfig sim_config;
   sim_config.charge_profiling = !no_profiling_cost;
   sim_config.execution_jitter = execution_jitter;
@@ -263,6 +256,16 @@ int Run(int argc, const char* const* argv) {
                     "cannot write " << save_failure_trace);
     std::printf("Failure schedule written to %s\n", save_failure_trace.c_str());
   }
+  // Report every configuration error at once instead of aborting on the
+  // first inside the Simulator constructor.
+  const std::vector<std::string> config_errors = sim_config.Validate(cluster);
+  if (!config_errors.empty()) {
+    for (const std::string& error : config_errors) {
+      std::fprintf(stderr, "crius_sim: invalid configuration: %s\n", error.c_str());
+    }
+    return 1;
+  }
+
   Simulator sim(cluster, sim_config);
   const SimResult result = sim.Run(*scheduler, oracle, trace);
 
