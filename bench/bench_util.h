@@ -3,11 +3,8 @@
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
 
-#include <cerrno>
 #include <chrono>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <memory>
 #include <vector>
 
@@ -15,47 +12,30 @@
 #include "src/sched/crius_sched.h"
 #include "src/sim/simulator.h"
 #include "src/sim/trace.h"
+#include "src/util/flags.h"
 #include "src/util/table.h"
 #include "src/util/threadpool.h"
 
 namespace crius {
 
-// Strictly parses a --threads value; warns and returns `fallback` on anything
-// that is not a positive decimal integer (atoi would silently turn garbage
-// into 0 and mask the typo).
-inline int ParseThreadsOrWarn(const char* value, int fallback) {
-  errno = 0;
-  char* end = nullptr;
-  const long parsed = std::strtol(value, &end, 10);
-  if (end == value || *end != '\0' || errno == ERANGE || parsed < 1 || parsed > 4096) {
-    std::fprintf(stderr,
-                 "warning: ignoring --threads value '%s' (expected a positive integer); "
-                 "using %d\n",
-                 value, fallback);
-    return fallback;
-  }
-  return static_cast<int>(parsed);
-}
-
 // Parses the one flag the bench binaries share -- "--threads N" (or
-// "--threads=N") -- and sizes the global pool accordingly. Per-seed and
-// per-scheduler sweep runs fan out over the pool; results are bit-identical
-// across thread counts.
+// "--threads=N") -- and sizes the global pool accordingly. Routed through
+// FlagSet::ParseKnown so a malformed value warns and keeps the default
+// instead of silently turning garbage into 0, and so flags owned by the
+// bench binary itself pass through untouched. Per-seed and per-scheduler
+// sweep runs fan out over the pool; results are bit-identical across thread
+// counts.
 inline void ConfigureBenchThreads(int argc, char** argv) {
-  int threads = 1;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--threads") == 0) {
-      if (i + 1 < argc) {
-        threads = ParseThreadsOrWarn(argv[i + 1], threads);
-        ++i;
-      } else {
-        std::fprintf(stderr, "warning: --threads given without a value; using %d\n", threads);
-      }
-    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
-      threads = ParseThreadsOrWarn(argv[i] + 10, threads);
-    }
+  int64_t threads = 1;
+  FlagSet flags("bench", "shared benchmark flags");
+  flags.Int("threads", &threads, "worker threads for sweep fan-out");
+  flags.ParseKnown(argc, argv);
+  if (threads < 1 || threads > 4096) {
+    std::fprintf(stderr, "warning: ignoring --threads value %lld (expected 1..4096); using 1\n",
+                 static_cast<long long>(threads));
+    threads = 1;
   }
-  ThreadPool::SetGlobalThreads(threads);
+  ThreadPool::SetGlobalThreads(static_cast<int>(threads));
 }
 
 // The five schedulers of §8.1, in the paper's presentation order.

@@ -1,0 +1,254 @@
+// Extension: closed-loop load generator for the crius_serve daemon path.
+//
+// Spins up the full serving stack in-process -- Controller, Unix-socket
+// Server, session protocol -- and hammers it with N closed-loop client
+// threads, each running connect -> submit -> await response in a loop over a
+// real socket. Reports ingress throughput (submissions/sec), client-observed
+// round-trip percentiles, and the controller's decision latency
+// (enqueue -> applied-at-tick) p50/p95/p99.
+//
+// Modes:
+//   default   8 clients x 120 submissions against a deep queue; measures the
+//             saturated ingress path.
+//   --smoke   4 clients against a deliberately tiny queue (capacity 4,
+//             max-pending 2) so over-capacity submissions are rejected;
+//             exits non-zero unless (a) some submissions were accepted,
+//             (b) some were rejected with a machine-readable reason from the
+//             admission policy, and (c) no transport errors occurred.
+//             (CI regression gate for the admission-control path.)
+//
+// Flags: --smoke, --clients N, --requests N (per client), --threads N
+// (dispatch pool shared with scheduling fan-out).
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/serve/client.h"
+#include "src/serve/controller.h"
+#include "src/serve/replay.h"
+#include "src/serve/server.h"
+#include "src/serve/service.h"
+#include "src/util/stats.h"
+
+namespace crius {
+namespace {
+
+// What each closed-loop client thread saw.
+struct ClientResult {
+  size_t accepted = 0;
+  std::map<std::string, size_t> rejects;  // machine-readable reason -> count
+  size_t transport_errors = 0;
+  std::vector<double> rtt_ms;  // client-observed round-trip per submission
+};
+
+// A small rotation of feasible testbed jobs; the bench measures the ingress
+// path, not the schedule, so the jobs are short.
+TrainingJob MakeJob(size_t i) {
+  TrainingJob job;
+  switch (i % 3) {
+    case 0:
+      job.spec = ModelSpec{ModelFamily::kBert, 0.76, 256};
+      job.requested_gpus = 4;
+      break;
+    case 1:
+      job.spec = ModelSpec{ModelFamily::kWideResNet, 1.0, 256};
+      job.requested_gpus = 2;
+      break;
+    default:
+      job.spec = ModelSpec{ModelFamily::kMoe, 1.3, 512};
+      job.requested_gpus = 8;
+      break;
+  }
+  job.iterations = 5;
+  job.requested_type = GpuType::kA40;
+  return job;
+}
+
+ClientResult RunClient(const std::string& socket_path, size_t requests, size_t salt) {
+  ClientResult result;
+  serve::Client client;
+  std::string error;
+  if (!client.Connect(socket_path, &error)) {
+    std::fprintf(stderr, "ext_serve: client connect: %s\n", error.c_str());
+    ++result.transport_errors;
+    return result;
+  }
+  for (size_t i = 0; i < requests; ++i) {
+    serve::JsonObject response;
+    const auto start = std::chrono::steady_clock::now();
+    if (!client.Submit(MakeJob(salt + i), &response, &error)) {
+      ++result.transport_errors;
+      break;
+    }
+    const auto end = std::chrono::steady_clock::now();
+    result.rtt_ms.push_back(std::chrono::duration<double, std::milli>(end - start).count());
+    if (serve::GetBool(response, "ok", false)) {
+      ++result.accepted;
+    } else {
+      ++result.rejects[serve::GetString(response, "reason", "<missing reason>")];
+    }
+  }
+  return result;
+}
+
+}  // namespace
+}  // namespace crius
+
+int main(int argc, char** argv) {
+  using namespace crius;
+  ConfigureBenchThreads(argc, argv);
+  bool smoke = false;
+  size_t clients = 0;
+  size_t requests = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--clients") == 0 && i + 1 < argc) {
+      clients = static_cast<size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
+      requests = static_cast<size_t>(std::atoi(argv[++i]));
+    }
+  }
+  if (clients == 0) {
+    clients = smoke ? 4 : 8;
+  }
+  if (requests == 0) {
+    requests = smoke ? 40 : 120;
+  }
+
+  // The same runtime crius_serve builds from its flags; testbed keeps the
+  // accepted jobs cheap to place.
+  SessionMeta meta;
+  SessionRuntime runtime = MakeSessionRuntime(meta);
+
+  Controller::Config config;
+  config.tick_virtual_seconds = 60.0;
+  config.tick_wall_seconds = smoke ? 0.02 : 0.005;
+  if (smoke) {
+    // Tiny queue + pending cap: clients outrun the controller tick, so the
+    // admission policy must reject the overflow with a machine-readable
+    // reason -- the property this gate asserts.
+    config.queue.capacity = 4;
+    config.queue.max_pending_jobs = 2;
+  } else {
+    config.queue.capacity = 4096;
+  }
+  Controller controller(runtime.cluster, runtime.sim, *runtime.scheduler, *runtime.oracle,
+                        /*log=*/nullptr, config);
+
+  const std::string socket_path =
+      "/tmp/crius_ext_serve." + std::to_string(::getpid()) + ".sock";
+  serve::Server server(socket_path, serve::MakeHandler(controller));
+  std::string error;
+  if (!server.Start(&error)) {
+    std::fprintf(stderr, "ext_serve: %s\n", error.c_str());
+    return 1;
+  }
+  controller.Start();
+
+  const auto load_start = std::chrono::steady_clock::now();
+  std::vector<ClientResult> results(clients);
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] { results[c] = RunClient(socket_path, requests, c * 7919); });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - load_start).count();
+
+  // Let the controller apply everything still queued before sampling stats,
+  // then stop without draining -- the bench measures ingress, not the sim.
+  serve::Client probe;
+  serve::JsonObject response;
+  bool stats_ok = false;
+  Controller::Stats stats;
+  if (probe.Connect(socket_path, &error)) {
+    for (int spin = 0; spin < 200; ++spin) {
+      stats = controller.GetStats();
+      if (stats.decisions >= stats.accepted) {
+        break;  // every ingress-accepted command has been applied
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    stats_ok = probe.Stats(&response, &error);
+    probe.Shutdown(/*drain=*/false, &response, &error);
+  }
+  controller.Join();
+  server.Stop();
+  stats = controller.GetStats();
+
+  ClientResult total;
+  for (const ClientResult& r : results) {
+    total.accepted += r.accepted;
+    total.transport_errors += r.transport_errors;
+    for (const auto& [reason, count] : r.rejects) {
+      total.rejects[reason] += count;
+    }
+    total.rtt_ms.insert(total.rtt_ms.end(), r.rtt_ms.begin(), r.rtt_ms.end());
+  }
+  const size_t submitted = total.rtt_ms.size();
+
+  std::printf("ext_serve: %zu clients x %zu requests, queue capacity %zu%s\n", clients,
+              requests, config.queue.capacity, smoke ? " (smoke)" : "");
+  std::printf("  submissions        %zu in %.2f s  (%.0f submissions/sec)\n", submitted,
+              elapsed, elapsed > 0.0 ? static_cast<double>(submitted) / elapsed : 0.0);
+  std::printf("  accepted           %zu\n", total.accepted);
+  for (const auto& [reason, count] : total.rejects) {
+    std::printf("  rejected[%s]  %zu\n", reason.c_str(), count);
+  }
+  if (!total.rtt_ms.empty()) {
+    std::printf("  client RTT ms      p50 %.3f  p95 %.3f  p99 %.3f\n",
+                Percentile(total.rtt_ms, 50.0), Percentile(total.rtt_ms, 95.0),
+                Percentile(total.rtt_ms, 99.0));
+  }
+  std::printf("  decision latency   p50 %.3f  p95 %.3f  p99 %.3f ms over %zu decisions\n",
+              stats.latency_p50_ms, stats.latency_p95_ms, stats.latency_p99_ms,
+              stats.decisions);
+  std::printf("  controller         %zu ticks, %zu jobs accepted, %zu infeasible\n",
+              stats.ticks, stats.accepted, stats.infeasible);
+
+  if (total.transport_errors > 0) {
+    std::fprintf(stderr, "ext_serve: FAIL: %zu transport errors\n", total.transport_errors);
+    return 1;
+  }
+  if (!stats_ok) {
+    std::fprintf(stderr, "ext_serve: FAIL: stats request failed: %s\n", error.c_str());
+    return 1;
+  }
+  if (smoke) {
+    if (total.accepted == 0) {
+      std::fprintf(stderr, "ext_serve: FAIL: no submission was accepted\n");
+      return 1;
+    }
+    size_t over_capacity = 0;
+    for (const auto& [reason, count] : total.rejects) {
+      if (reason == "queue_full" || reason == "cluster_saturated") {
+        over_capacity += count;
+      } else {
+        std::fprintf(stderr, "ext_serve: FAIL: unexpected reject reason '%s'\n",
+                     reason.c_str());
+        return 1;
+      }
+    }
+    if (over_capacity == 0) {
+      std::fprintf(stderr,
+                   "ext_serve: FAIL: no over-capacity submission was rejected (queue "
+                   "capacity %zu, %zu clients)\n",
+                   config.queue.capacity, clients);
+      return 1;
+    }
+    std::printf("ext_serve smoke OK: %zu accepted, %zu rejected over capacity\n",
+                total.accepted, over_capacity);
+  }
+  return 0;
+}

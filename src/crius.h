@@ -13,6 +13,8 @@
 //   fault    -- failure injection, failure traces, checkpoint model
 //   sched    -- Scheduler API (RoundContext/RoundEvent), Crius + baselines
 //   sim      -- Simulator, SimConfig, traces, metrics, CSV/Chrome exports
+//   serve    -- cluster-controller daemon: event queue, controller, protocol,
+//               session log + deterministic replay
 
 #ifndef SRC_CRIUS_H_
 #define SRC_CRIUS_H_
@@ -21,10 +23,12 @@
 #include "src/util/chart.h"
 #include "src/util/check.h"
 #include "src/util/counters.h"
+#include "src/util/csv.h"
 #include "src/util/flags.h"
 #include "src/util/logging.h"
 #include "src/util/mathutil.h"
 #include "src/util/rng.h"
+#include "src/util/shutdown.h"
 #include "src/util/stats.h"
 #include "src/util/table.h"
 #include "src/util/threadpool.h"
@@ -66,13 +70,25 @@
 // --- sched ------------------------------------------------------------------
 #include "src/sched/baselines.h"
 #include "src/sched/crius_sched.h"
+#include "src/sched/factory.h"
 #include "src/sched/scheduler.h"
 
 // --- sim --------------------------------------------------------------------
 #include "src/sim/chrome_export.h"
+#include "src/sim/engine.h"
 #include "src/sim/metrics.h"
 #include "src/sim/simulator.h"
 #include "src/sim/trace.h"
 #include "src/sim/trace_io.h"
+
+// --- serve ------------------------------------------------------------------
+#include "src/serve/client.h"
+#include "src/serve/controller.h"
+#include "src/serve/event_queue.h"
+#include "src/serve/protocol.h"
+#include "src/serve/replay.h"
+#include "src/serve/server.h"
+#include "src/serve/service.h"
+#include "src/serve/session_log.h"
 
 #endif  // SRC_CRIUS_H_

@@ -1,54 +1,16 @@
 #include "src/fault/fault_trace_io.h"
 
-#include <cmath>
 #include <fstream>
 #include <limits>
 #include <sstream>
 #include <vector>
 
 #include "src/util/check.h"
+#include "src/util/csv.h"
 
 namespace crius {
 
 namespace {
-
-// Splits one CSV line on commas (no quoting needed for this schema).
-std::vector<std::string> SplitCsv(const std::string& line) {
-  std::vector<std::string> fields;
-  std::string field;
-  for (char c : line) {
-    if (c == ',') {
-      fields.push_back(field);
-      field.clear();
-    } else if (c != '\r') {
-      field += c;
-    }
-  }
-  fields.push_back(field);
-  return fields;
-}
-
-double ParseDouble(const std::string& s, const char* what, int line_no) {
-  CRIUS_CHECK_MSG(!s.empty(), "failure trace line " << line_no << ": empty " << what);
-  size_t pos = 0;
-  double v = 0.0;
-  bool ok = true;
-  try {
-    v = std::stod(s, &pos);
-  } catch (const std::exception&) {
-    ok = false;
-  }
-  CRIUS_CHECK_MSG(ok && pos == s.size(),
-                  "failure trace line " << line_no << ": bad " << what << " '" << s << "'");
-  return v;
-}
-
-int64_t ParseInt(const std::string& s, const char* what, int line_no) {
-  const double v = ParseDouble(s, what, line_no);
-  CRIUS_CHECK_MSG(v == std::floor(v),
-                  "failure trace line " << line_no << ": non-integer " << what);
-  return static_cast<int64_t>(v);
-}
 
 FailureKind ParseKind(const std::string& s, int line_no) {
   for (FailureKind k :
@@ -88,29 +50,16 @@ bool WriteFailureTraceCsvFile(const std::vector<FailureEvent>& events,
 
 std::vector<FailureEvent> ReadFailureTraceCsv(std::istream& in) {
   std::vector<FailureEvent> events;
-  std::string line;
-  int line_no = 0;
-  bool header_seen = false;
-  while (std::getline(in, line)) {
-    ++line_no;
-    if (line.empty()) {
-      continue;
-    }
-    if (!header_seen) {
-      header_seen = true;
-      CRIUS_CHECK_MSG(line.rfind("time,", 0) == 0, "failure trace missing header row");
-      continue;
-    }
-    const std::vector<std::string> f = SplitCsv(line);
-    CRIUS_CHECK_MSG(f.size() == 5, "failure trace line " << line_no
-                                                         << ": expected 5 fields, got "
-                                                         << f.size());
+  csv::Reader reader(in, "failure trace", "time,");
+  while (reader.Next()) {
+    reader.ExpectFields(5);
+    const int line_no = reader.line_no();
     FailureEvent e;
-    e.time = ParseDouble(f[0], "time", line_no);
-    e.kind = ParseKind(f[1], line_no);
-    e.node_id = static_cast<int>(ParseInt(f[2], "node_id", line_no));
-    e.gpus = static_cast<int>(ParseInt(f[3], "gpus", line_no));
-    e.slowdown = ParseDouble(f[4], "slowdown", line_no);
+    e.time = reader.Double(0, "time");
+    e.kind = ParseKind(reader.Field(1), line_no);
+    e.node_id = static_cast<int>(reader.Int(2, "node_id"));
+    e.gpus = static_cast<int>(reader.Int(3, "gpus"));
+    e.slowdown = reader.Double(4, "slowdown");
     CRIUS_CHECK_MSG(e.time >= 0.0, "failure trace line " << line_no << ": negative time");
     CRIUS_CHECK_MSG(e.node_id >= 0, "failure trace line " << line_no << ": negative node_id");
     CRIUS_CHECK_MSG(e.slowdown >= 1.0 || e.kind != FailureKind::kStragglerStart,

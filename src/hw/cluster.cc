@@ -277,6 +277,19 @@ Cluster ParseClusterSpec(const std::string& spec) {
   return c;
 }
 
+Cluster MakeNamedCluster(const std::string& spec) {
+  if (spec == "testbed") {
+    return MakePhysicalTestbed();
+  }
+  if (spec == "simulated") {
+    return MakeSimulatedCluster();
+  }
+  if (spec == "motivation") {
+    return MakeMotivationCluster();
+  }
+  return ParseClusterSpec(spec);
+}
+
 std::string ClusterSpecString(const Cluster& cluster) {
   std::string out;
   for (GpuType type : AllGpuTypes()) {

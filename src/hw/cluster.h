@@ -153,6 +153,12 @@ Cluster MakeMotivationCluster();
 // node-count x gpus-per-node, comma separated). Aborts on malformed specs.
 Cluster ParseClusterSpec(const std::string& spec);
 
+// Resolves a --cluster flag value: the named presets ("testbed", "simulated",
+// "motivation") or any ParseClusterSpec string. One implementation shared by
+// crius_sim, crius_serve, and the session replay path, so every entry point
+// accepts the same vocabulary.
+Cluster MakeNamedCluster(const std::string& spec);
+
 // Renders a cluster back into the ParseClusterSpec format.
 std::string ClusterSpecString(const Cluster& cluster);
 

@@ -1,0 +1,329 @@
+#include "src/serve/controller.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "src/util/check.h"
+#include "src/util/counters.h"
+#include "src/util/shutdown.h"
+#include "src/util/stats.h"
+#include "src/util/trace.h"
+
+namespace crius {
+
+namespace {
+
+const char* PhaseName(JobPhase phase) {
+  switch (phase) {
+    case JobPhase::kQueued:
+      return "queued";
+    case JobPhase::kRunning:
+      return "running";
+    case JobPhase::kFinished:
+      return "finished";
+    case JobPhase::kDropped:
+      return "dropped";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+Controller::Controller(const Cluster& cluster, SimConfig sim_config, Scheduler& scheduler,
+                       PerformanceOracle& oracle, SessionLog* log, Config config)
+    : config_(config),
+      num_nodes_(static_cast<int>(cluster.nodes().size())),
+      engine_(cluster, std::move(sim_config), scheduler, oracle),
+      log_(log),
+      queue_(config.queue) {
+  CRIUS_CHECK_MSG(config_.tick_virtual_seconds > 0.0, "tick_virtual_seconds must be > 0");
+  CRIUS_CHECK_MSG(config_.tick_wall_seconds >= 0.0, "tick_wall_seconds must be >= 0");
+}
+
+Controller::~Controller() {
+  if (started_.load(std::memory_order_acquire) && thread_.joinable()) {
+    // Last-resort stop so a crashed owner does not hang the process; normal
+    // teardown goes through Shutdown() + Join().
+    ServeCommand cmd;
+    cmd.kind = ServeCommand::Kind::kShutdown;
+    cmd.drain = false;
+    queue_.TryPush(std::move(cmd));
+    thread_.join();
+  }
+}
+
+void Controller::Start() {
+  CRIUS_CHECK_MSG(!started_.exchange(true), "Controller::Start called twice");
+  thread_ = std::thread([this] { RunLoop(); });
+}
+
+void Controller::Join() {
+  CRIUS_CHECK_MSG(started_.load(std::memory_order_acquire), "Controller was never started");
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+Controller::SubmitResult Controller::Submit(TrainingJob job) {
+  SubmitResult result;
+  job.id = next_job_id_.fetch_add(1, std::memory_order_relaxed);
+  ServeCommand cmd;
+  cmd.kind = ServeCommand::Kind::kSubmit;
+  cmd.job = job;
+  if (auto reject = queue_.TryPush(std::move(cmd)); reject.has_value()) {
+    result.reason = *reject;
+    return result;
+  }
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    JobStatus status;
+    status.known = true;
+    status.state = "accepted";
+    statuses_[job.id] = status;
+    ++stats_.accepted;
+  }
+  CRIUS_COUNTER_INC("serve.submits");
+  result.ok = true;
+  result.job_id = job.id;
+  return result;
+}
+
+std::optional<RejectReason> Controller::Cancel(int64_t job_id) {
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    if (statuses_.count(job_id) == 0) {
+      return RejectReason::kUnknownJob;
+    }
+  }
+  ServeCommand cmd;
+  cmd.kind = ServeCommand::Kind::kCancel;
+  cmd.job_id = job_id;
+  auto reject = queue_.TryPush(std::move(cmd));
+  if (!reject.has_value()) {
+    CRIUS_COUNTER_INC("serve.cancels");
+  }
+  return reject;
+}
+
+std::optional<RejectReason> Controller::FailNode(int node_id) {
+  if (node_id < 0 || node_id >= num_nodes_) {
+    return RejectReason::kBadRequest;
+  }
+  ServeCommand cmd;
+  cmd.kind = ServeCommand::Kind::kFailNode;
+  cmd.node_id = node_id;
+  auto reject = queue_.TryPush(std::move(cmd));
+  if (!reject.has_value()) {
+    CRIUS_COUNTER_INC("serve.fail_nodes");
+  }
+  return reject;
+}
+
+std::optional<RejectReason> Controller::RecoverNode(int node_id) {
+  if (node_id < 0 || node_id >= num_nodes_) {
+    return RejectReason::kBadRequest;
+  }
+  ServeCommand cmd;
+  cmd.kind = ServeCommand::Kind::kRecoverNode;
+  cmd.node_id = node_id;
+  auto reject = queue_.TryPush(std::move(cmd));
+  if (!reject.has_value()) {
+    CRIUS_COUNTER_INC("serve.recover_nodes");
+  }
+  return reject;
+}
+
+std::optional<RejectReason> Controller::Shutdown(bool drain) {
+  ServeCommand cmd;
+  cmd.kind = ServeCommand::Kind::kShutdown;
+  cmd.drain = drain;
+  return queue_.TryPush(std::move(cmd));
+}
+
+Controller::JobStatus Controller::Query(int64_t job_id) const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  auto it = statuses_.find(job_id);
+  if (it == statuses_.end()) {
+    return JobStatus{};
+  }
+  return it->second;
+}
+
+Controller::Stats Controller::GetStats() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  Stats stats = stats_;
+  stats.decisions = latencies_ms_.size();
+  if (!latencies_ms_.empty()) {
+    stats.latency_p50_ms = Percentile(latencies_ms_, 50.0);
+    stats.latency_p95_ms = Percentile(latencies_ms_, 95.0);
+    stats.latency_p99_ms = Percentile(latencies_ms_, 99.0);
+  }
+  return stats;
+}
+
+SimResult Controller::TakeResult() {
+  CRIUS_CHECK_MSG(done(), "TakeResult before the controller loop exited");
+  return engine_.Finish();
+}
+
+void Controller::ApplyCommand(const ServeCommand& cmd) {
+  switch (cmd.kind) {
+    case ServeCommand::Kind::kSubmit: {
+      TrainingJob job = cmd.job;
+      job.submit_time = virtual_now_;
+      if (engine_.TryAddJob(job)) {
+        if (log_ != nullptr) {
+          log_->AppendSubmit(virtual_now_, job);
+        }
+        active_ids_.push_back(job.id);
+      } else {
+        // Fits no GPU type: never reaches the engine or the log (the batch
+        // replay path aborts on infeasible jobs). The owner sees the verdict
+        // via query.
+        CRIUS_COUNTER_INC("serve.infeasible");
+        std::lock_guard<std::mutex> lock(state_mu_);
+        statuses_[job.id].state = "infeasible";
+        ++stats_.infeasible;
+      }
+      break;
+    }
+    case ServeCommand::Kind::kCancel:
+      engine_.InjectCancel(virtual_now_, cmd.job_id);
+      if (log_ != nullptr) {
+        log_->AppendCancel(virtual_now_, cmd.job_id);
+      }
+      break;
+    case ServeCommand::Kind::kFailNode: {
+      FailureEvent e;
+      e.time = virtual_now_;
+      e.kind = FailureKind::kNodeFail;
+      e.node_id = cmd.node_id;
+      engine_.InjectFailure(e);
+      if (log_ != nullptr) {
+        log_->AppendFailNode(virtual_now_, cmd.node_id);
+      }
+      break;
+    }
+    case ServeCommand::Kind::kRecoverNode: {
+      FailureEvent e;
+      e.time = virtual_now_;
+      e.kind = FailureKind::kNodeRecover;
+      e.node_id = cmd.node_id;
+      engine_.InjectFailure(e);
+      if (log_ != nullptr) {
+        log_->AppendRecoverNode(virtual_now_, cmd.node_id);
+      }
+      break;
+    }
+    case ServeCommand::Kind::kShutdown:
+      // Handled by the loop (needs to break out); nothing to apply.
+      break;
+  }
+}
+
+void Controller::RefreshSnapshot() {
+  // Per-job statuses from the engine, and the queued-wait feedback for the
+  // starvation guard. active_ids_ only holds jobs the engine accepted;
+  // finished/dropped ones are retired from the scan (their status is final).
+  double oldest_wait = 0.0;
+  std::vector<std::pair<int64_t, JobStatus>> updates;
+  updates.reserve(active_ids_.size());
+  size_t kept = 0;
+  for (int64_t id : active_ids_) {
+    const JobState* state = engine_.FindJob(id);
+    if (state == nullptr) {
+      continue;
+    }
+    JobStatus status;
+    status.known = true;
+    status.state = PhaseName(state->phase);
+    status.submit_time = state->job.submit_time;
+    status.first_start = state->first_start;
+    status.finish_time = state->finish_time;
+    status.restarts = state->num_restarts;
+    updates.emplace_back(id, status);
+    const bool final_phase =
+        state->phase == JobPhase::kFinished || state->phase == JobPhase::kDropped;
+    if (!final_phase) {
+      active_ids_[kept++] = id;
+      if (state->phase == JobPhase::kQueued) {
+        oldest_wait = std::max(oldest_wait, virtual_now_ - state->job.submit_time);
+      }
+    }
+  }
+  active_ids_.resize(kept);
+
+  Stats stats;
+  stats.virtual_now = virtual_now_;
+  stats.live_jobs = engine_.LiveJobs();
+  stats.running_jobs = engine_.RunningJobs();
+  stats.queued_jobs = engine_.QueuedJobs();
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    for (auto& [id, status] : updates) {
+      statuses_[id] = std::move(status);
+    }
+    stats_.virtual_now = stats.virtual_now;
+    stats_.live_jobs = stats.live_jobs;
+    stats_.running_jobs = stats.running_jobs;
+    stats_.queued_jobs = stats.queued_jobs;
+    ++stats_.ticks;
+  }
+  queue_.UpdateClusterView(stats.queued_jobs, oldest_wait, false);
+}
+
+void Controller::RunLoop() {
+  while (true) {
+    if (ShutdownRequested()) {
+      // Signal-initiated stop: flush what we have, do NOT drain -- the
+      // session log stays valid but marks a truncated (non-replayable to the
+      // end) session.
+      interrupted_.store(true, std::memory_order_release);
+      break;
+    }
+    CRIUS_TRACE_SPAN("serve.tick");
+    CRIUS_COUNTER_INC("serve.ticks");
+    std::vector<ServeCommand> cmds = queue_.Drain();
+    virtual_now_ += config_.tick_virtual_seconds;
+    bool shutdown = false;
+    const auto applied_wall = std::chrono::steady_clock::now();
+    for (const ServeCommand& cmd : cmds) {
+      if (cmd.kind == ServeCommand::Kind::kShutdown) {
+        shutdown = true;
+        drain_on_shutdown_ = cmd.drain;
+        continue;
+      }
+      ApplyCommand(cmd);
+      const double latency_ms =
+          std::chrono::duration<double, std::milli>(applied_wall - cmd.enqueue_wall).count();
+      CRIUS_HISTOGRAM_RECORD("serve.decision_latency_ms", latency_ms);
+      std::lock_guard<std::mutex> lock(state_mu_);
+      latencies_ms_.push_back(latency_ms);
+    }
+    {
+      CRIUS_TRACE_SPAN("serve.advance");
+      engine_.AdvanceTo(virtual_now_);
+    }
+    RefreshSnapshot();
+    if (shutdown) {
+      if (drain_on_shutdown_) {
+        CRIUS_TRACE_SPAN("serve.drain");
+        engine_.Drain();
+        // A signal during the drain leaves the session un-drained.
+        interrupted_.store(ShutdownRequested(), std::memory_order_release);
+        virtual_now_ = std::max(virtual_now_, engine_.now());
+        RefreshSnapshot();
+      }
+      break;
+    }
+    if (config_.tick_wall_seconds > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(config_.tick_wall_seconds));
+    }
+  }
+  if (log_ != nullptr) {
+    log_->Flush();
+  }
+  done_.store(true, std::memory_order_release);
+}
+
+}  // namespace crius

@@ -1,0 +1,91 @@
+#include "src/serve/event_queue.h"
+
+#include <string>
+#include <utility>
+
+#include "src/util/counters.h"
+
+namespace crius {
+
+const char* RejectReasonName(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kNone:
+      return "none";
+    case RejectReason::kQueueFull:
+      return "queue_full";
+    case RejectReason::kClusterSaturated:
+      return "cluster_saturated";
+    case RejectReason::kStarvationGuard:
+      return "starvation_guard";
+    case RejectReason::kShuttingDown:
+      return "shutting_down";
+    case RejectReason::kInfeasible:
+      return "infeasible";
+    case RejectReason::kUnknownJob:
+      return "unknown_job";
+    case RejectReason::kBadRequest:
+      return "bad_request";
+  }
+  return "unknown";
+}
+
+EventQueue::EventQueue(EventQueueConfig config) : config_(config) {}
+
+std::optional<RejectReason> EventQueue::TryPush(ServeCommand cmd) {
+  std::optional<RejectReason> reject;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutting_down_ && cmd.kind != ServeCommand::Kind::kShutdown) {
+      reject = RejectReason::kShuttingDown;
+    } else if (queue_.size() >= config_.capacity && cmd.kind != ServeCommand::Kind::kShutdown) {
+      reject = RejectReason::kQueueFull;
+    } else if (cmd.kind == ServeCommand::Kind::kSubmit) {
+      if (config_.max_pending_jobs > 0 && queued_jobs_ >= config_.max_pending_jobs) {
+        reject = RejectReason::kClusterSaturated;
+      } else if (config_.starvation_wait > 0.0 && oldest_wait_ > config_.starvation_wait) {
+        reject = RejectReason::kStarvationGuard;
+      }
+    }
+    if (!reject.has_value()) {
+      cmd.seq = next_seq_++;
+      cmd.enqueue_wall = std::chrono::steady_clock::now();
+      if (cmd.kind == ServeCommand::Kind::kShutdown) {
+        shutting_down_ = true;
+      }
+      queue_.push_back(std::move(cmd));
+    }
+  }
+  if (reject.has_value()) {
+    CRIUS_COUNTER_INC("serve.ingress.rejected");
+    // Per-reason counter: the name varies at runtime, so this bypasses the
+    // static-entry macro and pays the registry lookup.
+    CounterRegistry::Global()
+        .GetCounter(std::string("serve.ingress.rejected.") + RejectReasonName(*reject))
+        .Add(1);
+  } else {
+    CRIUS_COUNTER_INC("serve.ingress.accepted");
+  }
+  return reject;
+}
+
+std::vector<ServeCommand> EventQueue::Drain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ServeCommand> out(queue_.begin(), queue_.end());
+  queue_.clear();
+  return out;
+}
+
+void EventQueue::UpdateClusterView(int queued_jobs, double oldest_wait, bool shutting_down) {
+  std::lock_guard<std::mutex> lock(mu_);
+  queued_jobs_ = queued_jobs;
+  oldest_wait_ = oldest_wait;
+  // Shutdown latches: once requested it is never un-requested.
+  shutting_down_ = shutting_down_ || shutting_down;
+}
+
+size_t EventQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace crius

@@ -1,0 +1,115 @@
+// Bounded, thread-safe command queue between the ingress threads and the
+// controller's round loop, with admission control.
+//
+// Ingress (socket handler threads, bench client threads) calls TryPush; the
+// controller drains the queue once per tick and feeds back a view of the
+// cluster (UpdateClusterView) that the admission checks read. All admission
+// policy lives here so it is unit-testable without sockets or a controller:
+//
+//   * kQueueFull         -- the command queue itself is at capacity
+//                           (backpressure: the controller is not keeping up).
+//   * kClusterSaturated  -- too many jobs already waiting for GPUs
+//                           (max_pending_jobs); admitting more would only
+//                           grow the queue, so the submitter is told to back
+//                           off with a machine-readable reason instead.
+//   * kStarvationGuard   -- the oldest queued job has waited longer than
+//                           starvation_wait (virtual seconds). New work is
+//                           rejected until the backlog drains, bounding how
+//                           long an admitted job can starve behind a firehose
+//                           of fresh submissions.
+//   * kShuttingDown      -- shutdown was requested; only the shutdown command
+//                           itself is still accepted.
+//
+// Only submissions are subject to the cluster-level checks; cancels and
+// health commands are operator actions that shrink load and are accepted
+// while there is queue space.
+
+#ifndef SRC_SERVE_EVENT_QUEUE_H_
+#define SRC_SERVE_EVENT_QUEUE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "src/model/job.h"
+
+namespace crius {
+
+enum class RejectReason : uint8_t {
+  kNone = 0,
+  kQueueFull,
+  kClusterSaturated,
+  kStarvationGuard,
+  kShuttingDown,
+  kInfeasible,   // job fits no GPU type (reported via query, see controller)
+  kUnknownJob,   // cancel/query for an id this session never accepted
+  kBadRequest,   // malformed or out-of-range request fields
+};
+
+// Stable machine-readable token ("queue_full", ...) used in protocol error
+// responses and counters.
+const char* RejectReasonName(RejectReason reason);
+
+// One external command, as queued for the controller.
+struct ServeCommand {
+  enum class Kind : uint8_t { kSubmit, kCancel, kFailNode, kRecoverNode, kShutdown };
+
+  Kind kind = Kind::kSubmit;
+  TrainingJob job;    // kSubmit (id already assigned by the controller)
+  int64_t job_id = -1;  // kCancel
+  int node_id = -1;     // kFailNode / kRecoverNode
+  bool drain = true;    // kShutdown: drain the system before exiting?
+
+  // Assigned by TryPush: arrival order and ingress wall time (decision
+  // latency = applied-at-tick wall time minus this).
+  uint64_t seq = 0;
+  std::chrono::steady_clock::time_point enqueue_wall{};
+};
+
+struct EventQueueConfig {
+  // Command-queue capacity (backpressure bound).
+  size_t capacity = 256;
+  // Reject submissions while this many jobs already wait for GPUs; 0 = no
+  // limit.
+  int max_pending_jobs = 0;
+  // Reject submissions while the oldest queued job has waited longer than
+  // this many virtual seconds; 0 = disabled.
+  double starvation_wait = 0.0;
+};
+
+class EventQueue {
+ public:
+  explicit EventQueue(EventQueueConfig config);
+
+  // Admission-checks and enqueues `cmd`. Returns std::nullopt on success
+  // (cmd.seq / cmd.enqueue_wall were stamped), or the rejection reason.
+  std::optional<RejectReason> TryPush(ServeCommand cmd);
+
+  // Pops every queued command, in arrival order. Controller-thread only by
+  // convention (safe from any thread).
+  std::vector<ServeCommand> Drain();
+
+  // Controller feedback after each tick: jobs currently waiting for GPUs, the
+  // oldest such job's wait in virtual seconds, and whether shutdown has been
+  // requested.
+  void UpdateClusterView(int queued_jobs, double oldest_wait, bool shutting_down);
+
+  size_t size() const;
+  const EventQueueConfig& config() const { return config_; }
+
+ private:
+  const EventQueueConfig config_;
+  mutable std::mutex mu_;
+  std::deque<ServeCommand> queue_;
+  uint64_t next_seq_ = 1;
+  int queued_jobs_ = 0;
+  double oldest_wait_ = 0.0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace crius
+
+#endif  // SRC_SERVE_EVENT_QUEUE_H_

@@ -1,0 +1,233 @@
+#include "src/serve/server.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "src/util/counters.h"
+#include "src/util/threadpool.h"
+
+namespace crius {
+namespace serve {
+
+namespace {
+
+constexpr int kPollTimeoutMs = 50;
+
+void SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) {
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  }
+}
+
+bool FillSockaddr(const std::string& path, sockaddr_un* addr, std::string* error) {
+  if (path.size() >= sizeof(addr->sun_path)) {
+    *error = "socket path too long: " + path;
+    return false;
+  }
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sun_family = AF_UNIX;
+  std::memcpy(addr->sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+
+}  // namespace
+
+Server::Server(std::string socket_path, Handler handler)
+    : socket_path_(std::move(socket_path)), handler_(std::move(handler)) {}
+
+Server::~Server() { Stop(); }
+
+bool Server::Start(std::string* error) {
+  sockaddr_un addr;
+  if (!FillSockaddr(socket_path_, &addr, error)) {
+    return false;
+  }
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    *error = std::string("socket(): ") + std::strerror(errno);
+    return false;
+  }
+  ::unlink(socket_path_.c_str());  // stale file from a previous run
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    *error = "bind(" + socket_path_ + "): " + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    *error = std::string("listen(): ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  SetNonBlocking(listen_fd_);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { PollLoop(); });
+  return true;
+}
+
+void Server::Stop() {
+  if (!running_.exchange(false)) {
+    if (thread_.joinable()) {
+      thread_.join();
+    }
+    return;
+  }
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+  for (Connection& conn : connections_) {
+    if (conn.fd >= 0) {
+      ::close(conn.fd);
+    }
+  }
+  connections_.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  ::unlink(socket_path_.c_str());
+}
+
+void Server::AcceptNew() {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      return;  // EAGAIN or error; poll will tell us again
+    }
+    SetNonBlocking(fd);
+    Connection conn;
+    conn.fd = fd;
+    connections_.push_back(std::move(conn));
+    CRIUS_COUNTER_INC("serve.connections");
+  }
+}
+
+void Server::ReadFrom(Connection& conn) {
+  char buf[4096];
+  while (true) {
+    const ssize_t n = ::read(conn.fd, buf, sizeof(buf));
+    if (n > 0) {
+      conn.buffer.append(buf, static_cast<size_t>(n));
+      if (static_cast<size_t>(n) < sizeof(buf)) {
+        break;  // drained what was ready
+      }
+      continue;
+    }
+    if (n == 0) {
+      conn.closed = true;  // peer closed
+    } else if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+      conn.closed = true;
+    }
+    break;
+  }
+  size_t start = 0;
+  while (true) {
+    const size_t nl = conn.buffer.find('\n', start);
+    if (nl == std::string::npos) {
+      break;
+    }
+    std::string line = conn.buffer.substr(start, nl - start);
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();
+    }
+    if (!line.empty()) {
+      conn.ready.push_back(std::move(line));
+    }
+    start = nl + 1;
+  }
+  conn.buffer.erase(0, start);
+}
+
+void Server::DispatchReady() {
+  std::vector<Connection*> busy;
+  for (Connection& conn : connections_) {
+    if (!conn.ready.empty() && !conn.closed) {
+      busy.push_back(&conn);
+    }
+  }
+  if (busy.empty()) {
+    return;
+  }
+  // One worker per connection: requests within a connection stay ordered and
+  // each fd has a single writer; independent connections are served
+  // concurrently by the shared pool.
+  ThreadPool::Global().ParallelFor(busy.size(), [&](size_t i) {
+    Connection& conn = *busy[i];
+    for (const std::string& line : conn.ready) {
+      CRIUS_COUNTER_INC("serve.requests");
+      const std::string response = handler_(line) + "\n";
+      size_t written = 0;
+      while (written < response.size()) {
+        const ssize_t n =
+            ::write(conn.fd, response.data() + written, response.size() - written);
+        if (n <= 0) {
+          if (n < 0 && errno == EINTR) {
+            continue;
+          }
+          if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            pollfd pfd{conn.fd, POLLOUT, 0};
+            ::poll(&pfd, 1, 100);  // wait for the send buffer to drain
+            continue;
+          }
+          conn.closed = true;
+          break;
+        }
+        written += static_cast<size_t>(n);
+      }
+      if (conn.closed) {
+        break;
+      }
+    }
+    conn.ready.clear();
+  });
+}
+
+void Server::PollLoop() {
+  while (running_.load(std::memory_order_acquire)) {
+    // Connections accepted this round (AcceptNew below) have no pollfd entry
+    // yet; only the first `polled` connections may be indexed into `fds`.
+    const size_t polled = connections_.size();
+    std::vector<pollfd> fds;
+    fds.push_back(pollfd{listen_fd_, POLLIN, 0});
+    for (const Connection& conn : connections_) {
+      fds.push_back(pollfd{conn.fd, POLLIN, 0});
+    }
+    const int ready = ::poll(fds.data(), fds.size(), kPollTimeoutMs);
+    if (ready < 0 && errno != EINTR) {
+      break;
+    }
+    if (ready > 0) {
+      if ((fds[0].revents & POLLIN) != 0) {
+        AcceptNew();
+      }
+      for (size_t i = 0; i < polled; ++i) {
+        const short events = fds[i + 1].revents;
+        if ((events & (POLLIN | POLLHUP | POLLERR)) != 0) {
+          ReadFrom(connections_[i]);
+        }
+      }
+      DispatchReady();
+    }
+    // Retire closed connections after dispatch so final responses go out.
+    for (size_t i = 0; i < connections_.size();) {
+      if (connections_[i].closed) {
+        ::close(connections_[i].fd);
+        connections_.erase(connections_.begin() + static_cast<long>(i));
+      } else {
+        ++i;
+      }
+    }
+  }
+}
+
+}  // namespace serve
+}  // namespace crius

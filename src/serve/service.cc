@@ -1,0 +1,122 @@
+#include "src/serve/service.h"
+
+#include <optional>
+
+#include "src/serve/protocol.h"
+
+namespace crius {
+namespace serve {
+
+namespace {
+
+std::string FromReject(std::optional<RejectReason> reject, JsonObject ok_extra = {}) {
+  if (reject.has_value()) {
+    return ErrorResponse(*reject);
+  }
+  return OkResponse(std::move(ok_extra));
+}
+
+std::string HandleSubmit(Controller& controller, const JsonObject& request) {
+  TrainingJob job;
+  std::string error;
+  if (!ParseSubmitJob(request, &job, &error)) {
+    return ErrorResponse(RejectReason::kBadRequest, error);
+  }
+  const Controller::SubmitResult result = controller.Submit(job);
+  if (!result.ok) {
+    return ErrorResponse(result.reason);
+  }
+  JsonObject extra;
+  extra["job_id"] = JsonValue::Number(static_cast<double>(result.job_id));
+  extra["status"] = JsonValue::String("queued");
+  return OkResponse(std::move(extra));
+}
+
+std::string HandleQuery(Controller& controller, const JsonObject& request) {
+  const int64_t job_id = static_cast<int64_t>(GetNumber(request, "job_id", -1.0));
+  const Controller::JobStatus status = controller.Query(job_id);
+  if (!status.known) {
+    return ErrorResponse(RejectReason::kUnknownJob);
+  }
+  JsonObject extra;
+  extra["job_id"] = JsonValue::Number(static_cast<double>(job_id));
+  extra["status"] = JsonValue::String(status.state);
+  extra["submit_time"] = JsonValue::Number(status.submit_time);
+  extra["first_start"] = JsonValue::Number(status.first_start);
+  extra["finish_time"] = JsonValue::Number(status.finish_time);
+  extra["restarts"] = JsonValue::Number(status.restarts);
+  return OkResponse(std::move(extra));
+}
+
+std::string HandleStats(Controller& controller) {
+  const Controller::Stats stats = controller.GetStats();
+  JsonObject extra;
+  extra["virtual_now"] = JsonValue::Number(stats.virtual_now);
+  extra["ticks"] = JsonValue::Number(static_cast<double>(stats.ticks));
+  extra["live_jobs"] = JsonValue::Number(stats.live_jobs);
+  extra["running_jobs"] = JsonValue::Number(stats.running_jobs);
+  extra["queued_jobs"] = JsonValue::Number(stats.queued_jobs);
+  extra["accepted"] = JsonValue::Number(static_cast<double>(stats.accepted));
+  extra["infeasible"] = JsonValue::Number(static_cast<double>(stats.infeasible));
+  extra["decisions"] = JsonValue::Number(static_cast<double>(stats.decisions));
+  extra["latency_p50_ms"] = JsonValue::Number(stats.latency_p50_ms);
+  extra["latency_p95_ms"] = JsonValue::Number(stats.latency_p95_ms);
+  extra["latency_p99_ms"] = JsonValue::Number(stats.latency_p99_ms);
+  return OkResponse(std::move(extra));
+}
+
+}  // namespace
+
+std::string HandleRequest(Controller& controller, const std::string& line) {
+  JsonObject request;
+  std::string error;
+  if (!ParseJsonObject(line, &request, &error)) {
+    return ErrorResponse(RejectReason::kBadRequest, error);
+  }
+  const std::string cmd = GetString(request, "cmd");
+  if (cmd == "submit") {
+    return HandleSubmit(controller, request);
+  }
+  if (cmd == "cancel") {
+    if (!Has(request, "job_id")) {
+      return ErrorResponse(RejectReason::kBadRequest, "cancel needs job_id");
+    }
+    return FromReject(
+        controller.Cancel(static_cast<int64_t>(GetNumber(request, "job_id", -1.0))));
+  }
+  if (cmd == "fail-node") {
+    if (!Has(request, "node_id")) {
+      return ErrorResponse(RejectReason::kBadRequest, "fail-node needs node_id");
+    }
+    return FromReject(
+        controller.FailNode(static_cast<int>(GetNumber(request, "node_id", -1.0))));
+  }
+  if (cmd == "recover-node") {
+    if (!Has(request, "node_id")) {
+      return ErrorResponse(RejectReason::kBadRequest, "recover-node needs node_id");
+    }
+    return FromReject(
+        controller.RecoverNode(static_cast<int>(GetNumber(request, "node_id", -1.0))));
+  }
+  if (cmd == "query") {
+    return HandleQuery(controller, request);
+  }
+  if (cmd == "stats") {
+    return HandleStats(controller);
+  }
+  if (cmd == "shutdown") {
+    const std::string mode = GetString(request, "mode", "drain");
+    if (mode != "drain" && mode != "now") {
+      return ErrorResponse(RejectReason::kBadRequest, "shutdown mode must be drain|now");
+    }
+    return FromReject(controller.Shutdown(mode == "drain"));
+  }
+  return ErrorResponse(RejectReason::kBadRequest, "unknown cmd '" + cmd + "'");
+}
+
+Server::Handler MakeHandler(Controller& controller) {
+  return [&controller](const std::string& line) { return HandleRequest(controller, line); };
+}
+
+}  // namespace serve
+}  // namespace crius

@@ -1,0 +1,27 @@
+// Glue between the line protocol and the Controller: one handler function
+// per daemon, dispatching parsed commands to the controller's thread-safe
+// ingress and snapshot surfaces. Shared by crius_serve (over the socket
+// Server), the service tests, and the in-process ext_serve bench.
+
+#ifndef SRC_SERVE_SERVICE_H_
+#define SRC_SERVE_SERVICE_H_
+
+#include <string>
+
+#include "src/serve/controller.h"
+#include "src/serve/server.h"
+
+namespace crius {
+namespace serve {
+
+// Handles one request line against `controller`; returns the response line.
+// Thread-safe (the controller surfaces it touches are).
+std::string HandleRequest(Controller& controller, const std::string& line);
+
+// The Server handler closure for `controller` (must outlive the server).
+Server::Handler MakeHandler(Controller& controller);
+
+}  // namespace serve
+}  // namespace crius
+
+#endif  // SRC_SERVE_SERVICE_H_

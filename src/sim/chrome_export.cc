@@ -169,8 +169,11 @@ void AppendSimTrace(const SimResult& result, TraceRecorder& recorder) {
           open = false;
           break;
         case SimEvent::Kind::kDrop:
+        case SimEvent::Kind::kCancel:
           close_span(e->time);
-          recorder.InstantEvent(track, "drop", e->time * kUsPerSecond);
+          recorder.InstantEvent(
+              track, e->kind == SimEvent::Kind::kCancel ? "cancel" : "drop",
+              e->time * kUsPerSecond);
           open = false;
           break;
         default:

@@ -18,6 +18,8 @@ const char* SimEvent::KindName(Kind kind) {
       return "finish";
     case Kind::kDrop:
       return "drop";
+    case Kind::kCancel:
+      return "cancel";
     case Kind::kFailureKill:
       return "failure_kill";
     case Kind::kNodeFail:

@@ -63,6 +63,7 @@ struct SimEvent {
     kPreempt,      // lost its GPUs to a scheduling decision, back to the queue
     kFinish,
     kDrop,
+    kCancel,       // withdrawn by its owner (serve `cancel` command / replay)
     kFailureKill,  // lost its GPUs to a hardware failure, back to the queue
     // Cluster-health events (src/fault): job_id carries the *node* id.
     kNodeFail,

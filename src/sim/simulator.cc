@@ -1,84 +1,15 @@
 #include "src/sim/simulator.h"
 
-#include <algorithm>
-#include <cmath>
-#include <limits>
-#include <map>
 #include <sstream>
+#include <string>
 
-#include "src/core/cell.h"
-#include "src/parallel/perf_model.h"
+#include "src/sim/engine.h"
 #include "src/util/check.h"
 #include "src/util/counters.h"
-#include "src/util/logging.h"
-#include "src/util/rng.h"
 #include "src/util/threadpool.h"
 #include "src/util/trace.h"
 
 namespace crius {
-
-namespace {
-
-constexpr double kEps = 1e-6;
-
-// Simulator-internal per-job bookkeeping on top of the scheduler-visible
-// JobState.
-struct SimJob {
-  JobState state;
-  Allocation alloc;          // concrete node grant while running
-  double schedulable_at = 0.0;  // submit + profiling delay
-  double reference_throughput = 0.0;
-  bool started_once = false;
-  // Arrival RoundEvent already emitted (first round the job was visible).
-  bool announced = false;
-  // Last simulation time the job's state changed (JobRecord::last_event).
-  double last_event = -1.0;
-
-  // --- Fault-model bookkeeping (src/fault) ---------------------------------
-  // Plan iteration time incl. execution jitter, excl. checkpoint overhead and
-  // straggler factors; the rate "useful work" is valued at.
-  double base_iter_time = 0.0;
-  // Checkpoint cadence and its steady-state overhead factor for this segment.
-  double ckpt_interval = 0.0;
-  double ckpt_factor = 1.0;
-  // Current allocation segment: grant time and progress at grant.
-  double grant_time = 0.0;
-  double segment_start_iters = 0.0;
-  // Set when a hardware failure killed the job; the next launch is a
-  // failure-initiated restart and closes the recovery-latency measurement.
-  bool failure_restart_pending = false;
-  double killed_at = -1.0;
-  int sched_restarts = 0;
-  int failure_restarts = 0;
-};
-
-const char* CounterNameFor(SimEvent::Kind kind) {
-  switch (kind) {
-    case SimEvent::Kind::kStart:
-      return "sim.starts";
-    case SimEvent::Kind::kRestart:
-      return "sim.restarts";
-    case SimEvent::Kind::kPreempt:
-      return "sim.preempts";
-    case SimEvent::Kind::kFinish:
-      return "sim.finishes";
-    case SimEvent::Kind::kDrop:
-      return "sim.drops";
-    case SimEvent::Kind::kFailureKill:
-      return "sim.failure_kills";
-    case SimEvent::Kind::kNodeFail:
-      return "sim.node_fails";
-    case SimEvent::Kind::kNodeRecover:
-      return "sim.node_recovers";
-    case SimEvent::Kind::kStragglerStart:
-      return "sim.straggler_starts";
-    case SimEvent::Kind::kStragglerEnd:
-      return "sim.straggler_ends";
-  }
-  return "sim.events";
-}
-
-}  // namespace
 
 std::vector<std::string> SimConfig::Validate(const Cluster& cluster) const {
   std::vector<std::string> errors;
@@ -101,6 +32,9 @@ std::vector<std::string> SimConfig::Validate(const Cluster& cluster) const {
     require(e.node_id >= 0 && e.node_id < num_nodes,
             "failure event for unknown node " + std::to_string(e.node_id));
   }
+  for (const JobCancelEvent& e : cancels) {
+    require(e.time >= 0.0, "cancel event with negative time");
+  }
   return errors;
 }
 
@@ -119,24 +53,27 @@ Simulator::Simulator(const Cluster& cluster, SimConfig config)
 
 SimResult Simulator::Run(Scheduler& scheduler, PerformanceOracle& oracle,
                          const std::vector<TrainingJob>& trace) {
-  Cluster cluster = cluster_template_;
-  SimResult result;
-  result.scheduler = scheduler.name();
-
   CRIUS_TRACE_SPAN_ARGS("sim.run", "{\"jobs\": " + std::to_string(trace.size()) + "}");
   CRIUS_COUNTER_INC("sim.runs");
 
-  std::vector<SimJob> jobs(trace.size());
+  SimEngine engine(cluster_template_, config_, scheduler, oracle);
+
   // Startup prepass: per-job profiling delay and reference throughput dominate
   // cold-start time (they fault in the oracle's explorer/estimator caches).
   // Both are pure functions of (job, cluster), so they fan out over the global
   // pool into per-job slots; observability records and feasibility checks then
-  // run sequentially so output is identical across thread counts.
+  // run sequentially (inside AddJob) so output is identical across thread
+  // counts.
   std::vector<double> profile_delays(trace.size(), 0.0);
   std::vector<double> ref_throughputs(trace.size(), 0.0);
   {
     CRIUS_TRACE_SPAN_ARGS("sim.startup_prepass",
                           "{\"jobs\": " + std::to_string(trace.size()) + "}");
+    // The engine's working cluster copy (still pristine here) rather than the
+    // template: CriusScheduler keys its cells memo on Cluster::identity(), so
+    // warming against the copy the rounds will actually see keeps the prepass
+    // cache-priming effective.
+    const Cluster& cluster = engine.cluster();
     ThreadPool::Global().ParallelFor(trace.size(), [&](size_t i) {
       if (config_.charge_profiling) {
         profile_delays[i] = scheduler.ProfilingDelay(trace[i], cluster);
@@ -145,512 +82,11 @@ SimResult Simulator::Run(Scheduler& scheduler, PerformanceOracle& oracle,
     });
   }
   for (size_t i = 0; i < trace.size(); ++i) {
-    jobs[i].state.job = trace[i];
-    jobs[i].state.phase = JobPhase::kQueued;
-    if (config_.charge_profiling) {
-      CRIUS_HISTOGRAM_RECORD("sim.profile_delay_s", profile_delays[i]);
-    }
-    jobs[i].schedulable_at = trace[i].submit_time + profile_delays[i];
-    jobs[i].reference_throughput = ref_throughputs[i];
-    CRIUS_CHECK_MSG(jobs[i].reference_throughput > 0.0,
-                    "trace job " << trace[i].id << " infeasible everywhere");
+    engine.AddJob(trace[i], profile_delays[i], ref_throughputs[i]);
   }
 
-  double trace_end = 0.0;
-  for (const TrainingJob& job : trace) {
-    trace_end = std::max(trace_end, job.submit_time);
-  }
-  const double max_time = std::max(trace_end, 1.0) * config_.max_time_factor +
-                          24.0 * kHour;
-
-  // Typed deltas accumulated since the scheduler last ran, handed to it in
-  // the next RoundContext. Every job transition and cluster-health mutation
-  // below appends here (the RoundContext completeness contract), so
-  // incremental schedulers may trust the delta instead of re-deriving state.
-  std::vector<RoundEvent> round_events;
-
-  // Advances a running job's progress from t0 to t1.
-  auto advance = [&](SimJob& sj, double t0, double t1) {
-    if (sj.state.phase != JobPhase::kRunning) {
-      return;
-    }
-    const double from = std::max(t0, sj.state.blocked_until);
-    if (from >= t1 || sj.state.iter_time <= 0.0) {
-      return;
-    }
-    sj.state.iters_done += (t1 - from) / sj.state.iter_time;
-  };
-
-  // Exact completion time of a running job; +inf otherwise.
-  auto completion_time = [&](const SimJob& sj, double now) {
-    if (sj.state.phase != JobPhase::kRunning || sj.state.iter_time <= 0.0) {
-      return std::numeric_limits<double>::infinity();
-    }
-    const double from = std::max(now, sj.state.blocked_until);
-    return from + sj.state.remaining_iters() * sj.state.iter_time;
-  };
-
-  auto record = [&](SimJob& sj, double time, SimEvent::Kind kind,
-                    std::string placement = "") {
-    CounterRegistry::Global().GetCounter(CounterNameFor(kind)).Add(1);
-    sj.last_event = time;
-    if (config_.record_events) {
-      result.events.push_back(SimEvent{time, kind, sj.state.job.id, std::move(placement)});
-    }
-  };
-
-  // Cluster-health events carry the node id in the job_id field.
-  auto record_cluster = [&](double time, SimEvent::Kind kind, int node_id,
-                            std::string detail) {
-    CounterRegistry::Global().GetCounter(CounterNameFor(kind)).Add(1);
-    if (config_.record_events) {
-      result.events.push_back(SimEvent{time, kind, node_id, std::move(detail)});
-    }
-  };
-
-  // Closes the GPU-second ledger for a job's current allocation segment at
-  // time `t`. Every iteration gained in the segment survived, valued at the
-  // plan's base rate; the rest of the hold time (restart stall, checkpoint
-  // writes, straggler stretch) is overhead.
-  auto settle_segment = [&](SimJob& sj, double t) {
-    const double held = (t - sj.grant_time) * static_cast<double>(sj.state.ngpus);
-    result.total_gpu_seconds += held;
-    const double gained = sj.state.iters_done - sj.segment_start_iters;
-    result.useful_gpu_seconds +=
-        gained * sj.base_iter_time * static_cast<double>(sj.state.ngpus);
-  };
-
-  // Same, but a hardware failure ends the segment: progress since the last
-  // completed checkpoint is destroyed (all of it when checkpointing is off)
-  // and rolls iters_done back, landing in the lost-work ledger.
-  auto settle_segment_failed = [&](SimJob& sj, double t) {
-    const double held = (t - sj.grant_time) * static_cast<double>(sj.state.ngpus);
-    result.total_gpu_seconds += held;
-    const double gained = sj.state.iters_done - sj.segment_start_iters;
-    double preserved = 0.0;
-    if (gained > 0.0 && sj.state.iter_time > 0.0) {
-      // Checkpoints complete every ckpt_interval seconds of wall progress.
-      const double progress_seconds = gained * sj.state.iter_time;
-      preserved =
-          PreservedProgress(sj.ckpt_interval, progress_seconds) / sj.state.iter_time;
-    }
-    const double lost = gained - preserved;
-    sj.state.iters_done = sj.segment_start_iters + preserved;
-    result.useful_gpu_seconds +=
-        preserved * sj.base_iter_time * static_cast<double>(sj.state.ngpus);
-    result.lost_gpu_seconds +=
-        lost * sj.base_iter_time * static_cast<double>(sj.state.ngpus);
-    CRIUS_HISTOGRAM_RECORD("sim.lost_iters_per_kill", lost);
-  };
-
-  // Kills a running job whose hardware failed: rolls progress back to the last
-  // checkpoint, releases the grant, and requeues it for the recovery round.
-  auto kill_job = [&](SimJob& sj, double now) {
-    settle_segment_failed(sj, now);
-    cluster.Release(sj.alloc);
-    sj.alloc = Allocation{};
-    sj.state.phase = JobPhase::kQueued;
-    sj.state.ngpus = 0;
-    sj.state.nstages = 0;
-    sj.state.iter_time = 0.0;
-    sj.failure_restart_pending = true;
-    sj.killed_at = now;
-    ++result.failure_kills;
-    record(sj, now, SimEvent::Kind::kFailureKill);
-    round_events.push_back(RoundEvent::JobPhaseChange(sj.state.job.id));
-  };
-
-  // Re-derives the realized iteration time of every running job touching
-  // `node_id` after its straggler factor changed.
-  auto refresh_slowdowns = [&](int node_id) {
-    for (SimJob& sj : jobs) {
-      if (sj.state.phase != JobPhase::kRunning) {
-        continue;
-      }
-      bool touches = false;
-      for (const auto& [id, count] : sj.alloc.node_gpus) {
-        (void)count;
-        touches = touches || id == node_id;
-      }
-      if (touches) {
-        sj.state.iter_time = DegradedIterTime(sj.base_iter_time * sj.ckpt_factor,
-                                              cluster.MaxSlowdown(sj.alloc));
-      }
-    }
-  };
-
-  // Applies one cluster-health event at time `now`. Returns true when the
-  // change warrants an immediate scheduling round.
-  auto apply_fault = [&](const FailureEvent& e, double now) {
-    const NodeInfo& node = cluster.nodes()[e.node_id];
-    switch (e.kind) {
-      case FailureKind::kNodeFail:
-      case FailureKind::kGpuFail: {
-        const int usable_on_node = node.total_gpus - node.failed_gpus;
-        const int want = std::min(
-            e.kind == FailureKind::kGpuFail ? std::max(1, e.gpus) : usable_on_node,
-            usable_on_node);
-        if (want <= 0) {
-          return false;  // node already fully failed
-        }
-        // Allocated devices cannot fail in place: any job holding GPUs on the
-        // node aborts (NCCL-style collective failure), freeing them. Lowest
-        // job id first for determinism.
-        while (cluster.nodes()[e.node_id].free_gpus < want) {
-          SimJob* victim = nullptr;
-          for (SimJob& sj : jobs) {
-            if (sj.state.phase != JobPhase::kRunning) {
-              continue;
-            }
-            for (const auto& [id, count] : sj.alloc.node_gpus) {
-              (void)count;
-              if (id == e.node_id && (victim == nullptr ||
-                                      sj.state.job.id < victim->state.job.id)) {
-                victim = &sj;
-              }
-            }
-          }
-          if (victim == nullptr) {
-            break;  // nothing left to kill; clamp to what is free
-          }
-          kill_job(*victim, now);
-        }
-        const int failed = cluster.MarkFailed(e.node_id, want);
-        ++result.failure_events;
-        record_cluster(now, SimEvent::Kind::kNodeFail, e.node_id,
-                       GpuName(node.type) + "x" + std::to_string(failed));
-        round_events.push_back(RoundEvent::NodeFail(e.node_id, node.type));
-        return true;
-      }
-      case FailureKind::kNodeRecover:
-      case FailureKind::kGpuRecover: {
-        const int recovered = cluster.MarkRecovered(
-            e.node_id, e.kind == FailureKind::kGpuRecover ? std::max(1, e.gpus) : 0);
-        if (recovered == 0) {
-          return false;
-        }
-        record_cluster(now, SimEvent::Kind::kNodeRecover, e.node_id,
-                       GpuName(node.type) + "x" + std::to_string(recovered));
-        round_events.push_back(RoundEvent::NodeRecover(e.node_id, node.type));
-        return true;
-      }
-      case FailureKind::kStragglerStart: {
-        cluster.SetNodeSlowdown(e.node_id, std::max(1.0, e.slowdown));
-        refresh_slowdowns(e.node_id);
-        std::ostringstream factor;
-        factor << "x" << std::max(1.0, e.slowdown);
-        record_cluster(now, SimEvent::Kind::kStragglerStart, e.node_id, factor.str());
-        round_events.push_back(
-            RoundEvent::SlowdownChange(e.node_id, node.type, std::max(1.0, e.slowdown)));
-        return true;
-      }
-      case FailureKind::kStragglerEnd: {
-        cluster.SetNodeSlowdown(e.node_id, 1.0);
-        refresh_slowdowns(e.node_id);
-        record_cluster(now, SimEvent::Kind::kStragglerEnd, e.node_id, "");
-        round_events.push_back(RoundEvent::SlowdownChange(e.node_id, node.type, 1.0));
-        return true;
-      }
-    }
-    return false;
-  };
-
-  // Applies one scheduling decision at time `now`.
-  auto apply_decision = [&](double now, const ScheduleDecision& decision) {
-    // Reject contradictory decisions outright: a job both assigned and
-    // dropped would be started and then torn down in the same round, which is
-    // never what a scheduler means.
-    for (int64_t id : decision.dropped) {
-      CRIUS_CHECK_MSG(decision.assignments.find(id) == decision.assignments.end(),
-                      scheduler.name() << " decision both assigns and drops job " << id);
-    }
-
-    // Drops first.
-    for (int64_t id : decision.dropped) {
-      SimJob& sj = jobs[static_cast<size_t>(id)];
-      if (sj.state.phase == JobPhase::kQueued) {
-        sj.state.phase = JobPhase::kDropped;
-        record(sj, now, SimEvent::Kind::kDrop);
-        round_events.push_back(RoundEvent::JobDrop(sj.state.job.id));
-      }
-    }
-
-    // Releases: running jobs whose assignment vanished or changed.
-    std::vector<std::pair<size_t, Assignment>> to_start;
-    for (size_t i = 0; i < jobs.size(); ++i) {
-      SimJob& sj = jobs[i];
-      if (sj.state.phase != JobPhase::kRunning && sj.state.phase != JobPhase::kQueued) {
-        continue;
-      }
-      if (now < sj.schedulable_at) {
-        continue;
-      }
-      const auto it = decision.assignments.find(sj.state.job.id);
-      if (sj.state.phase == JobPhase::kRunning) {
-        const bool keep = it != decision.assignments.end() && it->second.type == sj.state.gpu_type &&
-                          it->second.ngpus == sj.state.ngpus &&
-                          (it->second.nstages == 0 || it->second.nstages == sj.state.nstages);
-        if (keep) {
-          sj.state.opportunistic = it->second.opportunistic;
-          continue;
-        }
-        // Preempt / reschedule: release now, maybe restart below.
-        settle_segment(sj, now);
-        cluster.Release(sj.alloc);
-        sj.alloc = Allocation{};
-        sj.state.phase = JobPhase::kQueued;
-        sj.state.ngpus = 0;
-        sj.state.nstages = 0;
-        sj.state.iter_time = 0.0;
-        if (it == decision.assignments.end()) {
-          record(sj, now, SimEvent::Kind::kPreempt);
-          round_events.push_back(RoundEvent::JobPhaseChange(sj.state.job.id));
-        }
-      }
-      if (it != decision.assignments.end()) {
-        to_start.emplace_back(i, it->second);
-      }
-    }
-
-    // Starts / restarts.
-    for (const auto& [i, a] : to_start) {
-      SimJob& sj = jobs[i];
-      CRIUS_CHECK(sj.state.phase == JobPhase::kQueued);
-      CRIUS_CHECK_MSG(a.ngpus > 0, "empty assignment for job " << sj.state.job.id);
-      auto alloc = cluster.Allocate(a.type, a.ngpus);
-      CRIUS_CHECK_MSG(alloc.has_value(), scheduler.name()
-                                             << " oversubscribed " << GpuName(a.type) << " by job "
-                                             << sj.state.job.id);
-      double iter_time = 0.0;
-      if (a.nstages > 0) {
-        // Crius: run the Cell-guided tuned plan.
-        const Cell cell{a.type, a.ngpus, a.nstages};
-        const TuneResult& tuned = oracle.TuneCell(sj.state.job.spec, cell);
-        if (tuned.best.has_value()) {
-          iter_time = tuned.best->iter_time;
-        }
-      }
-      if (iter_time <= 0.0) {
-        const std::optional<PlanChoice>& best =
-            oracle.BestAdaptive(sj.state.job.spec, a.type, a.ngpus);
-        CRIUS_CHECK_MSG(best.has_value(), scheduler.name()
-                                              << " scheduled infeasible shape for job "
-                                              << sj.state.job.id);
-        iter_time = best->iter_time;
-      }
-      if (config_.execution_jitter > 0.0) {
-        uint64_t key = static_cast<uint64_t>(sj.state.job.id);
-        key = HashCombine(key, static_cast<uint64_t>(a.type));
-        key = HashCombine(key, static_cast<uint64_t>(a.ngpus));
-        iter_time *= HashJitter(config_.jitter_seed, key, config_.execution_jitter);
-      }
-
-      sj.alloc = std::move(*alloc);
-      sj.state.phase = JobPhase::kRunning;
-      sj.state.gpu_type = a.type;
-      sj.state.ngpus = a.ngpus;
-      sj.state.nstages = a.nstages;
-      // Realized rate: plan latency, stretched by the periodic-checkpoint
-      // overhead and the worst straggler among the granted nodes.
-      sj.base_iter_time = iter_time;
-      sj.ckpt_interval = EffectiveCheckpointInterval(config_.checkpoint, config_.node_mtbf,
-                                                     sj.alloc.num_nodes());
-      sj.ckpt_factor = CheckpointOverheadFactor(sj.ckpt_interval, config_.checkpoint.cost);
-      sj.state.iter_time =
-          DegradedIterTime(iter_time * sj.ckpt_factor, cluster.MaxSlowdown(sj.alloc));
-      sj.state.opportunistic = a.opportunistic;
-      sj.grant_time = now;
-      sj.segment_start_iters = sj.state.iters_done;
-      double restart_cost = config_.restart_overhead;
-      if (config_.checkpoint_bandwidth > 0.0) {
-        restart_cost += 2.0 * GetOpGraph(sj.state.job.spec).TotalParamBytes() /
-                        config_.checkpoint_bandwidth;
-      }
-      CRIUS_HISTOGRAM_RECORD("sim.restart_cost_s", restart_cost);
-      sj.state.blocked_until = now + restart_cost;
-      const Cell placement{a.type, a.ngpus, std::max(1, a.nstages)};
-      if (!sj.started_once) {
-        sj.started_once = true;
-        sj.state.first_start = now;
-        record(sj, now, SimEvent::Kind::kStart, placement.ToString());
-      } else {
-        ++sj.state.num_restarts;
-        if (sj.failure_restart_pending) {
-          sj.failure_restart_pending = false;
-          ++sj.failure_restarts;
-          // Recovery ends when the job computes again, not when it is placed.
-          const double latency = sj.state.blocked_until - sj.killed_at;
-          result.recovery_latencies.push_back(latency);
-          CRIUS_HISTOGRAM_RECORD("sim.recovery_latency_s", latency);
-        } else {
-          ++sj.sched_restarts;
-        }
-        record(sj, now, SimEvent::Kind::kRestart, placement.ToString());
-      }
-    }
-  };
-
-  // Runs one scheduler invocation over the currently visible jobs. The
-  // accumulated round_events delta is handed over and reset; when no job is
-  // visible the delta stays pending for the next real invocation so the
-  // scheduler never misses a transition.
-  auto run_scheduler = [&](double now) {
-    std::vector<const JobState*> visible;
-    for (SimJob& sj : jobs) {
-      if ((sj.state.phase == JobPhase::kQueued && now + kEps >= sj.schedulable_at &&
-           now + kEps >= sj.state.job.submit_time) ||
-          sj.state.phase == JobPhase::kRunning) {
-        visible.push_back(&sj.state);
-        if (!sj.announced) {
-          sj.announced = true;
-          round_events.push_back(RoundEvent::JobArrival(sj.state.job.id));
-        }
-      }
-    }
-    if (visible.empty()) {
-      return;
-    }
-    CRIUS_TRACE_SPAN_ARGS("sim.schedule",
-                          "{\"t\": " + std::to_string(now) +
-                              ", \"visible_jobs\": " + std::to_string(visible.size()) + "}");
-    CRIUS_COUNTER_INC("sim.sched_invocations");
-    const RoundContext round(now, std::move(visible), cluster, std::move(round_events));
-    round_events.clear();  // moved-from; restart the next round's delta empty
-    const ScheduleDecision decision = scheduler.Schedule(round);
-    apply_decision(now, decision);
-  };
-
-  auto sample_throughput = [&](double now) {
-    ThroughputSample sample;
-    sample.time = now;
-    sample.usable_gpus = cluster.UsableGpus();
-    for (const SimJob& sj : jobs) {
-      if (sj.state.phase == JobPhase::kRunning) {
-        ++sample.running_jobs;
-        sample.busy_gpus += sj.state.ngpus;
-        if (now >= sj.state.blocked_until && sj.state.iter_time > 0.0) {
-          const double thr =
-              static_cast<double>(sj.state.job.spec.global_batch) / sj.state.iter_time;
-          sample.normalized_throughput += thr / sj.reference_throughput;
-        }
-      } else if (sj.state.phase == JobPhase::kQueued && now >= sj.state.job.submit_time) {
-        ++sample.queued_jobs;
-      }
-    }
-    result.timeline.push_back(sample);
-  };
-
-  // --- Main loop --------------------------------------------------------------
-  double now = 0.0;
-  double next_round = 0.0;
-  size_t next_failure = 0;
-  int live = static_cast<int>(jobs.size());
-  while (live > 0 && now < max_time) {
-    // Next event: round boundary, earliest completion, or cluster-health
-    // change.
-    double next_completion = std::numeric_limits<double>::infinity();
-    for (const SimJob& sj : jobs) {
-      next_completion = std::min(next_completion, completion_time(sj, now));
-    }
-    double t_next = std::min(next_round, next_completion);
-    if (next_failure < config_.failures.size()) {
-      t_next = std::min(t_next, config_.failures[next_failure].time);
-    }
-    CRIUS_CHECK(t_next < std::numeric_limits<double>::infinity());
-
-    for (SimJob& sj : jobs) {
-      advance(sj, now, t_next);
-    }
-    now = t_next;
-
-    // Completions (SchedDeparture).
-    bool departed = false;
-    for (SimJob& sj : jobs) {
-      if (sj.state.phase == JobPhase::kRunning &&
-          sj.state.iters_done + kEps >= static_cast<double>(sj.state.job.iterations)) {
-        settle_segment(sj, now);
-        cluster.Release(sj.alloc);
-        sj.alloc = Allocation{};
-        sj.state.phase = JobPhase::kFinished;
-        sj.state.finish_time = now;
-        record(sj, now, SimEvent::Kind::kFinish);
-        round_events.push_back(RoundEvent::JobDeparture(sj.state.job.id));
-        departed = true;
-      }
-    }
-    if (departed) {
-      run_scheduler(now);
-    }
-
-    // Cluster-health changes: kill affected jobs, then re-schedule immediately
-    // against the surviving hardware (Crius re-derives Cells; baselines
-    // requeue).
-    bool churn = false;
-    while (next_failure < config_.failures.size() &&
-           config_.failures[next_failure].time <= now + kEps) {
-      churn = apply_fault(config_.failures[next_failure], now) || churn;
-      ++next_failure;
-    }
-    if (churn) {
-      run_scheduler(now);
-    }
-
-    // Round boundary (SchedArrival + periodic rescheduling).
-    if (now + kEps >= next_round) {
-      run_scheduler(now);
-      sample_throughput(now);
-      next_round += config_.schedule_interval;
-      // Per-round chatter: kInfo when the caller asked for it, kDebug
-      // otherwise so CRIUS_LOG_LEVEL=debug surfaces it without a code change.
-      {
-        std::ostringstream round_msg;
-        round_msg << scheduler.name() << " t=" << now << " live=" << live;
-        LogMessage(config_.verbose ? LogLevel::kInfo : LogLevel::kDebug,
-                   round_msg.str());
-      }
-    }
-
-    live = 0;
-    for (const SimJob& sj : jobs) {
-      if (sj.state.phase == JobPhase::kQueued || sj.state.phase == JobPhase::kRunning) {
-        ++live;
-      }
-    }
-  }
-
-  // --- Records -----------------------------------------------------------------
-  for (SimJob& sj : jobs) {
-    // Jobs still live when the simulation stopped were last observed now; any
-    // still-held grant settles its GPU-second ledger at the horizon.
-    if (sj.state.phase == JobPhase::kQueued || sj.state.phase == JobPhase::kRunning) {
-      sj.last_event = now;
-      if (sj.state.phase == JobPhase::kRunning) {
-        settle_segment(sj, now);
-      }
-    }
-  }
-  for (const SimJob& sj : jobs) {
-    JobRecord r;
-    r.id = sj.state.job.id;
-    r.submit = sj.state.job.submit_time;
-    r.first_start = sj.state.first_start;
-    r.finish = sj.state.finish_time;
-    r.ideal_duration = static_cast<double>(sj.state.job.iterations) *
-                       static_cast<double>(sj.state.job.spec.global_batch) /
-                       sj.reference_throughput;
-    r.last_event = sj.last_event;
-    r.restarts = sj.state.num_restarts;
-    r.sched_restarts = sj.sched_restarts;
-    r.failure_restarts = sj.failure_restarts;
-    r.finished = sj.state.phase == JobPhase::kFinished;
-    r.dropped = sj.state.phase == JobPhase::kDropped;
-    r.had_deadline = sj.state.job.deadline.has_value();
-    r.deadline_met = r.finished && r.had_deadline && r.finish <= *sj.state.job.deadline;
-    result.jobs.push_back(r);
-  }
-  result.cluster_gpus = cluster.TotalGpus();
-  result.Finalize();
-  return result;
+  engine.Drain();
+  return engine.Finish();
 }
 
 }  // namespace crius

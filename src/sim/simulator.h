@@ -23,6 +23,13 @@
 
 namespace crius {
 
+// A job withdrawn by its owner at `time` (the serve subsystem's `cancel`
+// command; a recorded live session replays these through the batch simulator).
+struct JobCancelEvent {
+  double time = 0.0;
+  int64_t job_id = -1;
+};
+
 struct SimConfig {
   // Scheduling round interval (the paper uses 5 minutes).
   double schedule_interval = 5.0 * kMinute;
@@ -65,11 +72,17 @@ struct SimConfig {
   // unknown (Young/Daly then falls back to checkpoint.interval).
   double node_mtbf = 0.0;
 
+  // Owner-initiated job withdrawals, applied in (time, job_id) order between
+  // completions and cluster-health changes each step. Cancels of jobs that
+  // already finished/dropped are ignored, so a replayed session log may carry
+  // them verbatim.
+  std::vector<JobCancelEvent> cancels;
+
   // Collects every configuration error at once (empty = valid): non-positive
-  // schedule_interval, negative overheads/bandwidths/factors, and fault
-  // events with negative times or node ids outside `cluster`. Callers that
-  // can report to a human (crius_sim) print the full list; the Simulator
-  // constructor aborts listing all of them.
+  // schedule_interval, negative overheads/bandwidths/factors, fault events
+  // with negative times or node ids outside `cluster`, and cancels with
+  // negative times. Callers that can report to a human (crius_sim) print the
+  // full list; the Simulator constructor aborts listing all of them.
   std::vector<std::string> Validate(const Cluster& cluster) const;
 };
 

@@ -6,47 +6,11 @@
 #include <vector>
 
 #include "src/util/check.h"
+#include "src/util/csv.h"
 
 namespace crius {
 
 namespace {
-
-// Splits one CSV line on commas (no quoting needed for these schemas).
-std::vector<std::string> SplitCsv(const std::string& line) {
-  std::vector<std::string> fields;
-  std::string field;
-  for (char c : line) {
-    if (c == ',') {
-      fields.push_back(field);
-      field.clear();
-    } else if (c != '\r') {
-      field += c;
-    }
-  }
-  fields.push_back(field);
-  return fields;
-}
-
-double ParseDouble(const std::string& s, const char* what, int line_no) {
-  CRIUS_CHECK_MSG(!s.empty(), "trace CSV line " << line_no << ": empty " << what);
-  size_t pos = 0;
-  double v = 0.0;
-  bool ok = true;
-  try {
-    v = std::stod(s, &pos);
-  } catch (const std::exception&) {
-    ok = false;
-  }
-  CRIUS_CHECK_MSG(ok && pos == s.size(),
-                  "trace CSV line " << line_no << ": bad " << what << " '" << s << "'");
-  return v;
-}
-
-int64_t ParseInt(const std::string& s, const char* what, int line_no) {
-  const double v = ParseDouble(s, what, line_no);
-  CRIUS_CHECK_MSG(v == std::floor(v), "trace CSV line " << line_no << ": non-integer " << what);
-  return static_cast<int64_t>(v);
-}
 
 ModelFamily ParseFamily(const std::string& s, int line_no) {
   for (ModelFamily f : {ModelFamily::kWideResNet, ModelFamily::kBert, ModelFamily::kMoe}) {
@@ -85,33 +49,20 @@ bool WriteTraceCsvFile(const std::vector<TrainingJob>& trace, const std::string&
 
 std::vector<TrainingJob> ReadTraceCsv(std::istream& in) {
   std::vector<TrainingJob> trace;
-  std::string line;
-  int line_no = 0;
-  bool header_seen = false;
-  while (std::getline(in, line)) {
-    ++line_no;
-    if (line.empty()) {
-      continue;
-    }
-    if (!header_seen) {
-      header_seen = true;
-      CRIUS_CHECK_MSG(line.rfind("id,", 0) == 0, "trace CSV missing header row");
-      continue;
-    }
-    const std::vector<std::string> f = SplitCsv(line);
-    CRIUS_CHECK_MSG(f.size() == 9, "trace CSV line " << line_no << ": expected 9 fields, got "
-                                                     << f.size());
+  csv::Reader reader(in, "trace CSV", "id,");
+  while (reader.Next()) {
+    reader.ExpectFields(9);
     TrainingJob job;
-    job.id = ParseInt(f[0], "id", line_no);
-    job.spec.family = ParseFamily(f[1], line_no);
-    job.spec.params_billion = ParseDouble(f[2], "params_billion", line_no);
-    job.spec.global_batch = ParseInt(f[3], "global_batch", line_no);
-    job.iterations = ParseInt(f[4], "iterations", line_no);
-    job.submit_time = ParseDouble(f[5], "submit_time", line_no);
-    job.requested_gpus = static_cast<int>(ParseInt(f[6], "requested_gpus", line_no));
-    job.requested_type = ParseGpuType(f[7]);
-    if (!f[8].empty()) {
-      job.deadline = ParseDouble(f[8], "deadline", line_no);
+    job.id = reader.Int(0, "id");
+    job.spec.family = ParseFamily(reader.Field(1), reader.line_no());
+    job.spec.params_billion = reader.Double(2, "params_billion");
+    job.spec.global_batch = reader.Int(3, "global_batch");
+    job.iterations = reader.Int(4, "iterations");
+    job.submit_time = reader.Double(5, "submit_time");
+    job.requested_gpus = static_cast<int>(reader.Int(6, "requested_gpus"));
+    job.requested_type = ParseGpuType(reader.Field(7));
+    if (!reader.Field(8).empty()) {
+      job.deadline = reader.Double(8, "deadline");
     }
     trace.push_back(job);
   }
@@ -166,7 +117,7 @@ void WriteEventsCsv(const SimResult& result, std::ostream& out) {
   out << "time,kind,job_id,placement\n";
   for (const SimEvent& e : result.events) {
     out << e.time << ',' << SimEvent::KindName(e.kind) << ',' << e.job_id << ','
-        << e.placement << '\n';
+        << csv::EscapeField(e.placement) << '\n';
   }
 }
 

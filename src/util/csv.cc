@@ -1,0 +1,137 @@
+#include "src/util/csv.h"
+
+#include <cmath>
+#include <istream>
+#include <ostream>
+
+#include "src/util/check.h"
+
+namespace crius {
+namespace csv {
+
+std::vector<std::string> SplitLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field += '"';  // doubled quote inside a quoted field
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"' && field.empty()) {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(field);
+      field.clear();
+    } else if (c != '\r') {
+      field += c;
+    }
+  }
+  fields.push_back(field);
+  return fields;
+}
+
+std::string EscapeField(const std::string& field) {
+  bool needs_quotes = false;
+  for (char c : field) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') {
+      needs_quotes = true;
+      break;
+    }
+  }
+  if (!needs_quotes) {
+    return field;
+  }
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') {
+      out += "\"\"";
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void WriteRow(std::ostream& out, const std::vector<std::string>& fields) {
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) {
+      out << ',';
+    }
+    out << EscapeField(fields[i]);
+  }
+  out << '\n';
+}
+
+double ParseDouble(const std::string& s, const char* what, int line_no, const char* context) {
+  CRIUS_CHECK_MSG(!s.empty(), context << " line " << line_no << ": empty " << what);
+  size_t pos = 0;
+  double v = 0.0;
+  bool ok = true;
+  try {
+    v = std::stod(s, &pos);
+  } catch (const std::exception&) {
+    ok = false;
+  }
+  CRIUS_CHECK_MSG(ok && pos == s.size(),
+                  context << " line " << line_no << ": bad " << what << " '" << s << "'");
+  return v;
+}
+
+int64_t ParseInt(const std::string& s, const char* what, int line_no, const char* context) {
+  const double v = ParseDouble(s, what, line_no, context);
+  CRIUS_CHECK_MSG(v == std::floor(v),
+                  context << " line " << line_no << ": non-integer " << what);
+  return static_cast<int64_t>(v);
+}
+
+Reader::Reader(std::istream& in, std::string context, std::string header_prefix)
+    : in_(in), context_(std::move(context)), header_prefix_(std::move(header_prefix)) {}
+
+bool Reader::Next() {
+  std::string line;
+  while (std::getline(in_, line)) {
+    ++line_no_;
+    if (line.empty() || line == "\r") {
+      continue;
+    }
+    if (!header_seen_) {
+      header_seen_ = true;
+      CRIUS_CHECK_MSG(line.rfind(header_prefix_, 0) == 0, context_ << " missing header row");
+      continue;
+    }
+    fields_ = SplitLine(line);
+    return true;
+  }
+  return false;
+}
+
+void Reader::ExpectFields(size_t n) const {
+  CRIUS_CHECK_MSG(fields_.size() == n, context_ << " line " << line_no_ << ": expected " << n
+                                                << " fields, got " << fields_.size());
+}
+
+const std::string& Reader::Field(size_t i) const {
+  CRIUS_CHECK(i < fields_.size());
+  return fields_[i];
+}
+
+double Reader::Double(size_t i, const char* what) const {
+  return ParseDouble(Field(i), what, line_no_, context_.c_str());
+}
+
+int64_t Reader::Int(size_t i, const char* what) const {
+  return ParseInt(Field(i), what, line_no_, context_.c_str());
+}
+
+}  // namespace csv
+}  // namespace crius

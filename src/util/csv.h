@@ -1,0 +1,77 @@
+// Shared CSV plumbing: one splitter/escaper and one set of field parsers for
+// every CSV format the repository reads or writes (workload traces, failure
+// traces, per-job result exports, and the serve session log).
+//
+// trace_io and fault_trace_io used to hand-roll identical SplitCsv /
+// ParseDouble helpers; this header is the single copy. The splitter and
+// escaper speak RFC-4180-style quoting (fields containing commas, quotes, or
+// newlines are double-quoted with embedded quotes doubled), which the session
+// log needs for its free-form meta field; the numeric-only schemas emit the
+// same bytes as before because unremarkable fields are never quoted.
+//
+// Parse failures abort with a "<context> line N: ..." diagnostic via
+// CRIUS_CHECK: a corrupt operator-supplied CSV is worth failing loudly on.
+
+#ifndef SRC_UTIL_CSV_H_
+#define SRC_UTIL_CSV_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace crius {
+namespace csv {
+
+// Splits one CSV line into fields. Double-quoted fields may contain commas
+// and doubled quotes; '\r' is stripped outside quotes (Windows line ends).
+std::vector<std::string> SplitLine(const std::string& line);
+
+// Returns `field` ready for emission: verbatim unless it contains a comma,
+// quote, or newline, in which case it is double-quoted with internal quotes
+// doubled.
+std::string EscapeField(const std::string& field);
+
+// Writes one comma-joined row (each field escaped) plus a trailing newline.
+void WriteRow(std::ostream& out, const std::vector<std::string>& fields);
+
+// Strict numeric parsers. `what` names the column and `context` the file
+// format; both appear in the abort diagnostic, e.g.
+//   "trace CSV line 7: bad params_billion 'abc'".
+double ParseDouble(const std::string& s, const char* what, int line_no, const char* context);
+int64_t ParseInt(const std::string& s, const char* what, int line_no, const char* context);
+
+// Line-oriented CSV reader: skips blank lines, tracks line numbers, and
+// validates the header row (the first non-blank line must start with
+// `header_prefix`; aborts with "<context> missing header row" otherwise).
+class Reader {
+ public:
+  Reader(std::istream& in, std::string context, std::string header_prefix);
+
+  // Advances to the next data row; false at end of input.
+  bool Next();
+
+  // Current row accessors (valid after Next() returned true).
+  const std::vector<std::string>& fields() const { return fields_; }
+  int line_no() const { return line_no_; }
+
+  // Aborts unless the current row has exactly `n` fields.
+  void ExpectFields(size_t n) const;
+
+  const std::string& Field(size_t i) const;
+  double Double(size_t i, const char* what) const;
+  int64_t Int(size_t i, const char* what) const;
+
+ private:
+  std::istream& in_;
+  std::string context_;
+  std::string header_prefix_;
+  std::vector<std::string> fields_;
+  int line_no_ = 0;
+  bool header_seen_ = false;
+};
+
+}  // namespace csv
+}  // namespace crius
+
+#endif  // SRC_UTIL_CSV_H_

@@ -32,6 +32,13 @@ class FlagSet {
   // positional().
   bool Parse(int argc, const char* const* argv);
 
+  // Lenient variant for argv shared with another parser (the benches, whose
+  // command line also carries Google Benchmark's flags): unknown flags are
+  // skipped without consuming a following value token, and a malformed or
+  // missing value for a known flag warns on stderr and keeps the default
+  // instead of failing. Returns false only on --help.
+  bool ParseKnown(int argc, const char* const* argv);
+
   const std::vector<std::string>& positional() const { return positional_; }
 
   // Renders the --help text.

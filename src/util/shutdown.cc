@@ -1,0 +1,40 @@
+#include "src/util/shutdown.h"
+
+#include <atomic>
+#include <csignal>
+
+namespace crius {
+
+namespace {
+
+std::atomic<int> g_shutdown_signal{0};
+
+void HandleSignal(int signal_number) {
+  // Async-signal-safe: a lock-free atomic store and nothing else.
+  g_shutdown_signal.store(signal_number, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void InstallShutdownHandler() {
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+}
+
+bool ShutdownRequested() {
+  return g_shutdown_signal.load(std::memory_order_relaxed) != 0;
+}
+
+int ShutdownSignal() {
+  return g_shutdown_signal.load(std::memory_order_relaxed);
+}
+
+void RequestShutdown(int signal_number) {
+  g_shutdown_signal.store(signal_number, std::memory_order_relaxed);
+}
+
+void ResetShutdownForTest() {
+  g_shutdown_signal.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace crius

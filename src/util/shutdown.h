@@ -1,0 +1,34 @@
+// Cooperative SIGINT/SIGTERM shutdown.
+//
+// Long-running entry points (crius_sim's event loop, the crius_serve daemon)
+// install the handler once; the handler only sets an atomic flag, and the
+// main loops poll ShutdownRequested() at their next step boundary, flush
+// partial outputs (CSVs, Chrome traces, the session event log), and exit with
+// the conventional 128 + signal status. Nothing async-signal-unsafe happens
+// in the handler itself.
+
+#ifndef SRC_UTIL_SHUTDOWN_H_
+#define SRC_UTIL_SHUTDOWN_H_
+
+namespace crius {
+
+// Installs the SIGINT/SIGTERM handlers (idempotent).
+void InstallShutdownHandler();
+
+// True once a shutdown signal was received (or RequestShutdown was called).
+bool ShutdownRequested();
+
+// The signal that triggered shutdown, 0 if none yet. Tools exit with
+// 128 + ShutdownSignal() after flushing.
+int ShutdownSignal();
+
+// Programmatic trigger: used by the serve `shutdown` command and by tests in
+// place of delivering a real signal.
+void RequestShutdown(int signal_number);
+
+// Clears the flag so one test can exercise several shutdown cycles.
+void ResetShutdownForTest();
+
+}  // namespace crius
+
+#endif  // SRC_UTIL_SHUTDOWN_H_

@@ -107,6 +107,56 @@ TEST(FlagsTest, UsageListsFlagsAndDefaults) {
   EXPECT_NE(usage.find("the answer"), std::string::npos);
 }
 
+bool ParseKnownInto(Parsed& p, std::vector<const char*> args) {
+  FlagSet flags("test", "test flags");
+  flags.String("str", &p.s, "a string");
+  flags.Int("int", &p.i, "an int");
+  flags.Double("dbl", &p.d, "a double");
+  flags.Bool("flag", &p.b, "a bool");
+  args.insert(args.begin(), "test");
+  return flags.ParseKnown(static_cast<int>(args.size()), args.data());
+}
+
+TEST(FlagsParseKnownTest, KnownFlagsParse) {
+  Parsed p;
+  EXPECT_TRUE(ParseKnownInto(p, {"--str", "hello", "--int=42", "--flag"}));
+  EXPECT_EQ(p.s, "hello");
+  EXPECT_EQ(p.i, 42);
+  EXPECT_TRUE(p.b);
+}
+
+TEST(FlagsParseKnownTest, UnknownFlagsSkippedWithoutEatingValues) {
+  Parsed p;
+  // --smoke is someone else's flag; its neighbor --int must still parse, and
+  // an unknown flag must never consume the token after it.
+  EXPECT_TRUE(ParseKnownInto(p, {"--smoke", "--int", "42", "--jobs", "7"}));
+  EXPECT_EQ(p.i, 42);
+  // "--jobs 7": the 7 belongs to --jobs and is left alone.
+  EXPECT_EQ(p.s, "default");
+}
+
+TEST(FlagsParseKnownTest, MalformedValueKeepsDefault) {
+  Parsed p;
+  EXPECT_TRUE(ParseKnownInto(p, {"--int", "abc"}));
+  EXPECT_EQ(p.i, 7);
+  EXPECT_TRUE(ParseKnownInto(p, {"--int=1.5"}));
+  EXPECT_EQ(p.i, 7);
+}
+
+TEST(FlagsParseKnownTest, MissingValueKeepsDefault) {
+  Parsed p;
+  EXPECT_TRUE(ParseKnownInto(p, {"--int"}));
+  EXPECT_EQ(p.i, 7);
+  EXPECT_TRUE(ParseKnownInto(p, {"--int", "--flag"}));
+  EXPECT_EQ(p.i, 7);
+  EXPECT_TRUE(p.b);
+}
+
+TEST(FlagsParseKnownTest, HelpReturnsFalse) {
+  Parsed p;
+  EXPECT_FALSE(ParseKnownInto(p, {"--help"}));
+}
+
 TEST(FlagsDeathTest, DuplicateFlagAborts) {
   FlagSet flags("test", "dup");
   std::string a;

@@ -1,0 +1,138 @@
+#include "src/serve/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace crius {
+namespace {
+
+ServeCommand Submit() {
+  ServeCommand cmd;
+  cmd.kind = ServeCommand::Kind::kSubmit;
+  return cmd;
+}
+
+ServeCommand Cancel(int64_t id) {
+  ServeCommand cmd;
+  cmd.kind = ServeCommand::Kind::kCancel;
+  cmd.job_id = id;
+  return cmd;
+}
+
+ServeCommand Shutdown() {
+  ServeCommand cmd;
+  cmd.kind = ServeCommand::Kind::kShutdown;
+  return cmd;
+}
+
+TEST(RejectReasonTest, NamesAreMachineReadableTokens) {
+  EXPECT_STREQ(RejectReasonName(RejectReason::kQueueFull), "queue_full");
+  EXPECT_STREQ(RejectReasonName(RejectReason::kClusterSaturated), "cluster_saturated");
+  EXPECT_STREQ(RejectReasonName(RejectReason::kStarvationGuard), "starvation_guard");
+  EXPECT_STREQ(RejectReasonName(RejectReason::kShuttingDown), "shutting_down");
+  EXPECT_STREQ(RejectReasonName(RejectReason::kInfeasible), "infeasible");
+  EXPECT_STREQ(RejectReasonName(RejectReason::kUnknownJob), "unknown_job");
+  EXPECT_STREQ(RejectReasonName(RejectReason::kBadRequest), "bad_request");
+}
+
+TEST(EventQueueTest, AcceptsAndDrainsInArrivalOrder) {
+  EventQueue queue(EventQueueConfig{});
+  EXPECT_FALSE(queue.TryPush(Submit()).has_value());
+  EXPECT_FALSE(queue.TryPush(Cancel(1)).has_value());
+  EXPECT_FALSE(queue.TryPush(Submit()).has_value());
+  EXPECT_EQ(queue.size(), 3u);
+
+  const auto cmds = queue.Drain();
+  EXPECT_EQ(queue.size(), 0u);
+  ASSERT_EQ(cmds.size(), 3u);
+  EXPECT_EQ(cmds[0].kind, ServeCommand::Kind::kSubmit);
+  EXPECT_EQ(cmds[1].kind, ServeCommand::Kind::kCancel);
+  EXPECT_EQ(cmds[2].kind, ServeCommand::Kind::kSubmit);
+  EXPECT_LT(cmds[0].seq, cmds[1].seq);
+  EXPECT_LT(cmds[1].seq, cmds[2].seq);
+}
+
+TEST(EventQueueTest, CapacityRejectsEverythingButShutdown) {
+  EventQueueConfig config;
+  config.capacity = 2;
+  EventQueue queue(config);
+  EXPECT_FALSE(queue.TryPush(Submit()).has_value());
+  EXPECT_FALSE(queue.TryPush(Submit()).has_value());
+
+  auto reject = queue.TryPush(Submit());
+  ASSERT_TRUE(reject.has_value());
+  EXPECT_EQ(*reject, RejectReason::kQueueFull);
+  reject = queue.TryPush(Cancel(1));
+  ASSERT_TRUE(reject.has_value());
+  EXPECT_EQ(*reject, RejectReason::kQueueFull);
+
+  // The shutdown command must always get through, or a full queue would make
+  // the daemon unstoppable.
+  EXPECT_FALSE(queue.TryPush(Shutdown()).has_value());
+}
+
+TEST(EventQueueTest, SaturationRejectsOnlySubmissions) {
+  EventQueueConfig config;
+  config.max_pending_jobs = 4;
+  EventQueue queue(config);
+  queue.UpdateClusterView(/*queued_jobs=*/4, /*oldest_wait=*/0.0, /*shutting_down=*/false);
+
+  const auto reject = queue.TryPush(Submit());
+  ASSERT_TRUE(reject.has_value());
+  EXPECT_EQ(*reject, RejectReason::kClusterSaturated);
+  // Cancels shrink load; they pass.
+  EXPECT_FALSE(queue.TryPush(Cancel(1)).has_value());
+
+  queue.UpdateClusterView(3, 0.0, false);
+  EXPECT_FALSE(queue.TryPush(Submit()).has_value());
+}
+
+TEST(EventQueueTest, StarvationGuardRejectsWhileBacklogIsOld) {
+  EventQueueConfig config;
+  config.starvation_wait = 600.0;
+  EventQueue queue(config);
+  queue.UpdateClusterView(1, /*oldest_wait=*/601.0, false);
+
+  const auto reject = queue.TryPush(Submit());
+  ASSERT_TRUE(reject.has_value());
+  EXPECT_EQ(*reject, RejectReason::kStarvationGuard);
+
+  queue.UpdateClusterView(1, 599.0, false);
+  EXPECT_FALSE(queue.TryPush(Submit()).has_value());
+}
+
+TEST(EventQueueTest, ShutdownLatchesAndOnlyShutdownPasses) {
+  EventQueue queue(EventQueueConfig{});
+  EXPECT_FALSE(queue.TryPush(Shutdown()).has_value());
+
+  auto reject = queue.TryPush(Submit());
+  ASSERT_TRUE(reject.has_value());
+  EXPECT_EQ(*reject, RejectReason::kShuttingDown);
+  reject = queue.TryPush(Cancel(1));
+  ASSERT_TRUE(reject.has_value());
+  EXPECT_EQ(*reject, RejectReason::kShuttingDown);
+
+  // The latch survives cluster-view refreshes that say "not shutting down"
+  // (the controller never un-requests a shutdown).
+  queue.UpdateClusterView(0, 0.0, false);
+  reject = queue.TryPush(Submit());
+  ASSERT_TRUE(reject.has_value());
+  EXPECT_EQ(*reject, RejectReason::kShuttingDown);
+
+  // A second shutdown (e.g. drain then forced) still passes.
+  EXPECT_FALSE(queue.TryPush(Shutdown()).has_value());
+}
+
+TEST(EventQueueTest, DrainClearsBackpressure) {
+  EventQueueConfig config;
+  config.capacity = 1;
+  EventQueue queue(config);
+  EXPECT_FALSE(queue.TryPush(Submit()).has_value());
+  EXPECT_TRUE(queue.TryPush(Submit()).has_value());
+  queue.Drain();
+  EXPECT_FALSE(queue.TryPush(Submit()).has_value());
+}
+
+}  // namespace
+}  // namespace crius

@@ -1,0 +1,168 @@
+// The serve subsystem's core guarantee: a recorded live session, replayed
+// through the batch simulator, produces bit-identical decision CSVs. The live
+// Controller and Simulator::Run share one SimEngine, so this holds for any
+// interleaving of ingress commands and controller ticks -- the test sleeps
+// between command groups to spread them across ticks, and whatever tick each
+// command happens to land on, the log records the applied virtual time and
+// the replay must reproduce the run exactly.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+#include "src/serve/controller.h"
+#include "src/serve/replay.h"
+#include "src/sim/trace_io.h"
+
+namespace crius {
+namespace {
+
+TrainingJob BertJob() {
+  TrainingJob job;
+  job.spec = ModelSpec{ModelFamily::kBert, 0.76, 256};
+  job.iterations = 40;
+  job.requested_gpus = 8;
+  job.requested_type = GpuType::kA40;
+  return job;
+}
+
+TrainingJob WresJob() {
+  TrainingJob job;
+  job.spec = ModelSpec{ModelFamily::kWideResNet, 1.0, 256};
+  job.iterations = 30;
+  job.requested_gpus = 4;
+  job.requested_type = GpuType::kA10;
+  return job;
+}
+
+TrainingJob LongMoeJob() {
+  TrainingJob job;
+  job.spec = ModelSpec{ModelFamily::kMoe, 1.3, 512};
+  job.iterations = 100000;  // long-running: the cancel target
+  job.requested_gpus = 8;
+  job.requested_type = GpuType::kA40;
+  return job;
+}
+
+void Pause() { std::this_thread::sleep_for(std::chrono::milliseconds(5)); }
+
+TEST(ServeReplayTest, DrainedLiveSessionReplaysBitIdentically) {
+  SessionMeta meta;  // testbed / crius defaults: what crius_serve ships with
+  SessionRuntime runtime = MakeSessionRuntime(meta);
+
+  std::stringstream log_stream;
+  SessionLog log(log_stream, meta);
+
+  Controller::Config config;
+  config.tick_virtual_seconds = 60.0;
+  config.tick_wall_seconds = 0.001;
+  Controller controller(runtime.cluster, runtime.sim, *runtime.scheduler, *runtime.oracle,
+                        &log, config);
+  controller.Start();
+
+  // Arrival burst.
+  const auto a = controller.Submit(BertJob());
+  const auto b = controller.Submit(WresJob());
+  const auto c = controller.Submit(LongMoeJob());
+  ASSERT_TRUE(a.ok);
+  ASSERT_TRUE(b.ok);
+  ASSERT_TRUE(c.ok);
+  Pause();
+
+  // One failure + recovery, then cancel the long job so the drain ends.
+  ASSERT_FALSE(controller.FailNode(0).has_value());
+  Pause();
+  ASSERT_FALSE(controller.RecoverNode(0).has_value());
+  Pause();
+  ASSERT_FALSE(controller.Cancel(c.job_id).has_value());
+  Pause();
+
+  ASSERT_FALSE(controller.Shutdown(/*drain=*/true).has_value());
+  controller.Join();
+  EXPECT_FALSE(controller.interrupted());
+  const SimResult live = controller.TakeResult();
+
+  const Controller::Stats stats = controller.GetStats();
+  EXPECT_EQ(stats.accepted, 3u);
+  EXPECT_EQ(stats.infeasible, 0u);
+  EXPECT_GE(stats.decisions, 6u);  // 3 submits + fail + recover + cancel
+
+  // The recorded session holds exactly what was injected, in order.
+  const Session session = ReadSessionLog(log_stream);
+  ASSERT_EQ(session.trace.size(), 3u);
+  EXPECT_EQ(session.trace[0].id, a.job_id);
+  EXPECT_EQ(session.trace[2].id, c.job_id);
+  ASSERT_EQ(session.failures.size(), 2u);
+  EXPECT_EQ(session.failures[0].kind, FailureKind::kNodeFail);
+  EXPECT_EQ(session.failures[1].kind, FailureKind::kNodeRecover);
+  ASSERT_EQ(session.cancels.size(), 1u);
+  EXPECT_EQ(session.cancels[0].job_id, c.job_id);
+
+  const SimResult replayed = ReplaySession(session);
+
+  // The headline guarantee: decision CSVs are byte-identical.
+  std::ostringstream live_jobs, replay_jobs;
+  WriteJobRecordsCsv(live, live_jobs);
+  WriteJobRecordsCsv(replayed, replay_jobs);
+  EXPECT_EQ(live_jobs.str(), replay_jobs.str());
+
+  std::ostringstream live_events, replay_events;
+  WriteEventsCsv(live, live_events);
+  WriteEventsCsv(replayed, replay_events);
+  EXPECT_EQ(live_events.str(), replay_events.str());
+
+  EXPECT_EQ(live.finished_jobs, replayed.finished_jobs);
+  EXPECT_EQ(live.dropped_jobs, replayed.dropped_jobs);
+  EXPECT_DOUBLE_EQ(live.makespan, replayed.makespan);
+}
+
+TEST(ServeReplayTest, StatusesSettleAfterDrain) {
+  SessionMeta meta;
+  SessionRuntime runtime = MakeSessionRuntime(meta);
+
+  Controller::Config config;
+  config.tick_virtual_seconds = 60.0;
+  config.tick_wall_seconds = 0.0;
+  Controller controller(runtime.cluster, runtime.sim, *runtime.scheduler, *runtime.oracle,
+                        /*log=*/nullptr, config);
+  controller.Start();
+
+  const auto a = controller.Submit(BertJob());
+  ASSERT_TRUE(a.ok);
+  ASSERT_FALSE(controller.Shutdown(true).has_value());
+  controller.Join();
+  (void)controller.TakeResult();
+
+  const Controller::JobStatus status = controller.Query(a.job_id);
+  ASSERT_TRUE(status.known);
+  EXPECT_EQ(status.state, "finished");
+  EXPECT_GE(status.first_start, 0.0);
+  EXPECT_GT(status.finish_time, status.first_start);
+
+  EXPECT_FALSE(controller.Query(9999).known);
+}
+
+TEST(ServeReplayTest, SubmitAfterShutdownRejectedWithReason) {
+  SessionMeta meta;
+  SessionRuntime runtime = MakeSessionRuntime(meta);
+
+  Controller::Config config;
+  config.tick_wall_seconds = 0.0;
+  Controller controller(runtime.cluster, runtime.sim, *runtime.scheduler, *runtime.oracle,
+                        nullptr, config);
+  controller.Start();
+  ASSERT_FALSE(controller.Shutdown(true).has_value());
+
+  const auto rejected = controller.Submit(BertJob());
+  EXPECT_FALSE(rejected.ok);
+  EXPECT_EQ(rejected.reason, RejectReason::kShuttingDown);
+  EXPECT_STREQ(RejectReasonName(rejected.reason), "shutting_down");
+
+  controller.Join();
+  (void)controller.TakeResult();
+}
+
+}  // namespace
+}  // namespace crius

@@ -1,0 +1,176 @@
+// Protocol dispatch (HandleRequest) and the full socket path
+// (Server + Client) against a live Controller.
+
+#include "src/serve/service.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "src/serve/client.h"
+#include "src/serve/replay.h"
+
+namespace crius {
+namespace serve {
+namespace {
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  ServiceTest() : runtime_(MakeSessionRuntime(SessionMeta{})) {
+    Controller::Config config;
+    config.tick_virtual_seconds = 60.0;
+    config.tick_wall_seconds = 0.001;
+    controller_ = std::make_unique<Controller>(runtime_.cluster, runtime_.sim,
+                                               *runtime_.scheduler, *runtime_.oracle,
+                                               /*log=*/nullptr, config);
+  }
+
+  ~ServiceTest() override {
+    if (started_ && !controller_->done()) {
+      controller_->Shutdown(/*drain=*/false);
+    }
+    if (started_) {
+      controller_->Join();
+    }
+  }
+
+  void StartController() {
+    controller_->Start();
+    started_ = true;
+  }
+
+  std::string Handle(const std::string& line) { return HandleRequest(*controller_, line); }
+
+  SessionRuntime runtime_;
+  std::unique_ptr<Controller> controller_;
+  bool started_ = false;
+};
+
+TEST_F(ServiceTest, MalformedJsonRejectedAsBadRequest) {
+  StartController();
+  JsonObject response;
+  std::string error;
+  ASSERT_TRUE(ParseJsonObject(Handle("not json"), &response, &error)) << error;
+  EXPECT_FALSE(GetBool(response, "ok", true));
+  EXPECT_EQ(GetString(response, "reason"), "bad_request");
+  EXPECT_FALSE(GetString(response, "message").empty());
+}
+
+TEST_F(ServiceTest, UnknownCommandRejected) {
+  StartController();
+  JsonObject response;
+  std::string error;
+  ASSERT_TRUE(ParseJsonObject(Handle(R"({"cmd":"resize"})"), &response, &error)) << error;
+  EXPECT_FALSE(GetBool(response, "ok", true));
+  EXPECT_EQ(GetString(response, "reason"), "bad_request");
+}
+
+TEST_F(ServiceTest, SubmitQueryStatsShutdownOverDispatch) {
+  StartController();
+  JsonObject response;
+  std::string error;
+
+  ASSERT_TRUE(ParseJsonObject(
+      Handle(R"({"cmd":"submit","family":"BERT","params_billion":0.76,)"
+             R"("global_batch":256,"iterations":20,"gpus":8,"type":"A40"})"),
+      &response, &error))
+      << error;
+  ASSERT_TRUE(GetBool(response, "ok"));
+  const int64_t job_id = static_cast<int64_t>(GetNumber(response, "job_id", -1));
+  EXPECT_GE(job_id, 1);
+  EXPECT_EQ(GetString(response, "status"), "queued");
+
+  ASSERT_TRUE(ParseJsonObject(Handle(R"({"cmd":"query","job_id":999})"), &response, &error));
+  EXPECT_FALSE(GetBool(response, "ok", true));
+  EXPECT_EQ(GetString(response, "reason"), "unknown_job");
+
+  ASSERT_TRUE(ParseJsonObject(Handle(R"({"cmd":"stats"})"), &response, &error));
+  EXPECT_TRUE(GetBool(response, "ok"));
+  EXPECT_TRUE(Has(response, "virtual_now"));
+  EXPECT_TRUE(Has(response, "live_jobs"));
+  EXPECT_TRUE(Has(response, "latency_p99_ms"));
+
+  ASSERT_TRUE(
+      ParseJsonObject(Handle(R"({"cmd":"shutdown","mode":"sideways"})"), &response, &error));
+  EXPECT_FALSE(GetBool(response, "ok", true));
+  EXPECT_EQ(GetString(response, "reason"), "bad_request");
+
+  ASSERT_TRUE(
+      ParseJsonObject(Handle(R"({"cmd":"shutdown","mode":"drain"})"), &response, &error));
+  EXPECT_TRUE(GetBool(response, "ok"));
+  controller_->Join();
+  EXPECT_TRUE(controller_->done());
+}
+
+TEST_F(ServiceTest, NodeCommandsValidateRange) {
+  StartController();
+  JsonObject response;
+  std::string error;
+  ASSERT_TRUE(
+      ParseJsonObject(Handle(R"({"cmd":"fail-node","node_id":100000})"), &response, &error));
+  EXPECT_FALSE(GetBool(response, "ok", true));
+  EXPECT_EQ(GetString(response, "reason"), "bad_request");
+
+  ASSERT_TRUE(ParseJsonObject(Handle(R"({"cmd":"fail-node"})"), &response, &error));
+  EXPECT_FALSE(GetBool(response, "ok", true));
+
+  ASSERT_TRUE(
+      ParseJsonObject(Handle(R"({"cmd":"fail-node","node_id":0})"), &response, &error));
+  EXPECT_TRUE(GetBool(response, "ok"));
+  ASSERT_TRUE(
+      ParseJsonObject(Handle(R"({"cmd":"recover-node","node_id":0})"), &response, &error));
+  EXPECT_TRUE(GetBool(response, "ok"));
+}
+
+TEST_F(ServiceTest, EndToEndOverUnixSocket) {
+  StartController();
+  const std::string socket_path = ::testing::TempDir() + "/crius_service_test.sock";
+  Server server(socket_path, MakeHandler(*controller_));
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  Client client;
+  ASSERT_TRUE(client.Connect(socket_path, &error)) << error;
+
+  TrainingJob job;
+  job.spec = ModelSpec{ModelFamily::kBert, 0.76, 256};
+  job.iterations = 20;
+  job.requested_gpus = 8;
+  job.requested_type = GpuType::kA40;
+
+  JsonObject response;
+  ASSERT_TRUE(client.Submit(job, &response, &error)) << error;
+  ASSERT_TRUE(GetBool(response, "ok"));
+  const int64_t job_id = static_cast<int64_t>(GetNumber(response, "job_id", -1));
+
+  ASSERT_TRUE(client.FailNode(0, &response, &error)) << error;
+  EXPECT_TRUE(GetBool(response, "ok"));
+  ASSERT_TRUE(client.RecoverNode(0, &response, &error)) << error;
+  EXPECT_TRUE(GetBool(response, "ok"));
+
+  ASSERT_TRUE(client.Query(job_id, &response, &error)) << error;
+  EXPECT_TRUE(GetBool(response, "ok"));
+  EXPECT_FALSE(GetString(response, "status").empty());
+
+  // A second concurrent connection is served too.
+  Client other;
+  ASSERT_TRUE(other.Connect(socket_path, &error)) << error;
+  ASSERT_TRUE(other.Stats(&response, &error)) << error;
+  EXPECT_TRUE(GetBool(response, "ok"));
+
+  ASSERT_TRUE(client.Shutdown(/*drain=*/true, &response, &error)) << error;
+  EXPECT_TRUE(GetBool(response, "ok"));
+  controller_->Join();
+  EXPECT_TRUE(controller_->done());
+  EXPECT_FALSE(controller_->interrupted());
+  server.Stop();
+
+  const Controller::JobStatus status = controller_->Query(job_id);
+  ASSERT_TRUE(status.known);
+  EXPECT_EQ(status.state, "finished");
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace crius

@@ -1,0 +1,169 @@
+#include "src/serve/session_log.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace crius {
+namespace {
+
+SessionMeta SampleMeta() {
+  SessionMeta meta;
+  meta.cluster_spec = "A100:8x4,A40:4x2";  // commas: exercises CSV quoting
+  meta.scheduler = "gavel";
+  meta.seed = 1234;
+  meta.search_depth = 2;
+  meta.deadline_aware = true;
+  meta.incremental = false;
+  meta.schedule_interval = 123.25;
+  meta.restart_overhead = 45.5;
+  meta.charge_profiling = false;
+  return meta;
+}
+
+TrainingJob SampleJob() {
+  TrainingJob job;
+  job.id = 7;
+  job.spec = ModelSpec{ModelFamily::kMoe, 2.4, 512};
+  job.iterations = 321;
+  job.submit_time = 60.0;
+  job.requested_gpus = 16;
+  job.requested_type = GpuType::kA40;
+  return job;
+}
+
+TEST(SessionMetaTest, DetailRoundTrip) {
+  const SessionMeta meta = SampleMeta();
+  const SessionMeta parsed = ParseSessionMeta(SerializeSessionMeta(meta), 2);
+  EXPECT_EQ(parsed.cluster_spec, meta.cluster_spec);
+  EXPECT_EQ(parsed.scheduler, meta.scheduler);
+  EXPECT_EQ(parsed.seed, meta.seed);
+  EXPECT_EQ(parsed.search_depth, meta.search_depth);
+  EXPECT_EQ(parsed.deadline_aware, meta.deadline_aware);
+  EXPECT_EQ(parsed.incremental, meta.incremental);
+  EXPECT_DOUBLE_EQ(parsed.schedule_interval, meta.schedule_interval);
+  EXPECT_DOUBLE_EQ(parsed.restart_overhead, meta.restart_overhead);
+  EXPECT_EQ(parsed.charge_profiling, meta.charge_profiling);
+}
+
+TEST(SessionLogTest, RoundTripPreservesEverything) {
+  std::stringstream ss;
+  {
+    SessionLog log(ss, SampleMeta());
+    TrainingJob a = SampleJob();
+    log.AppendSubmit(60.0, a);
+    TrainingJob b = SampleJob();
+    b.id = 8;
+    b.spec = ModelSpec{ModelFamily::kBert, 1.3, 256};
+    b.submit_time = 120.0;
+    b.deadline = 9999.5;
+    log.AppendSubmit(120.0, b);
+    log.AppendFailNode(180.0, 3);
+    log.AppendRecoverNode(240.0, 3);
+    log.AppendCancel(300.0, 8);
+  }
+
+  const Session session = ReadSessionLog(ss);
+
+  EXPECT_EQ(session.meta.cluster_spec, "A100:8x4,A40:4x2");
+  EXPECT_EQ(session.meta.scheduler, "gavel");
+
+  ASSERT_EQ(session.trace.size(), 2u);
+  const TrainingJob& a = session.trace[0];
+  EXPECT_EQ(a.id, 7);
+  EXPECT_TRUE(a.spec == (ModelSpec{ModelFamily::kMoe, 2.4, 512}));
+  EXPECT_EQ(a.iterations, 321);
+  EXPECT_DOUBLE_EQ(a.submit_time, 60.0);
+  EXPECT_EQ(a.requested_gpus, 16);
+  EXPECT_EQ(a.requested_type, GpuType::kA40);
+  EXPECT_FALSE(a.deadline.has_value());
+  const TrainingJob& b = session.trace[1];
+  EXPECT_EQ(b.id, 8);
+  ASSERT_TRUE(b.deadline.has_value());
+  EXPECT_DOUBLE_EQ(*b.deadline, 9999.5);
+
+  ASSERT_EQ(session.failures.size(), 2u);
+  EXPECT_EQ(session.failures[0].kind, FailureKind::kNodeFail);
+  EXPECT_EQ(session.failures[0].node_id, 3);
+  EXPECT_DOUBLE_EQ(session.failures[0].time, 180.0);
+  EXPECT_EQ(session.failures[1].kind, FailureKind::kNodeRecover);
+
+  ASSERT_EQ(session.cancels.size(), 1u);
+  EXPECT_EQ(session.cancels[0].job_id, 8);
+  EXPECT_DOUBLE_EQ(session.cancels[0].time, 300.0);
+}
+
+TEST(SessionLogTest, DoublesRoundTripExactly) {
+  std::stringstream ss;
+  SessionMeta meta;
+  meta.schedule_interval = 1.0 / 3.0;
+  {
+    SessionLog log(ss, meta);
+    TrainingJob job = SampleJob();
+    job.submit_time = 0.1 + 0.2;  // not representable: exercises max_digits10
+    log.AppendSubmit(job.submit_time, job);
+  }
+  const Session session = ReadSessionLog(ss);
+  EXPECT_EQ(session.meta.schedule_interval, 1.0 / 3.0);
+  ASSERT_EQ(session.trace.size(), 1u);
+  EXPECT_EQ(session.trace[0].submit_time, 0.1 + 0.2);
+}
+
+TEST(SessionLogTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/crius_session_log_test.csv";
+  {
+    SessionLog log(path, SampleMeta());
+    log.AppendSubmit(60.0, SampleJob());
+  }
+  const Session session = ReadSessionLogFile(path);
+  EXPECT_EQ(session.meta.seed, 1234u);
+  ASSERT_EQ(session.trace.size(), 1u);
+  EXPECT_EQ(session.trace[0].id, 7);
+}
+
+std::string Header() {
+  return "time,kind,job_id,node_id,family,params_billion,global_batch,iterations,"
+         "requested_gpus,requested_type,deadline,detail\n";
+}
+
+std::string MetaRow() {
+  return "0,meta,-1,-1,,,,,,,," + SerializeSessionMeta(SessionMeta{}) + "\n";
+}
+
+TEST(SessionLogDeathTest, MissingHeaderAborts) {
+  std::stringstream ss(MetaRow());
+  EXPECT_DEATH(ReadSessionLog(ss), "missing header");
+}
+
+TEST(SessionLogDeathTest, MissingMetaRowAborts) {
+  std::stringstream ss(Header() + "60,submit,1,-1,BERT,1.3,256,10,8,A100,,\n");
+  EXPECT_DEATH(ReadSessionLog(ss), "meta");
+}
+
+TEST(SessionLogDeathTest, DuplicateMetaRowAborts) {
+  std::stringstream ss(Header() + MetaRow() + MetaRow());
+  EXPECT_DEATH(ReadSessionLog(ss), "meta");
+}
+
+TEST(SessionLogDeathTest, WrongArityAborts) {
+  std::stringstream ss(Header() + MetaRow() + "60,submit,1\n");
+  EXPECT_DEATH(ReadSessionLog(ss), "expected 12 fields");
+}
+
+TEST(SessionLogDeathTest, UnknownKindAborts) {
+  std::stringstream ss(Header() + MetaRow() + "60,resize,1,-1,,,,,,,,\n");
+  EXPECT_DEATH(ReadSessionLog(ss), "unknown kind");
+}
+
+TEST(SessionLogDeathTest, UnknownFamilyAborts) {
+  std::stringstream ss(Header() + MetaRow() + "60,submit,1,-1,GPT,1.3,256,10,8,A100,,\n");
+  EXPECT_DEATH(ReadSessionLog(ss), "family");
+}
+
+TEST(SessionLogDeathTest, BadNumberAborts) {
+  std::stringstream ss(Header() + MetaRow() + "abc,cancel,1,-1,,,,,,,,\n");
+  EXPECT_DEATH(ReadSessionLog(ss), "bad time");
+}
+
+}  // namespace
+}  // namespace crius

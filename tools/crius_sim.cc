@@ -19,19 +19,6 @@
 namespace crius {
 namespace {
 
-Cluster MakeCluster(const std::string& spec) {
-  if (spec == "testbed") {
-    return MakePhysicalTestbed();
-  }
-  if (spec == "simulated") {
-    return MakeSimulatedCluster();
-  }
-  if (spec == "motivation") {
-    return MakeMotivationCluster();
-  }
-  return ParseClusterSpec(spec);
-}
-
 TraceConfig MakeTraceConfig(const std::string& name) {
   if (name == "philly6h") {
     return PhillySixHourConfig();
@@ -47,47 +34,6 @@ TraceConfig MakeTraceConfig(const std::string& name) {
   }
   CRIUS_UNREACHABLE("unknown trace style '" + name +
                     "' (want philly6h|philly-week|helios|pai)");
-}
-
-std::unique_ptr<Scheduler> MakeScheduler(const std::string& name, PerformanceOracle* oracle,
-                                         int search_depth, bool deadline_aware,
-                                         bool incremental) {
-  if (name == "fcfs") {
-    return std::make_unique<FcfsScheduler>(oracle);
-  }
-  if (name == "tiresias") {
-    return std::make_unique<TiresiasScheduler>(oracle);
-  }
-  if (name == "gandiva") {
-    return std::make_unique<GandivaScheduler>(oracle);
-  }
-  if (name == "gavel") {
-    return std::make_unique<GavelScheduler>(oracle);
-  }
-  if (name == "elasticflow") {
-    return std::make_unique<ElasticFlowScheduler>(oracle, ElasticFlowConfig{});
-  }
-  if (name == "elasticflow-strict") {
-    return std::make_unique<ElasticFlowScheduler>(oracle,
-                                                  ElasticFlowConfig{.loose_deadlines = false});
-  }
-  if (name == "crius" || name == "crius-na" || name == "crius-nh" || name == "crius-fair" ||
-      name == "crius-solver") {
-    CriusConfig config;
-    config.search_depth = search_depth;
-    config.deadline_aware = deadline_aware;
-    config.incremental = incremental;
-    config.adaptivity_scaling = name != "crius-na";
-    config.heterogeneity_scaling = name != "crius-nh";
-    if (name == "crius-fair") {
-      config.objective = CriusObjective::kMaxMinFairness;
-    }
-    if (name == "crius-solver") {
-      config.placement_order = CriusPlacementOrder::kBestOfAll;
-    }
-    return std::make_unique<CriusScheduler>(oracle, config);
-  }
-  CRIUS_UNREACHABLE("unknown scheduler '" + name + "'");
 }
 
 int Run(int argc, const char* const* argv) {
@@ -183,8 +129,11 @@ int Run(int argc, const char* const* argv) {
     TraceRecorder::Global().SetEnabled(true);
   }
   ThreadPool::SetGlobalThreads(static_cast<int>(threads));
+  // SIGINT/SIGTERM stop the simulation at the next step boundary; partial
+  // CSV/Chrome-trace outputs are still flushed below before exiting 128+sig.
+  InstallShutdownHandler();
 
-  Cluster cluster = MakeCluster(cluster_spec);
+  Cluster cluster = MakeNamedCluster(cluster_spec);
   PerformanceOracle oracle(cluster, static_cast<uint64_t>(seed));
 
   std::vector<TrainingJob> trace;
@@ -210,8 +159,11 @@ int Run(int argc, const char* const* argv) {
     std::printf("Trace written to %s\n", trace_out.c_str());
   }
 
-  auto scheduler = MakeScheduler(scheduler_name, &oracle, static_cast<int>(search_depth),
-                                 deadline_aware, incremental);
+  auto scheduler = MakeNamedScheduler(
+      scheduler_name, &oracle,
+      SchedulerOptions{.search_depth = static_cast<int>(search_depth),
+                       .deadline_aware = deadline_aware,
+                       .incremental = incremental});
   SimConfig sim_config;
   sim_config.charge_profiling = !no_profiling_cost;
   sim_config.execution_jitter = execution_jitter;
@@ -268,6 +220,11 @@ int Run(int argc, const char* const* argv) {
 
   Simulator sim(cluster, sim_config);
   const SimResult result = sim.Run(*scheduler, oracle, trace);
+  if (ShutdownRequested()) {
+    std::fprintf(stderr,
+                 "crius_sim: interrupted (signal %d) at t=%.0f — flushing partial outputs\n",
+                 ShutdownSignal(), result.makespan);
+  }
 
   Table table("crius_sim: " + result.scheduler + " on " + ClusterSpecString(cluster));
   table.SetHeader({"metric", "value"});
@@ -330,7 +287,7 @@ int Run(int argc, const char* const* argv) {
   if (counters) {
     CounterRegistry::Global().PrintTable();
   }
-  return 0;
+  return ShutdownRequested() ? 128 + ShutdownSignal() : 0;
 }
 
 }  // namespace
