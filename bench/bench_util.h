@@ -5,13 +5,16 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/sched/baselines.h"
 #include "src/sched/crius_sched.h"
 #include "src/sim/simulator.h"
 #include "src/sim/trace.h"
+#include "src/util/benchdiff.h"
 #include "src/util/flags.h"
 #include "src/util/table.h"
 #include "src/util/threadpool.h"
@@ -78,6 +81,37 @@ class TimedScheduler : public Scheduler {
   double total_seconds_ = 0.0;
   int calls_ = 0;
 };
+
+// Scans argv for the shared "--json PATH" bench-report flag ("--json=PATH"
+// also accepted) without disturbing the binary's own ad-hoc flag parsing.
+// Empty string = no report requested.
+inline std::string BenchReportPathFromArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      return argv[i + 1];
+    }
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      return argv[i] + 7;
+    }
+  }
+  return "";
+}
+
+// Writes `report` to `path` (no-op when the flag was absent). The emitted
+// per-metric thresholds become the checked-in baseline's thresholds when a
+// run is promoted to bench/baselines/, so benches stamp loose bounds on
+// noisy wall-time metrics and tight ones on dimensionless ratios there.
+inline bool EmitBenchReport(const BenchReport& report, const std::string& path) {
+  if (path.empty()) {
+    return true;
+  }
+  if (!report.WriteFile(path)) {
+    std::fprintf(stderr, "error: cannot write bench report %s\n", path.c_str());
+    return false;
+  }
+  std::printf("Bench report written to %s\n", path.c_str());
+  return true;
+}
 
 // Normalizes `value` against the row printed for a baseline.
 inline std::string Ratio(double value, double baseline) {

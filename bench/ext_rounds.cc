@@ -20,6 +20,8 @@
 //   --smoke   244-job testbed trace subset; exits non-zero if the incremental
 //             path is *slower* than full recompute (CI regression gate).
 //   --jobs N  override the trace's job count (0 = keep the preset's default).
+//   --json F  write a BENCH_rounds.json perf-trajectory report to F
+//             (compared against bench/baselines/ by crius_benchdiff in CI).
 
 #include <cstdio>
 #include <cstring>
@@ -166,6 +168,30 @@ int main(int argc, char** argv) {
   if (inc.median_all_ms > 0.0) {
     std::printf("Overall median speedup: %.2fx (full %.3f ms -> incremental %.3f ms)\n",
                 full.median_all_ms / inc.median_all_ms, full.median_all_ms, inc.median_all_ms);
+  }
+
+  const std::string report_path = BenchReportPathFromArgs(argc, argv);
+  if (!report_path.empty()) {
+    BenchReport report;
+    report.bench = "ext_rounds";
+    report.meta["mode"] = smoke ? "smoke" : "full";
+    report.meta["trace"] = trace_config.name;
+    report.meta["jobs"] = std::to_string(trace.size());
+    // Wall-time metrics carry loose thresholds (CI machines are noisy);
+    // the speedup ratio is dimensionless and gates tighter.
+    report.AddMetric("incremental.median_all_ms", inc.median_all_ms, "ms", "lower", 3.0);
+    report.AddMetric("incremental.median_steady_ms", inc.median_steady_ms, "ms", "lower", 3.0);
+    report.AddMetric("incremental.p95_steady_ms", inc.p95_steady_ms, "ms", "lower", 4.0);
+    report.AddMetric("full.median_all_ms", full.median_all_ms, "ms", "lower", 3.0);
+    report.AddMetric("full.median_steady_ms", full.median_steady_ms, "ms", "lower", 3.0);
+    const double steady_speedup =
+        inc.median_steady_ms > 0.0 ? full.median_steady_ms / inc.median_steady_ms : 0.0;
+    report.AddMetric("steady_speedup", steady_speedup, "x", "higher", 0.75);
+    report.AddMetric("rounds", static_cast<double>(inc.rounds), "", "none");
+    report.AddMetric("steady_rounds", static_cast<double>(inc.steady_rounds), "", "none");
+    if (!EmitBenchReport(report, report_path)) {
+      return 1;
+    }
   }
 
   if (smoke && inc.median_all_ms > full.median_all_ms) {

@@ -18,7 +18,8 @@
 //             (CI regression gate for the admission-control path.)
 //
 // Flags: --smoke, --clients N, --requests N (per client), --threads N
-// (dispatch pool shared with scheduling fan-out).
+// (dispatch pool shared with scheduling fan-out), --json F (write a
+// BENCH_serve.json perf-trajectory report for crius_benchdiff).
 
 #include <unistd.h>
 
@@ -216,6 +217,33 @@ int main(int argc, char** argv) {
               stats.decisions);
   std::printf("  controller         %zu ticks, %zu jobs accepted, %zu infeasible\n",
               stats.ticks, stats.accepted, stats.infeasible);
+
+  const std::string report_path = BenchReportPathFromArgs(argc, argv);
+  if (!report_path.empty()) {
+    size_t rejected = 0;
+    for (const auto& [reason, count] : total.rejects) {
+      rejected += count;
+    }
+    BenchReport report;
+    report.bench = "ext_serve";
+    report.meta["mode"] = smoke ? "smoke" : "full";
+    report.meta["clients"] = std::to_string(clients);
+    report.meta["requests_per_client"] = std::to_string(requests);
+    report.AddMetric("submissions_per_sec",
+                     elapsed > 0.0 ? static_cast<double>(submitted) / elapsed : 0.0, "1/s",
+                     "higher", 0.8);
+    report.AddMetric("rtt_p50_ms", Percentile(total.rtt_ms, 50.0), "ms", "lower", 3.0);
+    report.AddMetric("rtt_p95_ms", Percentile(total.rtt_ms, 95.0), "ms", "lower", 4.0);
+    report.AddMetric("decision_p50_ms", stats.latency_p50_ms, "ms", "lower", 3.0);
+    report.AddMetric("decision_p95_ms", stats.latency_p95_ms, "ms", "lower", 4.0);
+    report.AddMetric("accepted", static_cast<double>(total.accepted), "", "none");
+    report.AddMetric("rejected", static_cast<double>(rejected), "", "none");
+    report.AddMetric("transport_errors", static_cast<double>(total.transport_errors), "",
+                     "none");
+    if (!EmitBenchReport(report, report_path)) {
+      return 1;
+    }
+  }
 
   if (total.transport_errors > 0) {
     std::fprintf(stderr, "ext_serve: FAIL: %zu transport errors\n", total.transport_errors);

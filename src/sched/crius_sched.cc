@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <chrono>
 #include <limits>
 #include <set>
 
@@ -163,6 +164,16 @@ const CriusScheduler::JobCells& CriusScheduler::CellsFor(const TrainingJob& job,
 }
 
 void CriusScheduler::SyncCellsCache(const RoundContext& round) {
+  // Phase breakdown of the round's cache work: everything up to the warm-up
+  // is memo maintenance ("memo_restamp"); the parallel ComputeCells warm-up
+  // is where the oracle estimates run ("estimator"). Both land in the
+  // labeled histogram sched.phase_ms next to the "explorer" phase recorded
+  // by Schedule().
+  static Histogram& restamp_ms = CounterRegistry::Global().GetHistogram(
+      "sched.phase_ms", MetricLabels{{"phase", "memo_restamp"}});
+  static Histogram& estimator_ms = CounterRegistry::Global().GetHistogram(
+      "sched.phase_ms", MetricLabels{{"phase", "estimator"}});
+  const auto t_enter = std::chrono::steady_clock::now();
   const Cluster& cluster = round.cluster();
   const std::vector<const JobState*>& jobs = round.jobs();
   const MemoStamp stamp{cluster.identity(), cluster.health_epoch()};
@@ -246,7 +257,11 @@ void CriusScheduler::SyncCellsCache(const RoundContext& round) {
       missing.push_back(js);
     }
   }
+  const auto t_maintained = std::chrono::steady_clock::now();
+  restamp_ms.Record(
+      std::chrono::duration<double, std::milli>(t_maintained - t_enter).count());
   if (missing.empty()) {
+    estimator_ms.Record(0.0);
     return;
   }
   CRIUS_TRACE_SPAN_ARGS("sched.cells_warmup",
@@ -259,6 +274,9 @@ void CriusScheduler::SyncCellsCache(const RoundContext& round) {
     const int64_t id = missing[i]->job.id;
     cells_memo_.PutIfAbsent(id, JobHash(id), stamp, std::move(slots[i]));
   }
+  estimator_ms.Record(std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t_maintained)
+                          .count());
 }
 
 double CriusScheduler::ProfilingDelay(const TrainingJob& job, const Cluster& cluster) {
@@ -297,6 +315,10 @@ ScheduleDecision CriusScheduler::Schedule(const RoundContext& round) {
   // Round-start memo maintenance + parallel warm-up: after this every
   // CellsFor call below is a memo hit, so concurrent passes are read-mostly.
   SyncCellsCache(round);
+  // "explorer" phase: the ScheduleOnce pass(es) that enumerate placements.
+  static Histogram& explorer_ms = CounterRegistry::Global().GetHistogram(
+      "sched.phase_ms", MetricLabels{{"phase", "explorer"}});
+  counters_internal::ScopedTimerMs explorer_timer(explorer_ms);
   if (config_.placement_order != CriusPlacementOrder::kBestOfAll || config_.deadline_aware) {
     return ScheduleOnce(now, jobs, cluster, config_.placement_order).first;
   }

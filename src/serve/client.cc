@@ -143,6 +143,13 @@ bool Client::Stats(JsonObject* response, std::string* error) {
   return CallJson(request, response, error);
 }
 
+bool Client::Metrics(const std::string& format, JsonObject* response, std::string* error) {
+  JsonObject request;
+  request["cmd"] = JsonValue::String("metrics");
+  request["format"] = JsonValue::String(format);
+  return CallJson(request, response, error);
+}
+
 bool Client::Shutdown(bool drain, JsonObject* response, std::string* error) {
   JsonObject request;
   request["cmd"] = JsonValue::String("shutdown");

@@ -46,6 +46,9 @@ class Client {
   bool RecoverNode(int node_id, JsonObject* response, std::string* error);
   bool Query(int64_t job_id, JsonObject* response, std::string* error);
   bool Stats(JsonObject* response, std::string* error);
+  // `format` is "json" or "prometheus"; the registry snapshot comes back in
+  // the response's "metrics" string field (see protocol.h).
+  bool Metrics(const std::string& format, JsonObject* response, std::string* error);
   bool Shutdown(bool drain, JsonObject* response, std::string* error);
 
  private:

@@ -38,6 +38,10 @@ Controller::Controller(const Cluster& cluster, SimConfig sim_config, Scheduler& 
       queue_(config.queue) {
   CRIUS_CHECK_MSG(config_.tick_virtual_seconds > 0.0, "tick_virtual_seconds must be > 0");
   CRIUS_CHECK_MSG(config_.tick_wall_seconds >= 0.0, "tick_wall_seconds must be >= 0");
+  CRIUS_CHECK_MSG(config_.metrics_every_ticks > 0, "metrics_every_ticks must be > 0");
+  if (!config_.metrics_csv.empty()) {
+    metrics_csv_.emplace(config_.metrics_csv);
+  }
 }
 
 Controller::~Controller() {
@@ -54,6 +58,7 @@ Controller::~Controller() {
 
 void Controller::Start() {
   CRIUS_CHECK_MSG(!started_.exchange(true), "Controller::Start called twice");
+  start_wall_ = std::chrono::steady_clock::now();
   thread_ = std::thread([this] { RunLoop(); });
 }
 
@@ -150,13 +155,39 @@ Controller::JobStatus Controller::Query(int64_t job_id) const {
 }
 
 Controller::Stats Controller::GetStats() const {
-  std::lock_guard<std::mutex> lock(state_mu_);
-  Stats stats = stats_;
-  stats.decisions = latencies_ms_.size();
-  if (!latencies_ms_.empty()) {
-    stats.latency_p50_ms = Percentile(latencies_ms_, 50.0);
-    stats.latency_p95_ms = Percentile(latencies_ms_, 95.0);
-    stats.latency_p99_ms = Percentile(latencies_ms_, 99.0);
+  Stats stats;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    stats = stats_;
+    stats.decisions = latencies_ms_.size();
+    if (!latencies_ms_.empty()) {
+      stats.latency_p50_ms = Percentile(latencies_ms_, 50.0);
+      stats.latency_p95_ms = Percentile(latencies_ms_, 95.0);
+      stats.latency_p99_ms = Percentile(latencies_ms_, 99.0);
+    }
+  }
+  // Live values come from the queue and the metrics registry rather than
+  // hand-maintained fields, so the stats verb and the metrics scrape can
+  // never disagree.
+  stats.queue_depth = static_cast<int>(queue_.size());
+  if (started_.load(std::memory_order_acquire)) {
+    stats.uptime_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start_wall_).count();
+  }
+  const CounterRegistry& registry = CounterRegistry::Global();
+  static constexpr RejectReason kReasons[] = {
+      RejectReason::kQueueFull,      RejectReason::kClusterSaturated,
+      RejectReason::kStarvationGuard, RejectReason::kShuttingDown,
+      RejectReason::kInfeasible,      RejectReason::kUnknownJob,
+      RejectReason::kBadRequest,
+  };
+  for (const RejectReason reason : kReasons) {
+    const std::string name = RejectReasonName(reason);
+    const int64_t count = registry.CounterValue(
+        CanonicalMetricName("serve.ingress.rejected_by_reason", {{"reason", name}}));
+    if (count > 0) {
+      stats.rejected_by_reason.emplace_back(name, count);
+    }
   }
   return stats;
 }
@@ -272,7 +303,32 @@ void Controller::RefreshSnapshot() {
   queue_.UpdateClusterView(stats.queued_jobs, oldest_wait, false);
 }
 
+void Controller::MaybeAppendMetricsCsv(bool force) {
+  if (!metrics_csv_.has_value()) {
+    return;
+  }
+  uint64_t ticks = 0;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    ticks = stats_.ticks;
+  }
+  if (force || ticks % static_cast<uint64_t>(config_.metrics_every_ticks) == 0) {
+    metrics_csv_->Append(virtual_now_, CounterRegistry::Global().Snapshot());
+  }
+}
+
 void Controller::RunLoop() {
+  // Resolved once per loop; labeled entries bypass the static-entry macros.
+  CounterRegistry& registry = CounterRegistry::Global();
+  Histogram& drain_ms = registry.GetHistogram("serve.phase_ms", {{"phase", "drain"}});
+  Histogram& apply_ms = registry.GetHistogram("serve.phase_ms", {{"phase", "apply"}});
+  Histogram& schedule_ms = registry.GetHistogram("serve.phase_ms", {{"phase", "schedule"}});
+  Histogram& log_ms = registry.GetHistogram("serve.phase_ms", {{"phase", "log"}});
+  Histogram& round_ms = registry.GetHistogram("serve.round_ms");
+  using Clock = std::chrono::steady_clock;
+  const auto ms_between = [](Clock::time_point a, Clock::time_point b) {
+    return std::chrono::duration<double, std::milli>(b - a).count();
+  };
   while (true) {
     if (ShutdownRequested()) {
       // Signal-initiated stop: flush what we have, do NOT drain -- the
@@ -283,28 +339,57 @@ void Controller::RunLoop() {
     }
     CRIUS_TRACE_SPAN("serve.tick");
     CRIUS_COUNTER_INC("serve.ticks");
-    std::vector<ServeCommand> cmds = queue_.Drain();
+    // Phase 1/4 "drain": pop the ingress queue.
+    const auto t_round = Clock::now();
+    std::vector<ServeCommand> cmds;
+    {
+      CRIUS_TRACE_SPAN("serve.phase.drain");
+      cmds = queue_.Drain();
+    }
+    const auto t_drained = Clock::now();
+    drain_ms.Record(ms_between(t_round, t_drained));
     virtual_now_ += config_.tick_virtual_seconds;
     bool shutdown = false;
-    const auto applied_wall = std::chrono::steady_clock::now();
-    for (const ServeCommand& cmd : cmds) {
-      if (cmd.kind == ServeCommand::Kind::kShutdown) {
-        shutdown = true;
-        drain_on_shutdown_ = cmd.drain;
-        continue;
+    // Phase 2/4 "apply": stamp and feed drained commands to the engine.
+    {
+      CRIUS_TRACE_SPAN("serve.phase.apply");
+      const auto applied_wall = t_drained;
+      for (const ServeCommand& cmd : cmds) {
+        if (cmd.kind == ServeCommand::Kind::kShutdown) {
+          shutdown = true;
+          drain_on_shutdown_ = cmd.drain;
+          continue;
+        }
+        ApplyCommand(cmd);
+        const double latency_ms =
+            std::chrono::duration<double, std::milli>(applied_wall - cmd.enqueue_wall).count();
+        CRIUS_HISTOGRAM_RECORD("serve.decision_latency_ms", latency_ms);
+        std::lock_guard<std::mutex> lock(state_mu_);
+        latencies_ms_.push_back(latency_ms);
       }
-      ApplyCommand(cmd);
-      const double latency_ms =
-          std::chrono::duration<double, std::milli>(applied_wall - cmd.enqueue_wall).count();
-      CRIUS_HISTOGRAM_RECORD("serve.decision_latency_ms", latency_ms);
-      std::lock_guard<std::mutex> lock(state_mu_);
-      latencies_ms_.push_back(latency_ms);
     }
+    const auto t_applied = Clock::now();
+    apply_ms.Record(ms_between(t_drained, t_applied));
+    // Phase 3/4 "schedule": advance the engine (scheduler rounds run here).
     {
       CRIUS_TRACE_SPAN("serve.advance");
       engine_.AdvanceTo(virtual_now_);
     }
-    RefreshSnapshot();
+    const auto t_scheduled = Clock::now();
+    schedule_ms.Record(ms_between(t_applied, t_scheduled));
+    // Phase 4/4 "log": snapshot refresh + periodic metrics row.
+    {
+      CRIUS_TRACE_SPAN("serve.phase.log");
+      RefreshSnapshot();
+      CRIUS_GAUGE_SET("serve.queue_depth", static_cast<double>(queue_.size()));
+      CRIUS_GAUGE_SET("serve.virtual_now", virtual_now_);
+      MaybeAppendMetricsCsv(false);
+    }
+    const auto t_logged = Clock::now();
+    log_ms.Record(ms_between(t_scheduled, t_logged));
+    // Round total excludes the inter-tick sleep, so
+    // sum(serve.phase_ms{*}) == serve.round_ms up to timer granularity.
+    round_ms.Record(ms_between(t_round, t_logged));
     if (shutdown) {
       if (drain_on_shutdown_) {
         CRIUS_TRACE_SPAN("serve.drain");
@@ -320,6 +405,7 @@ void Controller::RunLoop() {
       std::this_thread::sleep_for(std::chrono::duration<double>(config_.tick_wall_seconds));
     }
   }
+  MaybeAppendMetricsCsv(true);
   if (log_ != nullptr) {
     log_->Flush();
   }

@@ -22,22 +22,35 @@
 // Wall-clock decision latency (ingress enqueue -> applied at tick) is
 // recorded per command into the "serve.decision_latency_ms" histogram and
 // surfaced as p50/p95/p99 in GetStats.
+//
+// Each tick is also broken into four instrumented phases -- drain (pop the
+// ingress queue), apply (feed commands to the engine), schedule
+// (SimEngine::AdvanceTo, where scheduler rounds run), and log (snapshot
+// refresh + bookkeeping) -- recorded into the labeled histogram
+// "serve.phase_ms{phase=...}" plus the tick total "serve.round_ms" (sleep
+// excluded, so the four phases sum to the round within timer granularity)
+// and mirrored as Chrome-trace spans. When Config::metrics_csv is set, the
+// loop appends a full registry snapshot row every metrics_every_ticks ticks
+// (see MetricsCsvWriter).
 
 #ifndef SRC_SERVE_CONTROLLER_H_
 #define SRC_SERVE_CONTROLLER_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/serve/event_queue.h"
 #include "src/serve/session_log.h"
 #include "src/sim/engine.h"
+#include "src/util/metrics_export.h"
 
 namespace crius {
 
@@ -48,6 +61,10 @@ class Controller {
     double tick_virtual_seconds = 60.0;
     // Wall-clock pause between ticks (the daemon's poll cadence).
     double tick_wall_seconds = 0.02;
+    // When non-empty, append a metrics-registry snapshot row to this CSV
+    // every metrics_every_ticks ticks (and once more on loop exit).
+    std::string metrics_csv;
+    int metrics_every_ticks = 10;
     EventQueueConfig queue;
   };
 
@@ -80,6 +97,13 @@ class Controller {
     double latency_p50_ms = 0.0;
     double latency_p95_ms = 0.0;
     double latency_p99_ms = 0.0;
+    // Sourced from the metrics registry / queue at GetStats time, not
+    // hand-maintained: ingress commands currently waiting for the round
+    // loop, wall seconds since Start(), and admission rejections by reason
+    // (machine-readable RejectReasonName tokens, counts > 0 only).
+    int queue_depth = 0;
+    double uptime_seconds = 0.0;
+    std::vector<std::pair<std::string, int64_t>> rejected_by_reason;
   };
 
   // `scheduler` and `oracle` must outlive the controller; `log` may be null
@@ -117,14 +141,17 @@ class Controller {
   void RunLoop();
   void ApplyCommand(const ServeCommand& cmd);
   void RefreshSnapshot();
+  void MaybeAppendMetricsCsv(bool force);
 
   const Config config_;
   const int num_nodes_;
   SimEngine engine_;
   SessionLog* log_;
   EventQueue queue_;
+  std::optional<MetricsCsvWriter> metrics_csv_;
 
   std::thread thread_;
+  std::chrono::steady_clock::time_point start_wall_{};
   std::atomic<bool> started_{false};
   std::atomic<bool> done_{false};
   std::atomic<bool> interrupted_{false};

@@ -57,10 +57,11 @@ std::optional<RejectReason> EventQueue::TryPush(ServeCommand cmd) {
   }
   if (reject.has_value()) {
     CRIUS_COUNTER_INC("serve.ingress.rejected");
-    // Per-reason counter: the name varies at runtime, so this bypasses the
-    // static-entry macro and pays the registry lookup.
+    // Per-reason labeled counter: the label varies at runtime, so this
+    // bypasses the static-entry macro and pays the registry lookup.
     CounterRegistry::Global()
-        .GetCounter(std::string("serve.ingress.rejected.") + RejectReasonName(*reject))
+        .GetCounter("serve.ingress.rejected_by_reason",
+                    MetricLabels{{"reason", RejectReasonName(*reject)}})
         .Add(1);
   } else {
     CRIUS_COUNTER_INC("serve.ingress.accepted");

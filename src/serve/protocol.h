@@ -12,7 +12,10 @@
 //   <- {"ok":false,"reason":"cluster_saturated"}
 //
 // Commands: submit | cancel | fail-node | recover-node | query | stats |
-// shutdown. See DESIGN.md §8 for the full field tables.
+// metrics | shutdown. See DESIGN.md §8 for the full field tables. The
+// `metrics` reply smuggles the (nested) registry snapshot through the flat
+// dialect as an escaped string field -- clients parse the line, then parse
+// the "metrics" payload.
 //
 // Serialization is deterministic (keys emitted in sorted order) so tests can
 // string-compare responses.

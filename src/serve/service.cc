@@ -3,6 +3,8 @@
 #include <optional>
 
 #include "src/serve/protocol.h"
+#include "src/util/counters.h"
+#include "src/util/metrics_export.h"
 
 namespace crius {
 namespace serve {
@@ -62,6 +64,29 @@ std::string HandleStats(Controller& controller) {
   extra["latency_p50_ms"] = JsonValue::Number(stats.latency_p50_ms);
   extra["latency_p95_ms"] = JsonValue::Number(stats.latency_p95_ms);
   extra["latency_p99_ms"] = JsonValue::Number(stats.latency_p99_ms);
+  // Registry-sourced enrichment: live ingress backlog, wall uptime, and one
+  // rejected_<reason> field per admission-reject reason seen so far.
+  extra["queue_depth"] = JsonValue::Number(stats.queue_depth);
+  extra["uptime_seconds"] = JsonValue::Number(stats.uptime_seconds);
+  for (const auto& [reason, count] : stats.rejected_by_reason) {
+    extra["rejected_" + reason] = JsonValue::Number(static_cast<double>(count));
+  }
+  return OkResponse(std::move(extra));
+}
+
+std::string HandleMetrics(const JsonObject& request) {
+  const std::string format = GetString(request, "format", "json");
+  if (format != "json" && format != "prometheus") {
+    return ErrorResponse(RejectReason::kBadRequest, "metrics format must be json|prometheus");
+  }
+  const MetricsSnapshot snapshot = CounterRegistry::Global().Snapshot();
+  JsonObject extra;
+  extra["format"] = JsonValue::String(format);
+  // The protocol is deliberately flat (one line, no nesting), so the nested
+  // snapshot rides inside a string field; consumers parse the line, then
+  // parse the "metrics" payload (double-parse).
+  extra["metrics"] = JsonValue::String(format == "json" ? MetricsToJson(snapshot)
+                                                        : MetricsToPrometheus(snapshot));
   return OkResponse(std::move(extra));
 }
 
@@ -103,6 +128,9 @@ std::string HandleRequest(Controller& controller, const std::string& line) {
   }
   if (cmd == "stats") {
     return HandleStats(controller);
+  }
+  if (cmd == "metrics") {
+    return HandleMetrics(request);
   }
   if (cmd == "shutdown") {
     const std::string mode = GetString(request, "mode", "drain");

@@ -4,9 +4,29 @@
 #include <cmath>
 #include <cstdio>
 
+#include "src/util/json.h"
 #include "src/util/table.h"
 
 namespace crius {
+
+std::string CanonicalMetricName(const std::string& name, const MetricLabels& labels) {
+  if (labels.empty()) {
+    return name;
+  }
+  std::string out = name + "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += key;
+    out += "=";
+    out += Json::EscapeString(value);
+  }
+  out += "}";
+  return out;
+}
 
 int Histogram::BucketIndex(double value) {
   if (!(value > 0.0)) {
@@ -94,6 +114,9 @@ HistogramSnapshot Histogram::Snapshot() const {
 
 void Histogram::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
+  // Drop the extrema along with the buckets: percentile interpolation clamps
+  // to stats_.min()/max(), so any surviving pre-Reset extremum would leak
+  // into the clamp range of post-Reset recordings.
   stats_ = RunningStats{};
   std::fill(buckets_.begin(), buckets_.end(), 0);
 }
@@ -104,19 +127,46 @@ CounterRegistry& CounterRegistry::Global() {
 }
 
 Counter& CounterRegistry::GetCounter(const std::string& name) {
+  return GetCounter(name, MetricLabels{});
+}
+
+Counter& CounterRegistry::GetCounter(const std::string& name, const MetricLabels& labels) {
+  const std::string canonical = CanonicalMetricName(name, labels);
   std::lock_guard<std::mutex> lock(mu_);
-  std::unique_ptr<Counter>& slot = counters_[name];
+  std::unique_ptr<Counter>& slot = counters_[canonical];
   if (slot == nullptr) {
     slot = std::make_unique<Counter>();
+    keys_[canonical] = MetricKey{name, labels};
+  }
+  return *slot;
+}
+
+Gauge& CounterRegistry::GetGauge(const std::string& name) {
+  return GetGauge(name, MetricLabels{});
+}
+
+Gauge& CounterRegistry::GetGauge(const std::string& name, const MetricLabels& labels) {
+  const std::string canonical = CanonicalMetricName(name, labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Gauge>& slot = gauges_[canonical];
+  if (slot == nullptr) {
+    slot = std::make_unique<Gauge>();
+    keys_[canonical] = MetricKey{name, labels};
   }
   return *slot;
 }
 
 Histogram& CounterRegistry::GetHistogram(const std::string& name) {
+  return GetHistogram(name, MetricLabels{});
+}
+
+Histogram& CounterRegistry::GetHistogram(const std::string& name, const MetricLabels& labels) {
+  const std::string canonical = CanonicalMetricName(name, labels);
   std::lock_guard<std::mutex> lock(mu_);
-  std::unique_ptr<Histogram>& slot = histograms_[name];
+  std::unique_ptr<Histogram>& slot = histograms_[canonical];
   if (slot == nullptr) {
     slot = std::make_unique<Histogram>();
+    keys_[canonical] = MetricKey{name, labels};
   }
   return *slot;
 }
@@ -125,6 +175,12 @@ int64_t CounterRegistry::CounterValue(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second->value();
+}
+
+double CounterRegistry::GaugeValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second->value();
 }
 
 HistogramSnapshot CounterRegistry::HistogramValues(const std::string& name) const {
@@ -143,6 +199,16 @@ std::vector<std::string> CounterRegistry::CounterNames() const {
   return names;
 }
 
+std::vector<std::string> CounterRegistry::GaugeNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
 std::vector<std::string> CounterRegistry::HistogramNames() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> names;
@@ -153,10 +219,33 @@ std::vector<std::string> CounterRegistry::HistogramNames() const {
   return names;
 }
 
+MetricsSnapshot CounterRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  // Map iteration is sorted by canonical name, which fixes exporter order.
+  for (const auto& [canonical, counter] : counters_) {
+    const MetricKey& key = keys_.at(canonical);
+    snap.counters.push_back(
+        MetricSample{key.base, key.labels, static_cast<double>(counter->value())});
+  }
+  for (const auto& [canonical, gauge] : gauges_) {
+    const MetricKey& key = keys_.at(canonical);
+    snap.gauges.push_back(MetricSample{key.base, key.labels, gauge->value()});
+  }
+  for (const auto& [canonical, hist] : histograms_) {
+    const MetricKey& key = keys_.at(canonical);
+    snap.histograms.push_back(HistogramSample{key.base, key.labels, hist->Snapshot()});
+  }
+  return snap;
+}
+
 void CounterRegistry::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, counter] : counters_) {
     counter->Reset();
+  }
+  for (auto& [name, gauge] : gauges_) {
+    gauge->Reset();
   }
   for (auto& [name, hist] : histograms_) {
     hist->Reset();
@@ -167,6 +256,11 @@ bool CounterRegistry::Empty() const {
   std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [name, counter] : counters_) {
     if (counter->value() != 0) {
+      return false;
+    }
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    if (gauge->value() != 0.0) {
       return false;
     }
   }
@@ -181,12 +275,18 @@ bool CounterRegistry::Empty() const {
 std::string CounterRegistry::DumpTable() const {
   // Snapshot under the lock, render outside it (Table is self-contained).
   std::vector<std::pair<std::string, int64_t>> counter_rows;
+  std::vector<std::pair<std::string, double>> gauge_rows;
   std::vector<std::pair<std::string, HistogramSnapshot>> hist_rows;
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (const auto& [name, counter] : counters_) {
       if (counter->value() != 0) {
         counter_rows.emplace_back(name, counter->value());
+      }
+    }
+    for (const auto& [name, gauge] : gauges_) {
+      if (gauge->value() != 0.0) {
+        gauge_rows.emplace_back(name, gauge->value());
       }
     }
     for (const auto& [name, hist] : histograms_) {
@@ -204,6 +304,18 @@ std::string CounterRegistry::DumpTable() const {
   }
   if (!counter_rows.empty()) {
     out += counters_table.Render();
+  }
+
+  Table gauges_table("Gauges");
+  gauges_table.SetHeader({"gauge", "value"});
+  for (const auto& [name, value] : gauge_rows) {
+    gauges_table.AddRow({name, Table::Fmt(value, 3)});
+  }
+  if (!gauge_rows.empty()) {
+    if (!out.empty()) {
+      out += "\n";
+    }
+    out += gauges_table.Render();
   }
 
   Table hist_table("Histograms");

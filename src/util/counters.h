@@ -1,19 +1,29 @@
-// Process-wide registry of named counters and streaming histograms.
+// Process-wide registry of named counters, gauges, and streaming histograms.
 //
 // Hot paths record domain telemetry through the macros:
 //
 //   CRIUS_COUNTER_INC("sched.cells_considered");
 //   CRIUS_COUNTER_ADD("sim.restarts", 2);
+//   CRIUS_GAUGE_SET("serve.queue_depth", depth);
 //   CRIUS_HISTOGRAM_RECORD("explorer.plans_enumerated", n);
 //   CRIUS_SCOPED_TIMER_MS("sched.round_ms");   // wall time of the scope
 //
-// Counters are relaxed atomic adds; histograms are log-bucketed streaming
-// accumulators (count/sum/min/max plus interpolated percentiles) built on
-// RunningStats from src/util/stats.h. Each macro resolves its registry entry
-// once (function-local static), so steady-state cost is one atomic add or one
-// short mutex-guarded bucket increment. DumpTable() renders everything
-// through src/util/table.h; Reset() zeroes values between tests without
-// invalidating cached entry pointers.
+// Every metric kind also takes an optional label set -- sorted key/value
+// pairs such as {"phase","drain"} -- resolved through the registry's
+// Get{Counter,Gauge,Histogram}(name, labels) overloads. Labels canonicalize
+// to `name{k1="v1",k2="v2"}` (keys sorted, so insertion order never matters)
+// and the exporters (src/util/metrics_export.h) carry them through to JSON
+// and Prometheus output.
+//
+// Counters are relaxed atomic adds; gauges are last-write-wins doubles;
+// histograms are log-bucketed streaming accumulators (count/sum/min/max plus
+// interpolated percentiles) built on RunningStats from src/util/stats.h.
+// Each macro resolves its registry entry once (function-local static), so
+// steady-state cost is one atomic add or one short mutex-guarded bucket
+// increment. DumpTable() renders everything through src/util/table.h;
+// Reset() zeroes values between tests without invalidating cached entry
+// pointers. Snapshot() returns the full registry as a MetricsSnapshot for
+// the machine-readable exporters and the serve daemon's `metrics` verb.
 
 #ifndef SRC_UTIL_COUNTERS_H_
 #define SRC_UTIL_COUNTERS_H_
@@ -31,6 +41,15 @@
 
 namespace crius {
 
+// Sorted label set attached to a metric; std::map keeps canonicalization and
+// exporter output deterministic regardless of call-site insertion order.
+using MetricLabels = std::map<std::string, std::string>;
+
+// `name` when labels is empty, otherwise `name{k1="v1",k2="v2"}` with keys in
+// sorted order and values JSON-style escaped. Registry entries are keyed by
+// this string, so the same (name, labels) pair always resolves to one entry.
+std::string CanonicalMetricName(const std::string& name, const MetricLabels& labels);
+
 class Counter {
  public:
   void Add(int64_t delta = 1) { value_.fetch_add(delta, std::memory_order_relaxed); }
@@ -39,6 +58,23 @@ class Counter {
 
  private:
   std::atomic<int64_t> value_{0};
+};
+
+// Last-write-wins double (queue depth, live jobs, ...). Add() is a CAS loop,
+// cheap at gauge update rates (once per controller tick, not per event).
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta, std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
 };
 
 struct HistogramSnapshot {
@@ -82,36 +118,80 @@ class Histogram {
   std::vector<uint64_t> buckets_;  // lazily sized to kNumBuckets
 };
 
+// One scalar metric (counter or gauge) in a registry snapshot.
+struct MetricSample {
+  std::string name;  // base name, labels excluded
+  MetricLabels labels;
+  double value = 0.0;
+};
+
+// One histogram in a registry snapshot.
+struct HistogramSample {
+  std::string name;
+  MetricLabels labels;
+  HistogramSnapshot value;
+};
+
+// Full registry state at one instant, sorted by canonical metric name within
+// each kind. The exporters in src/util/metrics_export.h render this to JSON,
+// Prometheus text format, and periodic CSV rows.
+struct MetricsSnapshot {
+  std::vector<MetricSample> counters;
+  std::vector<MetricSample> gauges;
+  std::vector<HistogramSample> histograms;
+};
+
 class CounterRegistry {
  public:
   // The process-wide registry the macros write to.
   static CounterRegistry& Global();
 
   // Finds or creates an entry. References stay valid for the registry's
-  // lifetime (Reset() zeroes values, never erases entries).
+  // lifetime (Reset() zeroes values, never erases entries). The labeled
+  // overloads key the entry on CanonicalMetricName(name, labels).
   Counter& GetCounter(const std::string& name);
+  Counter& GetCounter(const std::string& name, const MetricLabels& labels);
+  Gauge& GetGauge(const std::string& name);
+  Gauge& GetGauge(const std::string& name, const MetricLabels& labels);
   Histogram& GetHistogram(const std::string& name);
+  Histogram& GetHistogram(const std::string& name, const MetricLabels& labels);
 
-  // Snapshot access (0 / empty when the name was never registered).
+  // Snapshot access (0 / empty when the name was never registered). `name`
+  // is the canonical name -- pass CanonicalMetricName(...) for labeled
+  // entries.
   int64_t CounterValue(const std::string& name) const;
+  double GaugeValue(const std::string& name) const;
   HistogramSnapshot HistogramValues(const std::string& name) const;
   std::vector<std::string> CounterNames() const;
+  std::vector<std::string> GaugeNames() const;
   std::vector<std::string> HistogramNames() const;
 
-  // Zeroes every counter and histogram.
+  // Captures every registered metric; entries are sorted by canonical name.
+  MetricsSnapshot Snapshot() const;
+
+  // Zeroes every counter, gauge, and histogram.
   void Reset();
 
   // True when nothing has been recorded since construction/Reset.
   bool Empty() const;
 
-  // Renders one table of counters and one of histogram summaries.
+  // Renders tables of counters, gauges, and histogram summaries.
   std::string DumpTable() const;
   void PrintTable() const;
 
  private:
+  // Entry metadata: the base name + labels the canonical key was built from,
+  // kept so Snapshot() does not have to re-parse canonical names.
+  struct MetricKey {
+    std::string base;
+    MetricLabels labels;
+  };
+
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, MetricKey> keys_;  // canonical name -> (base, labels)
 };
 
 namespace counters_internal {
@@ -150,6 +230,13 @@ class ScopedTimerMs {
   } while (0)
 
 #define CRIUS_COUNTER_INC(name) CRIUS_COUNTER_ADD(name, 1)
+
+#define CRIUS_GAUGE_SET(name, value)                       \
+  do {                                                     \
+    static ::crius::Gauge& crius_gauge_entry_ =            \
+        ::crius::CounterRegistry::Global().GetGauge(name); \
+    crius_gauge_entry_.Set(value);                         \
+  } while (0)
 
 #define CRIUS_HISTOGRAM_RECORD(name, value)                    \
   do {                                                         \

@@ -144,6 +144,106 @@ TEST_F(CountersTest, NamesAreSorted) {
   EXPECT_NE(std::find(names.begin(), names.end(), "test.zz_b"), names.end());
 }
 
+TEST_F(CountersTest, GaugeSetAddReset) {
+  Gauge& g = CounterRegistry::Global().GetGauge("test.gauge");
+  g.Set(4.5);
+  EXPECT_DOUBLE_EQ(CounterRegistry::Global().GaugeValue("test.gauge"), 4.5);
+  g.Add(0.5);
+  EXPECT_DOUBLE_EQ(g.value(), 5.0);
+  CRIUS_GAUGE_SET("test.gauge", 2.0);  // macro reaches the same entry
+  EXPECT_DOUBLE_EQ(g.value(), 2.0);
+  CounterRegistry::Global().Reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_DOUBLE_EQ(CounterRegistry::Global().GaugeValue("test.never_set"), 0.0);
+}
+
+TEST_F(CountersTest, CanonicalMetricNameSortsKeysAndEscapesValues) {
+  EXPECT_EQ(CanonicalMetricName("m", {}), "m");
+  EXPECT_EQ(CanonicalMetricName("m", {{"b", "2"}, {"a", "1"}}), R"(m{a="1",b="2"})");
+  // Values with quotes/backslashes stay unambiguous in the canonical key.
+  EXPECT_EQ(CanonicalMetricName("m", {{"k", "say \"hi\""}}), R"(m{k="say \"hi\""})");
+}
+
+TEST_F(CountersTest, LabeledEntriesAreDistinctFromUnlabeled) {
+  CounterRegistry& registry = CounterRegistry::Global();
+  registry.GetCounter("test.labeled").Add(1);
+  registry.GetCounter("test.labeled", {{"shard", "0"}}).Add(10);
+  registry.GetCounter("test.labeled", {{"shard", "1"}}).Add(20);
+  EXPECT_EQ(registry.CounterValue("test.labeled"), 1);
+  EXPECT_EQ(registry.CounterValue(CanonicalMetricName("test.labeled", {{"shard", "0"}})), 10);
+  EXPECT_EQ(registry.CounterValue(CanonicalMetricName("test.labeled", {{"shard", "1"}})), 20);
+}
+
+TEST_F(CountersTest, SnapshotCarriesBaseNamesAndLabels) {
+  CounterRegistry& registry = CounterRegistry::Global();
+  registry.GetCounter("test.snap_counter", {{"scheduler", "crius"}, {"shard", "0"}}).Add(3);
+  registry.GetGauge("test.snap_gauge").Set(1.5);
+  registry.GetHistogram("test.snap_hist", {{"phase", "drain"}}).Record(2.0);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+
+  const MetricSample* counter = nullptr;
+  for (const MetricSample& sample : snapshot.counters) {
+    if (sample.name == "test.snap_counter") {
+      counter = &sample;
+    }
+  }
+  ASSERT_NE(counter, nullptr);
+  EXPECT_EQ(counter->labels, (MetricLabels{{"scheduler", "crius"}, {"shard", "0"}}));
+  EXPECT_DOUBLE_EQ(counter->value, 3.0);
+
+  bool found_gauge = false;
+  for (const MetricSample& sample : snapshot.gauges) {
+    if (sample.name == "test.snap_gauge") {
+      found_gauge = true;
+      EXPECT_TRUE(sample.labels.empty());
+      EXPECT_DOUBLE_EQ(sample.value, 1.5);
+    }
+  }
+  EXPECT_TRUE(found_gauge);
+
+  const HistogramSample* hist = nullptr;
+  for (const HistogramSample& sample : snapshot.histograms) {
+    if (sample.name == "test.snap_hist") {
+      hist = &sample;
+    }
+  }
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->labels, (MetricLabels{{"phase", "drain"}}));
+  EXPECT_EQ(hist->value.count, 1u);
+  EXPECT_DOUBLE_EQ(hist->value.sum, 2.0);
+}
+
+TEST_F(CountersTest, DumpTableListsGauges) {
+  CRIUS_GAUGE_SET("test.dump_gauge", 3.25);
+  const std::string table = CounterRegistry::Global().DumpTable();
+  EXPECT_NE(table.find("test.dump_gauge"), std::string::npos);
+  EXPECT_NE(table.find("3.25"), std::string::npos);
+}
+
+TEST_F(CountersTest, HistogramResetDropsStaleExtrema) {
+  // Regression test: percentile interpolation clamps to the observed
+  // [min, max]; a Reset() that kept the old extrema would let a pre-Reset
+  // outlier leak into the clamp range of post-Reset recordings.
+  Histogram& h = CounterRegistry::Global().GetHistogram("test.reset_extrema");
+  h.Record(1000.0);
+  h.Record(0.001);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Percentile(50.0), 0.0);
+  h.Record(2.0);
+  h.Record(3.0);
+  const HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 3.0);
+  // Every percentile must land inside the post-Reset range, not near the
+  // stale 0.001 / 1000.0 extrema.
+  for (double p : {0.0, 50.0, 95.0, 100.0}) {
+    EXPECT_GE(h.Percentile(p), 2.0) << "p" << p;
+    EXPECT_LE(h.Percentile(p), 3.0) << "p" << p;
+  }
+}
+
 TEST_F(CountersTest, ConcurrentRecordingSmoke) {
   constexpr int kThreads = 8;
   constexpr int kOps = 1000;

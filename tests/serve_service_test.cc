@@ -10,6 +10,8 @@
 
 #include "src/serve/client.h"
 #include "src/serve/replay.h"
+#include "src/util/counters.h"
+#include "src/util/metrics_export.h"
 
 namespace crius {
 namespace serve {
@@ -121,6 +123,98 @@ TEST_F(ServiceTest, NodeCommandsValidateRange) {
   ASSERT_TRUE(
       ParseJsonObject(Handle(R"({"cmd":"recover-node","node_id":0})"), &response, &error));
   EXPECT_TRUE(GetBool(response, "ok"));
+}
+
+TEST_F(ServiceTest, StatsIncludeRegistryEnrichment) {
+  StartController();
+  JsonObject response;
+  std::string error;
+  ASSERT_TRUE(ParseJsonObject(Handle(R"({"cmd":"stats"})"), &response, &error)) << error;
+  EXPECT_TRUE(GetBool(response, "ok"));
+  EXPECT_TRUE(Has(response, "queue_depth"));
+  EXPECT_GE(GetNumber(response, "queue_depth", -1.0), 0.0);
+  EXPECT_TRUE(Has(response, "uptime_seconds"));
+  EXPECT_GE(GetNumber(response, "uptime_seconds", -1.0), 0.0);
+}
+
+TEST_F(ServiceTest, MetricsVerbReturnsParseableSnapshot) {
+  // The registry is process-global; start from a clean slate so this test
+  // sees only what the live controller records.
+  CounterRegistry::Global().Reset();
+  StartController();
+  // Wait until at least one full tick has recorded its phase breakdown.
+  for (int spin = 0; spin < 500 && controller_->GetStats().ticks < 2; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_GE(controller_->GetStats().ticks, 2u);
+
+  JsonObject response;
+  std::string error;
+  ASSERT_TRUE(ParseJsonObject(Handle(R"({"cmd":"metrics"})"), &response, &error)) << error;
+  EXPECT_TRUE(GetBool(response, "ok"));
+  EXPECT_EQ(GetString(response, "format"), "json");
+
+  // The snapshot rides inside the flat protocol as an escaped string field;
+  // parse it back out into a MetricsSnapshot.
+  MetricsSnapshot snapshot;
+  ASSERT_TRUE(ParseMetricsJson(GetString(response, "metrics"), &snapshot, &error)) << error;
+
+  bool saw_round = false;
+  int phase_entries = 0;
+  for (const HistogramSample& sample : snapshot.histograms) {
+    if (sample.name == "serve.round_ms") {
+      saw_round = true;
+      EXPECT_GE(sample.value.count, 1u);
+    }
+    if (sample.name == "serve.phase_ms") {
+      ++phase_entries;
+      EXPECT_EQ(sample.labels.size(), 1u);
+      EXPECT_TRUE(sample.labels.count("phase"));
+    }
+  }
+  EXPECT_TRUE(saw_round);
+  EXPECT_EQ(phase_entries, 4);  // drain / apply / schedule / log
+
+  bool saw_depth_gauge = false;
+  for (const MetricSample& sample : snapshot.gauges) {
+    if (sample.name == "serve.queue_depth") {
+      saw_depth_gauge = true;
+    }
+  }
+  EXPECT_TRUE(saw_depth_gauge);
+}
+
+TEST_F(ServiceTest, MetricsVerbSpeaksPrometheus) {
+  StartController();
+  JsonObject response;
+  std::string error;
+  ASSERT_TRUE(ParseJsonObject(Handle(R"({"cmd":"metrics","format":"prometheus"})"), &response,
+                              &error))
+      << error;
+  EXPECT_TRUE(GetBool(response, "ok"));
+  EXPECT_EQ(GetString(response, "format"), "prometheus");
+  EXPECT_NE(GetString(response, "metrics").find("# TYPE "), std::string::npos);
+
+  ASSERT_TRUE(
+      ParseJsonObject(Handle(R"({"cmd":"metrics","format":"xml"})"), &response, &error));
+  EXPECT_FALSE(GetBool(response, "ok", true));
+  EXPECT_EQ(GetString(response, "reason"), "bad_request");
+}
+
+TEST_F(ServiceTest, ClientMetricsHelperOverSocket) {
+  StartController();
+  const std::string socket_path = ::testing::TempDir() + "/crius_service_metrics_test.sock";
+  Server server(socket_path, MakeHandler(*controller_));
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  Client client;
+  ASSERT_TRUE(client.Connect(socket_path, &error)) << error;
+  JsonObject response;
+  ASSERT_TRUE(client.Metrics("json", &response, &error)) << error;
+  EXPECT_TRUE(GetBool(response, "ok"));
+  MetricsSnapshot snapshot;
+  EXPECT_TRUE(ParseMetricsJson(GetString(response, "metrics"), &snapshot, &error)) << error;
+  server.Stop();
 }
 
 TEST_F(ServiceTest, EndToEndOverUnixSocket) {

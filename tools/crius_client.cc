@@ -11,6 +11,7 @@
 //   recover-node NODE_ID
 //   query JOB_ID
 //   stats
+//   metrics [json|prometheus]       print the raw registry snapshot payload
 //   wait-idle [TIMEOUT_SECONDS]     poll stats until no job is live
 //   shutdown [drain|now]
 //   sleep SECONDS                   wall-clock pause between commands
@@ -109,6 +110,23 @@ int RunScript(serve::Client& client, std::istream& script) {
                               : client.RecoverNode(node_id, &response, &error);
     } else if (cmd == "stats") {
       ok = client.Stats(&response, &error);
+    } else if (cmd == "metrics") {
+      std::string format = "json";
+      tokens >> format;  // optional
+      if (format != "json" && format != "prometheus") {
+        std::fprintf(stderr, "crius_client: line %d: metrics format must be json|prometheus\n",
+                     line_no);
+        return 1;
+      }
+      if (!client.Metrics(format, &response, &error)) {
+        std::fprintf(stderr, "crius_client: line %d: %s\n", line_no, error.c_str());
+        return 1;
+      }
+      // Print the payload itself (not the envelope): `metrics json` gives one
+      // parseable snapshot document, `metrics prometheus` a scrapable page.
+      std::printf("%s\n", serve::GetString(response, "metrics").c_str());
+      std::fflush(stdout);
+      continue;
     } else if (cmd == "wait-idle") {
       double timeout = 120.0;
       tokens >> timeout;  // optional

@@ -46,6 +46,7 @@ int Run(int argc, const char* const* argv) {
   int64_t seed = 42;
   std::string chrome_trace;
   std::string trace_json;
+  std::string log_level;
   bool counters = false;
   int64_t threads = 1;
 
@@ -62,11 +63,23 @@ int Run(int argc, const char* const* argv) {
   flags.String("trace-json", &trace_json,
                "write a Chrome trace of the planning pipeline itself to this file");
   flags.Bool("counters", &counters, "print the process-wide counter/histogram table");
+  flags.String("log-level", &log_level,
+               "debug|info|warning|error|off; overrides CRIUS_LOG_LEVEL "
+               "(precedence: flag > env > default warning)");
   flags.Int("threads", &threads,
             "worker threads for estimation fan-out (results are bit-identical "
             "to --threads 1)");
   if (!flags.Parse(argc, argv)) {
     return 1;
+  }
+  if (!log_level.empty()) {
+    const std::optional<LogLevel> parsed = ParseLogLevel(log_level);
+    if (!parsed.has_value()) {
+      std::fprintf(stderr, "crius_plan: bad --log-level '%s' (want debug|info|warning|error|off)\n",
+                   log_level.c_str());
+      return 1;
+    }
+    SetLogLevel(*parsed);
   }
 
   if (!trace_json.empty()) {

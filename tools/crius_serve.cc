@@ -63,6 +63,9 @@ int Run(int argc, const char* const* argv) {
   double restart_overhead = 60.0;
   std::string socket_path = "/tmp/crius_serve.sock";
   std::string session_log_path = "crius_session.csv";
+  std::string metrics_csv;
+  int64_t metrics_every_ticks = 10;
+  std::string log_level;
   double tick_virtual = 60.0;
   double tick_wall = 0.02;
   int64_t queue_capacity = 256;
@@ -90,6 +93,13 @@ int Run(int argc, const char* const* argv) {
   flags.String("socket", &socket_path, "Unix domain socket to serve on");
   flags.String("session-log", &session_log_path,
                "append-only session event log (empty = no recording, no replay)");
+  flags.String("metrics-csv", &metrics_csv,
+               "append periodic metrics-registry snapshot rows to this CSV (empty = off)");
+  flags.Int("metrics-every-ticks", &metrics_every_ticks,
+            "controller ticks between metrics CSV rows");
+  flags.String("log-level", &log_level,
+               "debug|info|warning|error|off; overrides CRIUS_LOG_LEVEL "
+               "(precedence: flag > env > default warning)");
   flags.Double("tick-virtual-seconds", &tick_virtual,
                "virtual seconds the session clock advances per controller tick");
   flags.Double("tick-wall-seconds", &tick_wall, "wall-clock pause between ticks");
@@ -107,6 +117,19 @@ int Run(int argc, const char* const* argv) {
   flags.Bool("counters", &counters, "print the counter/histogram table on exit");
   flags.Int("threads", &threads, "worker threads (socket dispatch + estimation fan-out)");
   if (!flags.Parse(argc, argv)) {
+    return 1;
+  }
+  if (!log_level.empty()) {
+    const std::optional<LogLevel> parsed = ParseLogLevel(log_level);
+    if (!parsed.has_value()) {
+      std::fprintf(stderr, "crius_serve: bad --log-level '%s' (want debug|info|warning|error|off)\n",
+                   log_level.c_str());
+      return 1;
+    }
+    SetLogLevel(*parsed);
+  }
+  if (metrics_every_ticks <= 0) {
+    std::fprintf(stderr, "crius_serve: --metrics-every-ticks must be > 0\n");
     return 1;
   }
 
@@ -156,6 +179,8 @@ int Run(int argc, const char* const* argv) {
   Controller::Config controller_config;
   controller_config.tick_virtual_seconds = tick_virtual;
   controller_config.tick_wall_seconds = tick_wall;
+  controller_config.metrics_csv = metrics_csv;
+  controller_config.metrics_every_ticks = static_cast<int>(metrics_every_ticks);
   controller_config.queue.capacity = static_cast<size_t>(queue_capacity);
   controller_config.queue.max_pending_jobs = static_cast<int>(max_pending);
   controller_config.queue.starvation_wait = starvation_wait;

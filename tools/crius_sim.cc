@@ -65,6 +65,7 @@ int Run(int argc, const char* const* argv) {
   std::string timeline_csv;
   std::string events_csv;
   std::string trace_json;
+  std::string log_level;
   bool counters = false;
   int64_t threads = 1;
   bool incremental = true;
@@ -118,11 +119,23 @@ int Run(int argc, const char* const* argv) {
   flags.String("trace-json", &trace_json,
                "write a Chrome trace (chrome://tracing / Perfetto) to this file");
   flags.Bool("counters", &counters, "print the process-wide counter/histogram table");
+  flags.String("log-level", &log_level,
+               "debug|info|warning|error|off; overrides CRIUS_LOG_LEVEL "
+               "(precedence: flag > env > default warning)");
   flags.Int("threads", &threads,
             "worker threads for scheduling/estimation fan-out (results are "
             "bit-identical to --threads 1)");
   if (!flags.Parse(argc, argv)) {
     return 1;
+  }
+  if (!log_level.empty()) {
+    const std::optional<LogLevel> parsed = ParseLogLevel(log_level);
+    if (!parsed.has_value()) {
+      std::fprintf(stderr, "crius_sim: bad --log-level '%s' (want debug|info|warning|error|off)\n",
+                   log_level.c_str());
+      return 1;
+    }
+    SetLogLevel(*parsed);
   }
 
   if (!trace_json.empty()) {
