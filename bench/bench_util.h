@@ -5,6 +5,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -82,19 +83,55 @@ class TimedScheduler : public Scheduler {
   int calls_ = 0;
 };
 
-// Scans argv for the shared "--json PATH" bench-report flag ("--json=PATH"
-// also accepted) without disturbing the binary's own ad-hoc flag parsing.
-// Empty string = no report requested.
-inline std::string BenchReportPathFromArgs(int argc, char** argv) {
+// The bench binaries deliberately scan argv by hand instead of declaring a
+// FlagSet: every binary must ignore the driver-level flags it does not own
+// (--threads for the pool, --json for the report) and FlagSet::Parse rejects
+// unknown flags. These helpers keep that scanning in one place.
+
+// True when `flag` (e.g. "--smoke") appears verbatim in argv.
+inline bool BenchFlagPresent(int argc, char** argv, const char* flag) {
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Value of "--name VALUE" / "--name=VALUE", or "" when absent.
+inline std::string BenchFlagValue(int argc, char** argv, const char* flag) {
+  const size_t len = std::strlen(flag);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) {
       return argv[i + 1];
     }
-    if (std::strncmp(argv[i], "--json=", 7) == 0) {
-      return argv[i] + 7;
+    if (std::strncmp(argv[i], flag, len) == 0 && argv[i][len] == '=') {
+      return argv[i] + len + 1;
     }
   }
   return "";
+}
+
+// Integer value of "--name N" / "--name=N", or `fallback` when the flag is
+// absent or its value does not parse as an integer.
+inline int64_t BenchFlagInt(int argc, char** argv, const char* flag, int64_t fallback) {
+  const std::string value = BenchFlagValue(argc, argv, flag);
+  if (value.empty()) {
+    return fallback;
+  }
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0') {
+    std::fprintf(stderr, "warning: ignoring non-integer value '%s' for %s\n", value.c_str(),
+                 flag);
+    return fallback;
+  }
+  return static_cast<int64_t>(parsed);
+}
+
+// Path of the shared "--json PATH" bench-report flag; empty = no report.
+inline std::string BenchReportPathFromArgs(int argc, char** argv) {
+  return BenchFlagValue(argc, argv, "--json");
 }
 
 // Writes `report` to `path` (no-op when the flag was absent). The emitted

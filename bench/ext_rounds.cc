@@ -116,15 +116,8 @@ std::vector<RoundSample> RunMode(const Cluster& cluster, const std::vector<Train
 int main(int argc, char** argv) {
   using namespace crius;
   ConfigureBenchThreads(argc, argv);
-  bool smoke = false;
-  int jobs_override = 0;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) {
-      smoke = true;
-    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
-      jobs_override = std::atoi(argv[++i]);
-    }
-  }
+  const bool smoke = BenchFlagPresent(argc, argv, "--smoke");
+  const int jobs_override = static_cast<int>(BenchFlagInt(argc, argv, "--jobs", 0));
 
   Cluster cluster = smoke ? MakePhysicalTestbed() : MakeSimulatedCluster();
   TraceConfig trace_config = smoke ? PhillySixHourConfig() : PhillyWeekHeavyConfig();

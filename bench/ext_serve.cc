@@ -105,18 +105,9 @@ ClientResult RunClient(const std::string& socket_path, size_t requests, size_t s
 int main(int argc, char** argv) {
   using namespace crius;
   ConfigureBenchThreads(argc, argv);
-  bool smoke = false;
-  size_t clients = 0;
-  size_t requests = 0;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) {
-      smoke = true;
-    } else if (std::strcmp(argv[i], "--clients") == 0 && i + 1 < argc) {
-      clients = static_cast<size_t>(std::atoi(argv[++i]));
-    } else if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
-      requests = static_cast<size_t>(std::atoi(argv[++i]));
-    }
-  }
+  const bool smoke = BenchFlagPresent(argc, argv, "--smoke");
+  size_t clients = static_cast<size_t>(BenchFlagInt(argc, argv, "--clients", 0));
+  size_t requests = static_cast<size_t>(BenchFlagInt(argc, argv, "--requests", 0));
   if (clients == 0) {
     clients = smoke ? 4 : 8;
   }

@@ -3,21 +3,26 @@
 #include <algorithm>
 #include <cmath>
 
-#include "src/util/check.h"
-
 namespace crius {
 
 double YoungDalyInterval(double mtbf_seconds, double cost_seconds) {
-  CRIUS_CHECK_MSG(mtbf_seconds > 0.0 && cost_seconds > 0.0,
-                  "Young/Daly needs positive MTBF and checkpoint cost");
+  // Degenerate inputs (unknown MTBF, free checkpoints) have no meaningful
+  // optimum; 0 means "periodic checkpointing disabled", which every consumer
+  // of an interval already handles. Guarded rather than CHECKed so callers
+  // like the migration cost model can invoke it unconditionally.
+  if (mtbf_seconds <= 0.0 || cost_seconds <= 0.0) {
+    return 0.0;
+  }
   return std::sqrt(2.0 * mtbf_seconds * cost_seconds);
 }
 
 double CheckpointOverheadFactor(double interval, double cost) {
-  if (interval <= 0.0) {
+  // interval <= 0 disables periodic checkpointing; a negative cost is clamped
+  // to free rather than aborting (SimConfig::Validate still reports it as a
+  // configuration error at the entry points).
+  if (interval <= 0.0 || cost <= 0.0) {
     return 1.0;
   }
-  CRIUS_CHECK_MSG(cost >= 0.0, "negative checkpoint cost");
   return 1.0 + cost / interval;
 }
 
@@ -30,13 +35,13 @@ double PreservedProgress(double interval, double progress_seconds) {
 
 double EffectiveCheckpointInterval(const CheckpointConfig& config, double node_mtbf_seconds,
                                    int num_nodes) {
-  CRIUS_CHECK_MSG(config.interval >= 0.0, "negative checkpoint interval");
-  CRIUS_CHECK_MSG(config.cost >= 0.0, "negative checkpoint cost");
+  // Negative knobs clamp to "disabled" instead of aborting: this runs inside
+  // the migration cost model and per-start engine path, which must be total.
   if (config.young_daly && node_mtbf_seconds > 0.0 && config.cost > 0.0) {
     const double job_mtbf = node_mtbf_seconds / static_cast<double>(std::max(1, num_nodes));
     return YoungDalyInterval(job_mtbf, config.cost);
   }
-  return config.interval;
+  return std::max(0.0, config.interval);
 }
 
 }  // namespace crius

@@ -24,14 +24,16 @@ struct CheckpointConfig {
   bool young_daly = false;
 };
 
-// First-order optimal checkpoint interval sqrt(2 * mtbf * cost). Requires
-// mtbf > 0 and cost > 0.
+// First-order optimal checkpoint interval sqrt(2 * mtbf * cost). Total over
+// all inputs: a non-positive MTBF or cost returns 0 ("checkpointing
+// disabled") so unconditional callers -- the migration cost model, the
+// engine's per-start path -- never abort on degenerate configurations.
 double YoungDalyInterval(double mtbf_seconds, double cost_seconds);
 
 // Steady-state slowdown factor of periodic checkpointing: every `interval`
 // seconds of progress additionally pays `cost` seconds, so wall time runs
 // (1 + cost / interval) slower. 1.0 when checkpointing is disabled
-// (interval <= 0).
+// (interval <= 0) or the write is free (cost <= 0; negative clamps to free).
 double CheckpointOverheadFactor(double interval, double cost);
 
 // Progress surviving a failure: of `progress_seconds` of useful work since the

@@ -1,0 +1,21 @@
+#include "src/reconfig/migration_cost.h"
+
+#include <algorithm>
+
+#include "src/model/models.h"
+
+namespace crius {
+
+double MigrationCostModel::Cost(const ModelSpec& spec, const Cell& from, const Cell& to) const {
+  (void)from;
+  double write = std::max(0.0, config_.checkpoint_cost);
+  if (config_.checkpoint_bandwidth > 0.0) {
+    write = GetOpGraph(spec).TotalParamBytes() / config_.checkpoint_bandwidth;
+  }
+  const double warmup = std::max(0.0, config_.warmup_base) +
+                        std::max(0.0, config_.warmup_per_gpu) * static_cast<double>(to.ngpus);
+  // Write at suspend + fixed relaunch + read at resume + destination warm-up.
+  return 2.0 * write + std::max(0.0, config_.restart_overhead) + warmup;
+}
+
+}  // namespace crius

@@ -1,0 +1,61 @@
+// MigrationCostModel: what moving a *running* job to a new Cell costs (§ live
+// reconfiguration, DESIGN.md §12).
+//
+// A live migration is a scheduler-initiated restart with extra steps: the job
+// writes a synchronous checkpoint, tears down, relaunches in the target Cell,
+// restores the checkpoint, and warms the new Cell up (NCCL communicator
+// setup, pipeline fill, allocator re-warm) before training at full rate. The
+// model prices each leg from the same knobs the engine's fault model already
+// uses (src/fault/checkpoint.h), so a migration is never cheaper than the
+// plain restart the engine would charge for the same placement change:
+//
+//   cost = write + restart_overhead + restore + warmup(target)
+//   write = restore = param_bytes / checkpoint_bandwidth   (bandwidth known)
+//                   = checkpoint_cost                       (fallback)
+//   warmup(target)  = warmup_base + warmup_per_gpu * target.ngpus
+//
+// Pure and deterministic: a cost depends only on (spec, from, to) and the
+// config, never on wall-clock state, so ReconfigPolicy decisions are
+// bit-identical across thread counts and through serve-session replay.
+
+#ifndef SRC_RECONFIG_MIGRATION_COST_H_
+#define SRC_RECONFIG_MIGRATION_COST_H_
+
+#include "src/core/cell.h"
+#include "src/model/job.h"
+
+namespace crius {
+
+struct MigrationCostConfig {
+  // Fixed teardown + relaunch seconds (the engine syncs this with
+  // SimConfig::restart_overhead so migration and restart pricing agree).
+  double restart_overhead = 60.0;
+  // Checkpoint write/read bandwidth in bytes/s; 0 = size-independent model.
+  double checkpoint_bandwidth = 0.0;
+  // Seconds per synchronous checkpoint write when no bandwidth is known
+  // (mirrors CheckpointConfig::cost, the periodic model's per-write stall).
+  double checkpoint_cost = 30.0;
+  // Cell warm-up: fixed part plus a per-GPU term (communicator setup and
+  // pipeline fill grow with the destination Cell's size).
+  double warmup_base = 20.0;
+  double warmup_per_gpu = 1.0;
+};
+
+class MigrationCostModel {
+ public:
+  explicit MigrationCostModel(MigrationCostConfig config) : config_(config) {}
+
+  // Modeled seconds the job is paused while moving from `from` to `to`.
+  // `from` only disambiguates future asymmetric models; today the cost is a
+  // function of the model size and the destination Cell.
+  double Cost(const ModelSpec& spec, const Cell& from, const Cell& to) const;
+
+  const MigrationCostConfig& config() const { return config_; }
+
+ private:
+  MigrationCostConfig config_;
+};
+
+}  // namespace crius
+
+#endif  // SRC_RECONFIG_MIGRATION_COST_H_

@@ -4,6 +4,20 @@
 
 namespace crius {
 
+const char* MigrationKindName(MigrationKind kind) {
+  switch (kind) {
+    case MigrationKind::kShrink:
+      return "shrink";
+    case MigrationKind::kGrow:
+      return "grow";
+    case MigrationKind::kResplit:
+      return "resplit";
+    case MigrationKind::kTypeSwap:
+      return "type_swap";
+  }
+  return "?";
+}
+
 bool RoundContext::has_health_events() const {
   return std::any_of(events_.begin(), events_.end(),
                      [](const RoundEvent& e) { return e.is_health_event(); });

@@ -68,11 +68,37 @@ struct Assignment {
   bool opportunistic = false;
 };
 
+// How a live migration changes a running job's Cell (src/reconfig).
+enum class MigrationKind : uint8_t {
+  kShrink,   // fewer GPUs, same type
+  kGrow,     // more GPUs, same type
+  kResplit,  // same type and count, different pipeline-stage split
+  kTypeSwap, // different GPU type
+};
+
+const char* MigrationKindName(MigrationKind kind);
+
+// A typed live-reconfiguration action for one *running* job: pause it, charge
+// `cost_seconds` (checkpoint write + relaunch + Cell warm-up, modeled by
+// MigrationCostModel), and resume it in `target`. Proposed by ReconfigPolicy
+// (src/reconfig) and applied by SimEngine; `gain_seconds` records the modeled
+// remaining-time saving that justified the move (observability only).
+struct MigrationAction {
+  int64_t job_id = -1;
+  MigrationKind kind = MigrationKind::kResplit;
+  Assignment target;           // nstages > 0: a concrete Cell
+  double cost_seconds = 0.0;
+  double gain_seconds = 0.0;
+};
+
 // One scheduling round's outcome: job id -> assignment. Jobs absent from the
 // map stay (or become) queued. `dropped` lists jobs rejected for good.
+// `migrations` re-places running jobs live (each target overrides the job's
+// entry in `assignments`); empty unless a ReconfigPolicy is active.
 struct ScheduleDecision {
   std::map<int64_t, Assignment> assignments;
   std::vector<int64_t> dropped;
+  std::vector<MigrationAction> migrations;
 };
 
 // What changed between two scheduling rounds. RoundEvents are the driver's

@@ -58,6 +58,9 @@ Controller::~Controller() {
 
 void Controller::Start() {
   CRIUS_CHECK_MSG(!started_.exchange(true), "Controller::Start called twice");
+  // Recorded synchronously, before the tick thread exists, so a `metrics`
+  // request issued right after Start() never sees an empty registry.
+  CRIUS_COUNTER_INC("serve.controller_starts");
   start_wall_ = std::chrono::steady_clock::now();
   thread_ = std::thread([this] { RunLoop(); });
 }

@@ -12,6 +12,7 @@ SimConfig SimConfigFromMeta(const SessionMeta& meta) {
   config.restart_overhead = meta.restart_overhead;
   config.charge_profiling = meta.charge_profiling;
   config.record_events = true;
+  config.reconfig.enabled = meta.reconfig;
   return config;
 }
 

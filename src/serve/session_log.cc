@@ -54,7 +54,8 @@ std::string SerializeSessionMeta(const SessionMeta& meta) {
       << ";incremental=" << (meta.incremental ? 1 : 0)
       << ";schedule_interval=" << FmtDouble(meta.schedule_interval)
       << ";restart_overhead=" << FmtDouble(meta.restart_overhead)
-      << ";charge_profiling=" << (meta.charge_profiling ? 1 : 0);
+      << ";charge_profiling=" << (meta.charge_profiling ? 1 : 0)
+      << ";reconfig=" << (meta.reconfig ? 1 : 0);
   return oss.str();
 }
 
@@ -96,6 +97,8 @@ SessionMeta ParseSessionMeta(const std::string& detail, int line_no) {
       meta.restart_overhead = csv::ParseDouble(value, "restart_overhead", line_no, "session log");
     } else if (key == "charge_profiling") {
       meta.charge_profiling = ParseBoolField(value, "charge_profiling", line_no);
+    } else if (key == "reconfig") {
+      meta.reconfig = ParseBoolField(value, "reconfig", line_no);
     } else {
       CRIUS_UNREACHABLE("session log line " + std::to_string(line_no) + ": unknown meta key '" +
                         key + "'");

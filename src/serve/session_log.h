@@ -47,6 +47,9 @@ struct SessionMeta {
   double schedule_interval = 5.0 * kMinute;
   double restart_overhead = 60.0;
   bool charge_profiling = true;
+  // Live reconfiguration (src/reconfig) with its default knobs. Recorded so a
+  // replay reconstructs the same migration decisions the live session made.
+  bool reconfig = false;
 };
 
 // Streaming log writer. Each Append* call emits one row and flushes, so a

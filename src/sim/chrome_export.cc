@@ -144,9 +144,12 @@ void AppendSimTrace(const SimResult& result, TraceRecorder& recorder) {
       switch (e->kind) {
         case SimEvent::Kind::kStart:
         case SimEvent::Kind::kRestart:
+        case SimEvent::Kind::kMigrate:
           close_span(e->time);
           if (e->kind == SimEvent::Kind::kRestart) {
             recorder.InstantEvent(track, "restart", e->time * kUsPerSecond);
+          } else if (e->kind == SimEvent::Kind::kMigrate) {
+            recorder.InstantEvent(track, "migrate", e->time * kUsPerSecond);
           }
           open = true;
           open_since = e->time;

@@ -26,6 +26,8 @@ const char* CounterNameFor(SimEvent::Kind kind) {
       return "sim.starts";
     case SimEvent::Kind::kRestart:
       return "sim.restarts";
+    case SimEvent::Kind::kMigrate:
+      return "sim.migrations";
     case SimEvent::Kind::kPreempt:
       return "sim.preempts";
     case SimEvent::Kind::kFinish:
@@ -67,6 +69,15 @@ SimEngine::SimEngine(const Cluster& cluster_template, SimConfig config, Schedule
   SortFailureSchedule(config_.failures);
   std::stable_sort(config_.cancels.begin(), config_.cancels.end(), CancelBefore);
   result_.scheduler = scheduler_.name();
+  if (config_.reconfig.enabled) {
+    // Sync the shared cost legs so a migration is never priced differently
+    // from the plain restart the engine would charge for the same move.
+    ReconfigConfig rc = config_.reconfig;
+    rc.cost.restart_overhead = config_.restart_overhead;
+    rc.cost.checkpoint_bandwidth = config_.checkpoint_bandwidth;
+    reconfig_ = std::make_unique<ReconfigPolicy>(&oracle_, rc, config_.checkpoint,
+                                                 config_.node_mtbf);
+  }
 }
 
 void SimEngine::AddJob(const TrainingJob& job, double profiling_delay,
@@ -372,6 +383,19 @@ void SimEngine::ApplyDecision(double at, const ScheduleDecision& decision) {
                     scheduler_.name() << " decision both assigns and drops job " << id);
   }
 
+  // Migrations target *running* jobs only, at most once per job per round; a
+  // migration's target overrides the job's entry in `assignments`.
+  std::map<int64_t, const MigrationAction*> migrating;
+  for (const MigrationAction& m : decision.migrations) {
+    CRIUS_CHECK_MSG(std::find(decision.dropped.begin(), decision.dropped.end(), m.job_id) ==
+                        decision.dropped.end(),
+                    "decision both migrates and drops job " << m.job_id);
+    CRIUS_CHECK_MSG(JobById(m.job_id).state.phase == JobPhase::kRunning,
+                    "migration of non-running job " << m.job_id);
+    const bool inserted = migrating.emplace(m.job_id, &m).second;
+    CRIUS_CHECK_MSG(inserted, "duplicate migration for job " << m.job_id);
+  }
+
   // Drops first.
   for (int64_t id : decision.dropped) {
     SimJob& sj = JobById(id);
@@ -382,8 +406,15 @@ void SimEngine::ApplyDecision(double at, const ScheduleDecision& decision) {
     }
   }
 
-  // Releases: running jobs whose assignment vanished or changed.
-  std::vector<std::pair<size_t, Assignment>> to_start;
+  // Releases: running jobs whose assignment vanished or changed, plus jobs
+  // being migrated (their current grant is released so the new Cell can be
+  // allocated from the freed capacity).
+  struct StartItem {
+    size_t index;
+    Assignment assignment;
+    const MigrationAction* migration;  // null for plain starts/restarts
+  };
+  std::vector<StartItem> to_start;
   for (size_t i = 0; i < jobs_.size(); ++i) {
     SimJob& sj = jobs_[i];
     if (sj.state.phase != JobPhase::kRunning && sj.state.phase != JobPhase::kQueued) {
@@ -393,8 +424,13 @@ void SimEngine::ApplyDecision(double at, const ScheduleDecision& decision) {
       continue;
     }
     const auto it = decision.assignments.find(sj.state.job.id);
+    const MigrationAction* mig = nullptr;
     if (sj.state.phase == JobPhase::kRunning) {
-      const bool keep = it != decision.assignments.end() &&
+      const auto mit = migrating.find(sj.state.job.id);
+      if (mit != migrating.end()) {
+        mig = mit->second;
+      }
+      const bool keep = mig == nullptr && it != decision.assignments.end() &&
                         it->second.type == sj.state.gpu_type &&
                         it->second.ngpus == sj.state.ngpus &&
                         (it->second.nstages == 0 || it->second.nstages == sj.state.nstages);
@@ -402,7 +438,7 @@ void SimEngine::ApplyDecision(double at, const ScheduleDecision& decision) {
         sj.state.opportunistic = it->second.opportunistic;
         continue;
       }
-      // Preempt / reschedule: release now, maybe restart below.
+      // Preempt / reschedule / migrate: release now, maybe restart below.
       SettleSegment(sj, at);
       cluster_.Release(sj.alloc);
       sj.alloc = Allocation{};
@@ -410,18 +446,22 @@ void SimEngine::ApplyDecision(double at, const ScheduleDecision& decision) {
       sj.state.ngpus = 0;
       sj.state.nstages = 0;
       sj.state.iter_time = 0.0;
-      if (it == decision.assignments.end()) {
+      if (mig == nullptr && it == decision.assignments.end()) {
         Record(sj, at, SimEvent::Kind::kPreempt);
         round_events_.push_back(RoundEvent::JobPhaseChange(sj.state.job.id));
       }
     }
-    if (it != decision.assignments.end()) {
-      to_start.emplace_back(i, it->second);
+    if (mig != nullptr) {
+      to_start.push_back(StartItem{i, mig->target, mig});
+    } else if (it != decision.assignments.end()) {
+      to_start.push_back(StartItem{i, it->second, nullptr});
     }
   }
 
-  // Starts / restarts.
-  for (const auto& [i, a] : to_start) {
+  // Starts / restarts / migration resumes.
+  for (const StartItem& item : to_start) {
+    const size_t i = item.index;
+    const Assignment& a = item.assignment;
     SimJob& sj = jobs_[i];
     CRIUS_CHECK(sj.state.phase == JobPhase::kQueued);
     CRIUS_CHECK_MSG(a.ngpus > 0, "empty assignment for job " << sj.state.job.id);
@@ -474,10 +514,27 @@ void SimEngine::ApplyDecision(double at, const ScheduleDecision& decision) {
       restart_cost += 2.0 * GetOpGraph(sj.state.job.spec).TotalParamBytes() /
                       config_.checkpoint_bandwidth;
     }
+    if (item.migration != nullptr) {
+      // A migration's pause is the cost model's full price (checkpoint write +
+      // relaunch + restore + destination warm-up), never the plain restart.
+      restart_cost = item.migration->cost_seconds;
+    }
     CRIUS_HISTOGRAM_RECORD("sim.restart_cost_s", restart_cost);
     sj.state.blocked_until = at + restart_cost;
     const Cell placement{a.type, a.ngpus, std::max(1, a.nstages)};
-    if (!sj.started_once) {
+    if (item.migration != nullptr) {
+      const MigrationAction& m = *item.migration;
+      ++sj.state.num_restarts;
+      ++sj.sched_restarts;
+      ++result_.migrations;
+      result_.migration_cost_seconds += m.cost_seconds;
+      result_.migration_gain_seconds += m.gain_seconds;
+      CounterRegistry::Global()
+          .GetCounter("reconfig.migrations",
+                      MetricLabels{{"kind", MigrationKindName(m.kind)}})
+          .Add(1);
+      Record(sj, at, SimEvent::Kind::kMigrate, placement.ToString());
+    } else if (!sj.started_once) {
       sj.started_once = true;
       sj.state.first_start = at;
       Record(sj, at, SimEvent::Kind::kStart, placement.ToString());
@@ -524,7 +581,10 @@ void SimEngine::RunScheduler(double at) {
   CRIUS_COUNTER_INC("sim.sched_invocations");
   const RoundContext round(at, std::move(visible), cluster_, std::move(round_events_));
   round_events_.clear();  // moved-from; restart the next round's delta empty
-  const ScheduleDecision decision = scheduler_.Schedule(round);
+  ScheduleDecision decision = scheduler_.Schedule(round);
+  if (reconfig_ != nullptr) {
+    decision.migrations = reconfig_->Propose(round, decision);
+  }
   ApplyDecision(at, decision);
 }
 

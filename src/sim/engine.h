@@ -37,6 +37,7 @@
 #define SRC_SIM_ENGINE_H_
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -165,6 +166,9 @@ class SimEngine {
   SimConfig config_;
   Scheduler& scheduler_;
   PerformanceOracle& oracle_;
+  // Live-reconfiguration policy (src/reconfig); null unless
+  // SimConfig::reconfig.enabled, so the off path never touches it.
+  std::unique_ptr<ReconfigPolicy> reconfig_;
 
   Cluster cluster_;
   SimResult result_;

@@ -12,6 +12,8 @@ const char* SimEvent::KindName(Kind kind) {
       return "start";
     case Kind::kRestart:
       return "restart";
+    case Kind::kMigrate:
+      return "migrate";
     case Kind::kPreempt:
       return "preempt";
     case Kind::kFinish:

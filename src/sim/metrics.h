@@ -60,6 +60,7 @@ struct SimEvent {
   enum class Kind : uint8_t {
     kStart,        // first launch
     kRestart,      // relaunched with a (possibly) different placement
+    kMigrate,      // live reconfiguration: moved to a new Cell (src/reconfig)
     kPreempt,      // lost its GPUs to a scheduling decision, back to the queue
     kFinish,
     kDrop,
@@ -150,6 +151,13 @@ struct SimResult {
   double goodput = 0.0;
   double avg_recovery_latency = 0.0;
   double p95_recovery_latency = 0.0;
+
+  // --- Live reconfiguration (src/reconfig; zero unless --reconfig) ----------
+  // Migrations applied, and the summed modeled pause cost / remaining-time
+  // gain of the accepted moves (gain is the policy's model, not realized).
+  int migrations = 0;
+  double migration_cost_seconds = 0.0;
+  double migration_gain_seconds = 0.0;
 
   // Computes the aggregates from `jobs`, `timeline`, and the fault ledger.
   void Finalize();

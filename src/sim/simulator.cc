@@ -26,6 +26,21 @@ std::vector<std::string> SimConfig::Validate(const Cluster& cluster) const {
   require(checkpoint.interval >= 0.0, "negative checkpoint interval");
   require(checkpoint.cost >= 0.0, "negative checkpoint cost");
   require(node_mtbf >= 0.0, "negative node_mtbf");
+  if (reconfig.enabled) {
+    require(reconfig.hysteresis_margin >= 0.0, "negative reconfig hysteresis_margin");
+    require(reconfig.min_relative_gain >= 0.0, "negative reconfig min_relative_gain");
+    require(reconfig.cooldown >= 0.0, "negative reconfig cooldown");
+    require(reconfig.max_migrations_per_round >= 0,
+            "negative reconfig max_migrations_per_round");
+    require(reconfig.arrival_burst >= 1, "reconfig arrival_burst below 1");
+    require(reconfig.distress_factor >= 1.0, "reconfig distress_factor below 1");
+    require(reconfig.cost.restart_overhead >= 0.0, "negative reconfig restart_overhead");
+    require(reconfig.cost.checkpoint_bandwidth >= 0.0,
+            "negative reconfig checkpoint_bandwidth");
+    require(reconfig.cost.checkpoint_cost >= 0.0, "negative reconfig checkpoint_cost");
+    require(reconfig.cost.warmup_base >= 0.0, "negative reconfig warmup_base");
+    require(reconfig.cost.warmup_per_gpu >= 0.0, "negative reconfig warmup_per_gpu");
+  }
   const int num_nodes = static_cast<int>(cluster.nodes().size());
   for (const FailureEvent& e : failures) {
     require(e.time >= 0.0, "failure event with negative time");

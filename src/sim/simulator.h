@@ -18,6 +18,7 @@
 
 #include "src/fault/checkpoint.h"
 #include "src/fault/failure_injector.h"
+#include "src/reconfig/policy.h"
 #include "src/sched/scheduler.h"
 #include "src/sim/metrics.h"
 
@@ -77,6 +78,14 @@ struct SimConfig {
   // already finished/dropped are ignored, so a replayed session log may carry
   // them verbatim.
   std::vector<JobCancelEvent> cancels;
+
+  // --- Live reconfiguration (src/reconfig; disabled by default) --------------
+  // When reconfig.enabled, the engine runs a ReconfigPolicy after every
+  // scheduling round and applies its migrations (pause, charge the modeled
+  // cost, resume in the new Cell). The engine syncs reconfig.cost's
+  // restart_overhead and checkpoint_bandwidth from the fields above so
+  // migrations and plain restarts price their shared legs identically.
+  ReconfigConfig reconfig;
 
   // Collects every configuration error at once (empty = valid): non-positive
   // schedule_interval, negative overheads/bandwidths/factors, fault events

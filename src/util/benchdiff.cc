@@ -202,6 +202,17 @@ BenchDiffResult CompareBenchReports(const BenchReport& baseline, const BenchRepo
   return result;
 }
 
+BenchReport UpdateBaseline(const BenchReport& baseline, const BenchReport& fresh) {
+  BenchReport updated = fresh;
+  for (auto& [name, metric] : updated.metrics) {
+    const auto it = baseline.metrics.find(name);
+    if (it != baseline.metrics.end() && it->second.threshold >= 0.0) {
+      metric.threshold = it->second.threshold;
+    }
+  }
+  return updated;
+}
+
 std::string BenchDiffResult::Render() const {
   Table table("Bench diff");
   table.SetHeader({"metric", "baseline", "fresh", "ratio", "tolerance", "status"});

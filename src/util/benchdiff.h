@@ -85,6 +85,14 @@ struct BenchDiffResult {
 BenchDiffResult CompareBenchReports(const BenchReport& baseline, const BenchReport& fresh,
                                     double default_threshold);
 
+// The refreshed baseline a `crius_benchdiff --update-baselines` run writes:
+// the fresh report's bench name, meta, metric set, and values, but with each
+// surviving metric keeping the old baseline's hand-tuned threshold (a value
+// refresh must not silently discard tolerance tuning). Metrics absent from
+// the fresh run are dropped; fresh-only metrics enter with their own
+// threshold. Pure, so tests pin the merge rules directly.
+BenchReport UpdateBaseline(const BenchReport& baseline, const BenchReport& fresh);
+
 }  // namespace crius
 
 #endif  // SRC_UTIL_BENCHDIFF_H_

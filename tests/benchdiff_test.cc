@@ -161,6 +161,51 @@ TEST(BenchDiffTest, NonPositiveBaselineIsNotComparable) {
   EXPECT_EQ(FindEntry(result, "zero")->status, BenchDiffEntry::Status::kNotComparable);
 }
 
+TEST(UpdateBaselineTest, FreshValuesWinButSurvivorsKeepTunedThresholds) {
+  const BenchReport baseline = MakeBaseline();
+  BenchReport fresh = baseline;
+  fresh.meta["mode"] = "full";
+  fresh.metrics["latency_ms"].value = 7.5;
+  fresh.metrics["latency_ms"].threshold = 0.1;  // discarded: baseline's 0.5 wins
+  fresh.metrics["throughput"].value = 140.0;
+  const BenchReport updated = UpdateBaseline(baseline, fresh);
+  EXPECT_EQ(updated.bench, "ext_demo");
+  EXPECT_EQ(updated.meta.at("mode"), "full");
+  EXPECT_DOUBLE_EQ(updated.metrics.at("latency_ms").value, 7.5);
+  EXPECT_DOUBLE_EQ(updated.metrics.at("latency_ms").threshold, 0.5);
+  EXPECT_DOUBLE_EQ(updated.metrics.at("throughput").value, 140.0);
+  EXPECT_DOUBLE_EQ(updated.metrics.at("throughput").threshold, 0.2);
+}
+
+TEST(UpdateBaselineTest, MetricSetFollowsTheFreshRun) {
+  const BenchReport baseline = MakeBaseline();
+  BenchReport fresh = baseline;
+  fresh.metrics.erase("rounds");                            // vanished: dropped
+  fresh.AddMetric("p99_ms", 25.0, "ms", "lower", 1.0);      // new: enters as-is
+  const BenchReport updated = UpdateBaseline(baseline, fresh);
+  EXPECT_EQ(updated.metrics.count("rounds"), 0u);
+  ASSERT_EQ(updated.metrics.count("p99_ms"), 1u);
+  EXPECT_DOUBLE_EQ(updated.metrics.at("p99_ms").threshold, 1.0);
+  // The refreshed baseline passes the gate against the run that produced it.
+  EXPECT_FALSE(CompareBenchReports(updated, fresh, 0.5).regressed);
+}
+
+TEST(UpdateBaselineTest, UnsetBaselineThresholdDoesNotClobberFresh) {
+  BenchReport baseline;
+  baseline.bench = "b";
+  baseline.AddMetric("m", 10.0, "ms", "lower");  // threshold -1 sentinel
+  BenchReport fresh = baseline;
+  fresh.metrics["m"].value = 12.0;
+  fresh.metrics["m"].threshold = 0.3;
+  const BenchReport updated = UpdateBaseline(baseline, fresh);
+  // The baseline never carried a tuned bound, so fresh's own threshold stands.
+  EXPECT_DOUBLE_EQ(updated.metrics.at("m").threshold, 0.3);
+
+  // An empty baseline (first run of a new bench) adopts fresh wholesale.
+  const BenchReport adopted = UpdateBaseline(BenchReport{}, fresh);
+  EXPECT_EQ(adopted.ToJson(), fresh.ToJson());
+}
+
 TEST(BenchDiffTest, RenderMentionsEveryMetricAndVerdict) {
   const BenchReport baseline = MakeBaseline();
   const BenchDiffResult result = CompareBenchReports(baseline, baseline, 0.5);

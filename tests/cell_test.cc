@@ -127,6 +127,41 @@ TEST(GenerateCellsUpToTest, RespectsCap) {
   EXPECT_FALSE(cells.empty());
 }
 
+TEST(GenerateCellsUpToTest, CapBelowSmallestCandidateYieldsEmptySet) {
+  // A cap below even the half-size candidate (N_G/2 == 4) must produce a
+  // valid empty set, not abort: callers downscaling under extreme resource
+  // pressure probe caps the job can no longer fit.
+  const Cluster cluster = MakeSimulatedCluster();
+  EXPECT_TRUE(GenerateCellsUpTo(MakeJob(8), cluster, 3).empty());
+  EXPECT_TRUE(GenerateCellsUpTo(MakeJob(8), cluster, 0).empty());
+  // The half-size candidate alone survives a cap of exactly N_G/2.
+  const auto cells = GenerateCellsUpTo(MakeJob(8), cluster, 4);
+  EXPECT_FALSE(cells.empty());
+  for (const Cell& c : cells) {
+    EXPECT_EQ(c.ngpus, 4);
+  }
+}
+
+TEST(GenerateCellsUpToTest, TypeWithZeroUsableGpusContributesNothing) {
+  Cluster cluster;
+  cluster.AddNodes(GpuType::kA40, 4, 2);  // 8 usable GPUs
+  cluster.AddNodes(GpuType::kA10, 2, 2);  // 4 GPUs, all about to fail
+  cluster.MarkFailed(4, 0);
+  cluster.MarkFailed(5, 0);
+  const auto cells = GenerateCellsUpTo(MakeJob(4), cluster, 8);
+  EXPECT_FALSE(cells.empty());
+  for (const Cell& c : cells) {
+    EXPECT_EQ(c.gpu_type, GpuType::kA40) << "candidate on a zero-capacity type: "
+                                         << c.ToString();
+  }
+  // Both types dead: the set is empty but still well-formed (no abort).
+  cluster.MarkFailed(0, 0);
+  cluster.MarkFailed(1, 0);
+  cluster.MarkFailed(2, 0);
+  cluster.MarkFailed(3, 0);
+  EXPECT_TRUE(GenerateCellsUpTo(MakeJob(4), cluster, 8).empty());
+}
+
 TEST(GenerateCellsTest, CellCountIsModest) {
   // O(3 log N) sizes x types: the §6.1 complexity claim.
   const Cluster cluster = MakeSimulatedCluster();

@@ -1,0 +1,104 @@
+// Tests for the migration cost model (src/reconfig/migration_cost.h) and the
+// degenerate-input guards of the checkpoint model it builds on
+// (src/fault/checkpoint.h). Both run unconditionally inside the engine and
+// the reconfig policy, so they must be total: bad knobs resolve to "free" or
+// "disabled", never to an abort.
+
+#include "src/reconfig/migration_cost.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/fault/checkpoint.h"
+#include "src/model/models.h"
+
+namespace crius {
+namespace {
+
+const ModelSpec kSpec{ModelFamily::kBert, 1.3, 128};
+
+TEST(MigrationCostTest, FixedCostModelSumsAllLegs) {
+  MigrationCostConfig config;
+  config.restart_overhead = 60.0;
+  config.checkpoint_bandwidth = 0.0;  // size-independent model
+  config.checkpoint_cost = 30.0;
+  config.warmup_base = 20.0;
+  config.warmup_per_gpu = 1.0;
+  const MigrationCostModel model(config);
+  const Cell from{GpuType::kA40, 8, 2};
+  const Cell to{GpuType::kA40, 16, 4};
+  // write + restore (2 x 30) + relaunch (60) + warmup (20 + 16).
+  EXPECT_DOUBLE_EQ(model.Cost(kSpec, from, to), 2.0 * 30.0 + 60.0 + 20.0 + 16.0);
+}
+
+TEST(MigrationCostTest, BandwidthModelScalesWithModelSize) {
+  MigrationCostConfig config;
+  config.checkpoint_bandwidth = 1e9;  // 1 GB/s
+  const MigrationCostModel model(config);
+  const Cell from{GpuType::kA40, 8, 2};
+  const Cell to{GpuType::kA40, 8, 4};
+  const double write = GetOpGraph(kSpec).TotalParamBytes() / 1e9;
+  EXPECT_DOUBLE_EQ(model.Cost(kSpec, from, to),
+                   2.0 * write + config.restart_overhead + config.warmup_base +
+                       config.warmup_per_gpu * 8.0);
+  // A bigger model pays a bigger write leg under the same bandwidth.
+  const ModelSpec bigger{ModelFamily::kBert, 6.7, 256};
+  EXPECT_GT(model.Cost(bigger, from, to), model.Cost(kSpec, from, to));
+}
+
+TEST(MigrationCostTest, GrowingTargetsCostMoreWarmup) {
+  const MigrationCostModel model(MigrationCostConfig{});
+  const Cell from{GpuType::kA40, 8, 2};
+  EXPECT_LT(model.Cost(kSpec, from, Cell{GpuType::kA40, 4, 2}),
+            model.Cost(kSpec, from, Cell{GpuType::kA40, 16, 2}));
+}
+
+TEST(MigrationCostTest, NegativeKnobsClampToFreeInsteadOfAborting) {
+  MigrationCostConfig config;
+  config.restart_overhead = -5.0;
+  config.checkpoint_cost = -1.0;
+  config.warmup_base = -3.0;
+  config.warmup_per_gpu = -0.5;
+  const MigrationCostModel model(config);
+  EXPECT_DOUBLE_EQ(model.Cost(kSpec, Cell{GpuType::kA40, 8, 2}, Cell{GpuType::kA10, 8, 2}),
+                   0.0);
+}
+
+TEST(CheckpointGuardTest, YoungDalyDegenerateInputsDisableCheckpointing) {
+  EXPECT_DOUBLE_EQ(YoungDalyInterval(0.0, 30.0), 0.0);
+  EXPECT_DOUBLE_EQ(YoungDalyInterval(-3600.0, 30.0), 0.0);
+  EXPECT_DOUBLE_EQ(YoungDalyInterval(3600.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(YoungDalyInterval(3600.0, -1.0), 0.0);
+  // The healthy case still matches the first-order optimum.
+  EXPECT_DOUBLE_EQ(YoungDalyInterval(3600.0, 30.0), std::sqrt(2.0 * 3600.0 * 30.0));
+}
+
+TEST(CheckpointGuardTest, OverheadFactorIsOneForDisabledOrFreeCheckpoints) {
+  EXPECT_DOUBLE_EQ(CheckpointOverheadFactor(0.0, 30.0), 1.0);
+  EXPECT_DOUBLE_EQ(CheckpointOverheadFactor(-10.0, 30.0), 1.0);
+  EXPECT_DOUBLE_EQ(CheckpointOverheadFactor(600.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(CheckpointOverheadFactor(600.0, -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(CheckpointOverheadFactor(600.0, 60.0), 1.1);
+}
+
+TEST(CheckpointGuardTest, EffectiveIntervalIsTotalOverDegenerateConfigs) {
+  CheckpointConfig config;
+  config.interval = -100.0;  // negative interval clamps to disabled
+  EXPECT_DOUBLE_EQ(EffectiveCheckpointInterval(config, 3600.0, 4), 0.0);
+
+  config.interval = 600.0;
+  config.young_daly = true;
+  config.cost = 0.0;  // free writes: Young/Daly has no optimum, fixed interval
+  EXPECT_DOUBLE_EQ(EffectiveCheckpointInterval(config, 3600.0, 4), 600.0);
+
+  config.cost = 30.0;
+  // Unknown MTBF falls back to the fixed interval too.
+  EXPECT_DOUBLE_EQ(EffectiveCheckpointInterval(config, 0.0, 4), 600.0);
+  // Zero node span clamps to one node instead of dividing by zero.
+  EXPECT_DOUBLE_EQ(EffectiveCheckpointInterval(config, 3600.0, 0),
+                   YoungDalyInterval(3600.0, 30.0));
+}
+
+}  // namespace
+}  // namespace crius

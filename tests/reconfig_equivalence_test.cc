@@ -1,0 +1,117 @@
+// Acceptance tests for live reconfiguration (src/reconfig) in the engine:
+//
+//  * Off path: with reconfig disabled (the default), a run is bit-identical
+//    to one whose SimConfig never mentions reconfig at all — the subsystem is
+//    inert unless asked for — and applies zero migrations.
+//  * On path: the same burst+failure scenario with --reconfig applies at
+//    least one migration and stays bit-identical across thread counts and
+//    across repeated runs (the determinism contract the serve replay and the
+//    CI matrix rely on).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "src/fault/failure_injector.h"
+#include "src/sched/baselines.h"
+#include "src/sim/simulator.h"
+#include "src/sim/trace.h"
+#include "src/sim/trace_io.h"
+#include "src/util/threadpool.h"
+
+namespace crius {
+namespace {
+
+struct RunOutput {
+  std::string events;
+  std::string timeline;
+  std::string jobs;
+  int migrations = 0;
+  double migration_cost_seconds = 0.0;
+};
+
+class ReconfigEquivalenceTest : public ::testing::Test {
+ protected:
+  void TearDown() override { ThreadPool::SetGlobalThreads(1); }
+
+  // A burst+failure scenario under FCFS (frozen placements unless the
+  // reconfig engine moves something): a mid-trace node failure + recovery
+  // supplies both triggers and stranded-then-freed capacity.
+  static RunOutput Run(int threads, bool reconfig) {
+    ThreadPool::SetGlobalThreads(threads);
+    Cluster cluster = MakePhysicalTestbed();
+    PerformanceOracle oracle(cluster, 42);
+
+    TraceConfig trace_config = PhillySixHourConfig();
+    trace_config.seed = 42;
+    trace_config.num_jobs = 32;
+    const auto trace = GenerateTrace(cluster, oracle, trace_config);
+
+    SimConfig sim_config;
+    sim_config.record_events = true;
+    sim_config.checkpoint.interval = 30.0 * kMinute;
+    sim_config.failures.push_back(FailureEvent{2.0 * kHour, FailureKind::kNodeFail, 0, 0, 1.0});
+    sim_config.failures.push_back(
+        FailureEvent{3.0 * kHour, FailureKind::kNodeRecover, 0, 0, 1.0});
+    sim_config.reconfig.enabled = reconfig;
+
+    Simulator sim(cluster, sim_config);
+    FcfsScheduler sched(&oracle);
+    const SimResult result = sim.Run(sched, oracle, trace);
+
+    RunOutput out;
+    std::ostringstream events, timeline, jobs;
+    WriteEventsCsv(result, events);
+    WriteTimelineCsv(result, timeline);
+    WriteJobRecordsCsv(result, jobs);
+    out.events = events.str();
+    out.timeline = timeline.str();
+    out.jobs = jobs.str();
+    out.migrations = result.migrations;
+    out.migration_cost_seconds = result.migration_cost_seconds;
+    return out;
+  }
+};
+
+TEST_F(ReconfigEquivalenceTest, DisabledPathIsInert) {
+  const RunOutput off = Run(1, /*reconfig=*/false);
+  EXPECT_EQ(off.migrations, 0);
+  EXPECT_DOUBLE_EQ(off.migration_cost_seconds, 0.0);
+  EXPECT_EQ(off.events.find("migrate"), std::string::npos);
+  // Repeat run: the default path stays deterministic with the subsystem
+  // linked in.
+  const RunOutput again = Run(1, /*reconfig=*/false);
+  EXPECT_EQ(again.events, off.events);
+  EXPECT_EQ(again.timeline, off.timeline);
+  EXPECT_EQ(again.jobs, off.jobs);
+}
+
+TEST_F(ReconfigEquivalenceTest, EnabledPathMigratesAndStaysDeterministic) {
+  const RunOutput base = Run(1, /*reconfig=*/true);
+  ASSERT_GT(base.migrations, 0) << "scenario produced no migration; the equivalence "
+                                   "assertions below would be vacuous";
+  EXPECT_NE(base.events.find("migrate"), std::string::npos);
+  EXPECT_GT(base.migration_cost_seconds, 0.0);
+  for (int threads : {2, 4}) {
+    const RunOutput parallel = Run(threads, /*reconfig=*/true);
+    EXPECT_EQ(parallel.events, base.events) << "events diverge at --threads " << threads;
+    EXPECT_EQ(parallel.timeline, base.timeline)
+        << "timeline diverges at --threads " << threads;
+    EXPECT_EQ(parallel.jobs, base.jobs) << "job records diverge at --threads " << threads;
+    EXPECT_EQ(parallel.migrations, base.migrations);
+  }
+}
+
+TEST_F(ReconfigEquivalenceTest, EnabledAndDisabledRunsDivergeOnlyByMigrations) {
+  // Sanity on the comparison itself: with migrations applied the timelines
+  // genuinely differ (otherwise the equivalence tests compare constants).
+  const RunOutput off = Run(1, /*reconfig=*/false);
+  const RunOutput on = Run(1, /*reconfig=*/true);
+  if (on.migrations > 0) {
+    EXPECT_NE(on.events, off.events);
+  }
+}
+
+}  // namespace
+}  // namespace crius

@@ -118,6 +118,73 @@ TEST(ServeReplayTest, DrainedLiveSessionReplaysBitIdentically) {
   EXPECT_DOUBLE_EQ(live.makespan, replayed.makespan);
 }
 
+TEST(ServeReplayTest, ReconfigSessionReplaysBitIdentically) {
+  // Same drained-session guarantee with live reconfiguration on: the meta row
+  // records reconfig=1, SimConfigFromMeta re-enables it for the replay, and
+  // the policy's decisions are deterministic -- so migrations land at the
+  // same virtual times in both runs. FCFS keeps the frozen-placement contrast
+  // (any placement change in the live run is the reconfig engine's).
+  SessionMeta meta;
+  meta.scheduler = "fcfs";
+  meta.reconfig = true;
+  SessionRuntime runtime = MakeSessionRuntime(meta);
+  ASSERT_TRUE(runtime.sim.reconfig.enabled);
+
+  std::stringstream log_stream;
+  SessionLog log(log_stream, meta);
+
+  Controller::Config config;
+  config.tick_virtual_seconds = 60.0;
+  config.tick_wall_seconds = 0.001;
+  Controller controller(runtime.cluster, runtime.sim, *runtime.scheduler, *runtime.oracle,
+                        &log, config);
+  controller.Start();
+
+  // A migration-prone mix (long enough to still be running when the node
+  // recovers) plus a failure/recovery cycle: the recovery returns capacity a
+  // running job can grow into. Whether a migration fires depends on which
+  // tick each command lands on, so the test asserts identity, not count.
+  TrainingJob long_bert = BertJob();
+  long_bert.iterations = 2000;
+  TrainingJob long_wres = WresJob();
+  long_wres.iterations = 1500;
+  const auto a = controller.Submit(long_bert);
+  const auto b = controller.Submit(long_wres);
+  const auto c = controller.Submit(LongMoeJob());
+  ASSERT_TRUE(a.ok && b.ok && c.ok);
+  Pause();
+  ASSERT_FALSE(controller.FailNode(0).has_value());
+  Pause();
+  ASSERT_FALSE(controller.RecoverNode(0).has_value());
+  Pause();
+  ASSERT_FALSE(controller.Cancel(c.job_id).has_value());
+  Pause();
+
+  ASSERT_FALSE(controller.Shutdown(/*drain=*/true).has_value());
+  controller.Join();
+  const SimResult live = controller.TakeResult();
+
+  // The meta row round-trips the reconfig bit.
+  const Session session = ReadSessionLog(log_stream);
+  EXPECT_TRUE(session.meta.reconfig);
+
+  const SimResult replayed = ReplaySession(session);
+  EXPECT_EQ(replayed.migrations, live.migrations);
+
+  std::ostringstream live_jobs, replay_jobs;
+  WriteJobRecordsCsv(live, live_jobs);
+  WriteJobRecordsCsv(replayed, replay_jobs);
+  EXPECT_EQ(live_jobs.str(), replay_jobs.str());
+
+  std::ostringstream live_events, replay_events;
+  WriteEventsCsv(live, live_events);
+  WriteEventsCsv(replayed, replay_events);
+  EXPECT_EQ(live_events.str(), replay_events.str());
+
+  EXPECT_EQ(live.finished_jobs, replayed.finished_jobs);
+  EXPECT_DOUBLE_EQ(live.makespan, replayed.makespan);
+}
+
 TEST(ServeReplayTest, StatusesSettleAfterDrain) {
   SessionMeta meta;
   SessionRuntime runtime = MakeSessionRuntime(meta);

@@ -11,6 +11,16 @@
 // is indistinguishable from a regression); fresh-only metrics are reported
 // as "new" and pass.
 //
+// --update-baselines rewrites --baseline from --fresh instead of comparing:
+// the fresh values and metric set win, but every surviving metric keeps the
+// baseline's hand-tuned threshold (see UpdateBaseline). A missing or
+// unreadable baseline is fine in this mode — the fresh report is adopted
+// wholesale. Use after an intentional perf change:
+//
+//   crius_benchdiff --update-baselines \
+//                   --baseline bench/baselines/BENCH_rounds.json \
+//                   --fresh build/BENCH_rounds.json
+//
 // Exit codes: 0 = within tolerance, 1 = regression (or vanished metric),
 // 2 = unreadable/malformed input.
 
@@ -26,6 +36,7 @@ int Run(int argc, const char* const* argv) {
   std::string baseline_path;
   std::string fresh_path;
   double threshold = 0.5;
+  bool update_baselines = false;
 
   FlagSet flags("crius_benchdiff", "Compare a BENCH_*.json run against a baseline");
   flags.String("baseline", &baseline_path, "checked-in baseline report");
@@ -33,6 +44,9 @@ int Run(int argc, const char* const* argv) {
   flags.Double("threshold", &threshold,
                "default relative regression tolerance (per-metric baseline "
                "thresholds override this)");
+  flags.Bool("update-baselines", &update_baselines,
+             "rewrite --baseline from --fresh, keeping per-metric thresholds "
+             "for metrics present in both (no comparison)");
   if (!flags.Parse(argc, argv)) {
     return 2;
   }
@@ -46,14 +60,32 @@ int Run(int argc, const char* const* argv) {
   }
 
   std::string error;
-  BenchReport baseline;
-  if (!BenchReport::ReadFile(baseline_path, &baseline, &error)) {
-    std::fprintf(stderr, "crius_benchdiff: baseline: %s\n", error.c_str());
-    return 2;
-  }
   BenchReport fresh;
   if (!BenchReport::ReadFile(fresh_path, &fresh, &error)) {
     std::fprintf(stderr, "crius_benchdiff: fresh: %s\n", error.c_str());
+    return 2;
+  }
+  if (update_baselines) {
+    // A baseline that does not exist (first run of a new bench) or fails to
+    // parse is simply replaced wholesale by the fresh report.
+    BenchReport baseline;
+    if (!BenchReport::ReadFile(baseline_path, &baseline, &error)) {
+      std::fprintf(stderr, "crius_benchdiff: adopting fresh report (baseline: %s)\n",
+                   error.c_str());
+      baseline = BenchReport{};
+    }
+    const BenchReport updated = UpdateBaseline(baseline, fresh);
+    if (!updated.WriteFile(baseline_path)) {
+      std::fprintf(stderr, "crius_benchdiff: cannot write %s\n", baseline_path.c_str());
+      return 2;
+    }
+    std::printf("crius_benchdiff: updated %s (%zu metrics)\n", baseline_path.c_str(),
+                updated.metrics.size());
+    return 0;
+  }
+  BenchReport baseline;
+  if (!BenchReport::ReadFile(baseline_path, &baseline, &error)) {
+    std::fprintf(stderr, "crius_benchdiff: baseline: %s\n", error.c_str());
     return 2;
   }
   if (!baseline.bench.empty() && !fresh.bench.empty() && baseline.bench != fresh.bench) {

@@ -61,6 +61,7 @@ int Run(int argc, const char* const* argv) {
   bool no_profiling_cost = false;
   double schedule_interval = 5.0 * kMinute;
   double restart_overhead = 60.0;
+  bool reconfig = false;
   std::string socket_path = "/tmp/crius_serve.sock";
   std::string session_log_path = "crius_session.csv";
   std::string metrics_csv;
@@ -90,6 +91,9 @@ int Run(int argc, const char* const* argv) {
              "skip charging Crius's Cell-profiling delay");
   flags.Double("schedule-interval", &schedule_interval, "scheduling round interval, seconds");
   flags.Double("restart-overhead", &restart_overhead, "per-restart overhead, seconds");
+  flags.Bool("reconfig", &reconfig,
+             "live reconfiguration: migrate running jobs when the modeled gain beats the "
+             "migration cost (recorded in the session log, so replay matches)");
   flags.String("socket", &socket_path, "Unix domain socket to serve on");
   flags.String("session-log", &session_log_path,
                "append-only session event log (empty = no recording, no replay)");
@@ -155,6 +159,7 @@ int Run(int argc, const char* const* argv) {
   meta.schedule_interval = schedule_interval;
   meta.restart_overhead = restart_overhead;
   meta.charge_profiling = !no_profiling_cost;
+  meta.reconfig = reconfig;
   if (!IsKnownScheduler(meta.scheduler)) {
     std::fprintf(stderr, "crius_serve: unknown scheduler '%s' (want %s)\n",
                  meta.scheduler.c_str(), kSchedulerNamesHelp);

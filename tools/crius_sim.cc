@@ -60,6 +60,10 @@ int Run(int argc, const char* const* argv) {
   double checkpoint_interval = 0.0;
   double checkpoint_cost = 30.0;
   bool checkpoint_young_daly = false;
+  bool reconfig = false;
+  double reconfig_margin = -1.0;
+  double reconfig_cooldown = -1.0;
+  int64_t reconfig_max_per_round = -1;
   std::string trace_out;
   std::string jobs_csv;
   std::string timeline_csv;
@@ -112,6 +116,15 @@ int Run(int argc, const char* const* argv) {
   flags.Double("checkpoint-cost", &checkpoint_cost, "seconds per checkpoint write");
   flags.Bool("checkpoint-young-daly", &checkpoint_young_daly,
              "derive the checkpoint interval from --mtbf-hours via Young/Daly");
+  flags.Bool("reconfig", &reconfig,
+             "live reconfiguration (src/reconfig): migrate running jobs when the modeled "
+             "remaining-time gain beats the migration cost plus a hysteresis margin");
+  flags.Double("reconfig-margin", &reconfig_margin,
+               "reconfig hysteresis margin in seconds (< 0 = default)");
+  flags.Double("reconfig-cooldown", &reconfig_cooldown,
+               "minimum seconds between migrations of one job (< 0 = default)");
+  flags.Int("reconfig-max-per-round", &reconfig_max_per_round,
+            "migration cap per scheduling round, 0 = unlimited (< 0 = default)");
   flags.String("save-trace", &trace_out, "write the synthesized trace to this CSV");
   flags.String("jobs-csv", &jobs_csv, "write per-job records to this CSV");
   flags.String("timeline-csv", &timeline_csv, "write the throughput timeline to this CSV");
@@ -188,6 +201,18 @@ int Run(int argc, const char* const* argv) {
   sim_config.checkpoint.cost = checkpoint_cost;
   sim_config.checkpoint.young_daly = checkpoint_young_daly;
   sim_config.node_mtbf = mtbf_hours * kHour;
+
+  // --- Live reconfiguration --------------------------------------------------
+  sim_config.reconfig.enabled = reconfig;
+  if (reconfig_margin >= 0.0) {
+    sim_config.reconfig.hysteresis_margin = reconfig_margin;
+  }
+  if (reconfig_cooldown >= 0.0) {
+    sim_config.reconfig.cooldown = reconfig_cooldown;
+  }
+  if (reconfig_max_per_round >= 0) {
+    sim_config.reconfig.max_migrations_per_round = static_cast<int>(reconfig_max_per_round);
+  }
   const bool faults_requested =
       !failure_trace.empty() || mtbf_hours > 0.0 || gpu_mtbf_hours > 0.0 || straggler_rate > 0.0;
   if (!failure_trace.empty()) {
@@ -270,6 +295,14 @@ int Run(int argc, const char* const* argv) {
     table.AddRow({"avg / p95 recovery latency",
                   Table::Fmt(result.avg_recovery_latency / kMinute, 1) + " / " +
                       Table::Fmt(result.p95_recovery_latency / kMinute, 1) + " min"});
+  }
+  if (reconfig) {
+    // Rows only under --reconfig, keeping default output byte-identical.
+    table.AddRow({"migrations", Table::FmtInt(result.migrations)});
+    table.AddRow({"migration pause cost (total)",
+                  Table::Fmt(result.migration_cost_seconds / kMinute, 1) + " min"});
+    table.AddRow({"modeled migration gain (total)",
+                  Table::Fmt(result.migration_gain_seconds / kHour, 2) + " h"});
   }
   if (deadline_fraction > 0.0) {
     table.AddRow({"deadline satisfactory ratio", Table::FmtPercent(result.deadline_ratio)});
